@@ -1,0 +1,43 @@
+"""Shared helpers for the figure benches: series printing and checks."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.experiments.figures import shape_checks
+from repro.experiments.report import render_advantage_markdown, render_sweep_markdown
+from repro.experiments.sweep import SweepResult
+
+__all__ = ["figure_report", "assert_headline_shapes"]
+
+
+def figure_report(result: SweepResult, figure: str, paper_notes: str = "") -> str:
+    """Render one figure's measured tables plus its paper context."""
+    out = StringIO()
+    out.write(f"## {figure} — measured at reduced repetitions\n\n")
+    if paper_notes:
+        out.write(paper_notes.rstrip() + "\n\n")
+    for metric in ("r_avg", "l_avg_ms"):
+        out.write(render_sweep_markdown(result, metric))
+        out.write("\n")
+    out.write(render_advantage_markdown(result))
+    out.write(f"\nshape checks: {shape_checks(result)}\n")
+    return out.getvalue()
+
+
+def assert_headline_shapes(result: SweepResult) -> None:
+    """The §4.5 orderings that must hold at any scale: IDDE-G wins both
+    objectives on the cross-grid average, and IDDE-IP costs the most."""
+    checks = shape_checks(result)
+    assert checks["idde_g_best_rate"], (
+        "IDDE-G must achieve the highest average data rate",
+        {s: result.average(s, "r_avg") for s in result.solver_names},
+    )
+    assert checks["idde_g_best_latency"], (
+        "IDDE-G must achieve the lowest average delivery latency",
+        {s: result.average(s, "l_avg_ms") for s in result.solver_names},
+    )
+    assert checks["ip_slowest"], (
+        "IDDE-IP must cost the most computation time",
+        {s: result.average(s, "time_s") for s in result.solver_names},
+    )

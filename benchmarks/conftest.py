@@ -1,0 +1,76 @@
+"""Shared benchmark fixtures: reduced-scale regeneration of Figs. 3-7.
+
+Every figure/table of the paper's evaluation has a bench module in this
+directory.  The sweeps behind Figs. 3-6 are executed once per session
+(session-scoped fixtures) at a reduced repetition count and reused by the
+figure benches; the printed tables put the measured series next to the
+paper's reported numbers.
+
+Scaling knobs (environment variables):
+
+``REPRO_BENCH_REPS``
+    Repetitions per grid point (default 2; the paper used 50).
+``REPRO_BENCH_IP_BUDGET``
+    IDDE-IP's per-trial search budget in seconds (default 0.6; the paper
+    capped CPLEX at 100 s).
+``REPRO_BENCH_WORKERS``
+    Worker processes for trial execution (default: CPUs − 1).
+
+Artifacts: each bench writes its markdown tables to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.settings import SET1, SET2, SET3, SET4
+from repro.experiments.sweep import SweepResult, run_sweep
+from repro.parallel import ParallelConfig
+
+OUT_DIR = Path(__file__).parent / "out"
+
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "2"))
+BENCH_IP_BUDGET = float(os.environ.get("REPRO_BENCH_IP_BUDGET", "0.6"))
+_workers_env = os.environ.get("REPRO_BENCH_WORKERS")
+BENCH_WORKERS = int(_workers_env) if _workers_env else None
+
+
+def write_artifact(name: str, content: str) -> Path:
+    """Persist a bench's markdown output under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(content)
+    return path
+
+
+def _sweep(settings) -> SweepResult:
+    return run_sweep(
+        settings,
+        reps=BENCH_REPS,
+        seed=0,
+        ip_time_budget_s=BENCH_IP_BUDGET,
+        parallel=ParallelConfig(n_workers=BENCH_WORKERS),
+    )
+
+
+@pytest.fixture(scope="session")
+def set1_sweep() -> SweepResult:
+    return _sweep(SET1)
+
+
+@pytest.fixture(scope="session")
+def set2_sweep() -> SweepResult:
+    return _sweep(SET2)
+
+
+@pytest.fixture(scope="session")
+def set3_sweep() -> SweepResult:
+    return _sweep(SET3)
+
+
+@pytest.fixture(scope="session")
+def set4_sweep() -> SweepResult:
+    return _sweep(SET4)

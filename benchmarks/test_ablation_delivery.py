@@ -1,0 +1,60 @@
+"""Ablation A1 — Eq. (17)'s ratio rule vs absolute-gain greedy delivery.
+
+DESIGN.md calls out the per-byte normalisation of the Phase 2 greedy as a
+design choice; this bench measures what it buys across a batch of paper-
+scale instances and benchmarks the delivery kernel itself.
+"""
+
+from io import StringIO
+
+import numpy as np
+
+from repro.config import DeliveryConfig
+from repro.core.delivery import greedy_delivery
+from repro.core.game import IddeUGame
+from repro.core.instance import IDDEInstance
+from repro.core.objectives import average_delivery_latency_ms
+
+from conftest import write_artifact
+
+SEEDS = range(8)
+
+
+def _latency_pair(seed: int) -> tuple[float, float]:
+    instance = IDDEInstance.generate(n=30, m=200, k=5, density=1.0, seed=seed)
+    alloc = IddeUGame(instance).run(rng=seed).profile
+    ratio = greedy_delivery(instance, alloc, DeliveryConfig(ratio_rule=True))
+    absolute = greedy_delivery(instance, alloc, DeliveryConfig(ratio_rule=False))
+    return (
+        average_delivery_latency_ms(instance, alloc, ratio.profile),
+        average_delivery_latency_ms(instance, alloc, absolute.profile),
+    )
+
+
+def test_ablation_ratio_vs_absolute(benchmark):
+    pairs = [_latency_pair(seed) for seed in SEEDS]
+    benchmark.pedantic(_latency_pair, args=(0,), rounds=1, iterations=1)
+    ratio = np.array([p[0] for p in pairs])
+    absolute = np.array([p[1] for p in pairs])
+    out = StringIO()
+    out.write("## Ablation A1 — delivery selection rule\n\n")
+    out.write("| seed | ratio rule (ms) | absolute rule (ms) |\n|---|---|---|\n")
+    for seed, (r, a) in zip(SEEDS, pairs):
+        out.write(f"| {seed} | {r:.2f} | {a:.2f} |\n")
+    out.write(
+        f"\nmeans: ratio {ratio.mean():.2f} ms vs absolute {absolute.mean():.2f} ms\n"
+    )
+    report = out.getvalue()
+    write_artifact("ablation_delivery.md", report)
+    print("\n" + report)
+    # The rules mostly coincide at the paper's size menu (30/60/90 MB);
+    # the ratio rule must not lose on average.
+    assert ratio.mean() <= absolute.mean() * 1.05
+
+
+def test_delivery_kernel_benchmark(benchmark):
+    """Throughput of the vectorised O(N²K)-per-iteration greedy."""
+    instance = IDDEInstance.generate(n=50, m=350, k=8, density=1.5, seed=1)
+    alloc = IddeUGame(instance).run(rng=1).profile
+    result = benchmark(greedy_delivery, instance, alloc)
+    assert result.profile.n_replicas > 0

@@ -1,0 +1,54 @@
+"""Ablation A4 — the Phase 2 greedy's true optimality gap.
+
+The paper proves a worst-case `(e−1)/2e` guarantee (Theorems 6-7); the
+exact MILP delivery oracle lets us measure the *actual* gap at full paper
+scale, where brute force is hopeless.  Also benchmarks the MILP solve.
+"""
+
+from io import StringIO
+
+import numpy as np
+
+from repro.core.delivery import greedy_delivery
+from repro.core.game import IddeUGame
+from repro.core.instance import IDDEInstance
+from repro.core.objectives import average_delivery_latency_ms
+from repro.solvers import optimal_delivery_milp
+
+from conftest import write_artifact
+
+SEEDS = range(6)
+
+
+def _gap(seed: int) -> tuple[float, float]:
+    instance = IDDEInstance.generate(n=30, m=200, k=5, density=1.0, seed=seed)
+    alloc = IddeUGame(instance).run(rng=seed).profile
+    greedy = greedy_delivery(instance, alloc)
+    l_greedy = average_delivery_latency_ms(instance, alloc, greedy.profile)
+    milp = optimal_delivery_milp(instance, alloc)
+    return l_greedy, milp.l_avg_ms
+
+
+def test_ablation_greedy_gap(benchmark):
+    pairs = [_gap(seed) for seed in SEEDS]
+    benchmark.pedantic(_gap, args=(0,), rounds=1, iterations=1)
+    out = StringIO()
+    out.write("## Ablation A4 — greedy vs exact MILP delivery (paper scale)\n\n")
+    out.write("| seed | greedy (ms) | optimal (ms) | gap % |\n|---|---|---|---|\n")
+    gaps = []
+    for seed, (g, o) in zip(SEEDS, pairs):
+        gap = 100.0 * (g - o) / o if o > 0 else 0.0
+        gaps.append(gap)
+        out.write(f"| {seed} | {g:.3f} | {o:.3f} | {gap:.2f} |\n")
+    out.write(
+        f"\nmean gap {np.mean(gaps):.2f}% — far inside the worst-case bound "
+        "(the guarantee only promises ~31.6% of the optimal *reduction*).\n"
+    )
+    report = out.getvalue()
+    write_artifact("ablation_greedy_gap.md", report)
+    print("\n" + report)
+
+    # Sanity: the oracle never loses to the greedy; the greedy stays close.
+    for g, o in pairs:
+        assert o <= g + 1e-6
+    assert np.mean(gaps) < 25.0, gaps

@@ -1,0 +1,57 @@
+"""Calibration C1 — sensitivity of the results to the coverage radius.
+
+EXPERIMENTS.md's known deviation #1 swaps the raw EUA 100–150 m radii for
+macro-cell 250–350 m so users see multiple candidate servers (|V_j| ≈ 2 at
+N=30), matching the multi-coverage regime of the paper's Fig. 2.  This
+bench measures what the choice actually changes: the mean covering-set
+size grows monotonically with the radius, while IDDE-G's advantage over
+the channel-blind CDP stays positive at *every* radius — i.e. the headline
+conclusion is **robust** to the calibration; the radius governs how much
+of the advantage comes from server choice (overlap) versus intra-cell
+channel management alone.
+"""
+
+from io import StringIO
+
+from repro.experiments.calibration import radius_sensitivity
+
+from conftest import write_artifact
+
+RANGES = [(100.0, 150.0), (175.0, 250.0), (250.0, 350.0), (350.0, 450.0)]
+
+
+def test_calibration_radius(benchmark):
+    points = radius_sensitivity(RANGES, n=25, m=150, k=5, reps=2)
+    benchmark.pedantic(
+        radius_sensitivity,
+        args=([(250.0, 350.0)],),
+        kwargs={"n": 10, "m": 40, "k": 3, "reps": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    out = StringIO()
+    out.write("## Calibration C1 — coverage radius sensitivity\n\n")
+    out.write(
+        "| radius | mean |V_j| | IDDE-G R_avg | CDP R_avg | rate adv % "
+        "| latency adv % |\n|---|---|---|---|---|---|\n"
+    )
+    for p in points:
+        out.write(
+            f"| {p.label} | {p.mean_covering:.2f} | {p.r_avg_ours:.2f} | "
+            f"{p.r_avg_baseline:.2f} | {p.rate_advantage_pct:+.2f} | "
+            f"{p.latency_advantage_pct:+.2f} |\n"
+        )
+    report = out.getvalue()
+    write_artifact("calibration_radius.md", report)
+    print("\n" + report)
+
+    # Overlap grows monotonically with radius ...
+    coverings = [p.mean_covering for p in points]
+    assert all(b > a for a, b in zip(coverings, coverings[1:])), coverings
+    # ... and IDDE-G's advantage over the channel-blind baseline holds at
+    # every radius calibration — the headline claim is not an artefact of
+    # the macro-cell radius choice.
+    for p in points:
+        assert p.rate_advantage_pct > 0, (p.label, p.rate_advantage_pct)
+        assert p.latency_advantage_pct > 0, (p.label, p.latency_advantage_pct)

@@ -1,0 +1,40 @@
+"""Fig. 1 — end-to-end latency: edge vs cloud regions (motivation).
+
+Regenerates the paper's motivation figure from the calibrated probe model
+and benchmarks the probe generator itself.
+"""
+
+from io import StringIO
+
+from repro.experiments.figures import PAPER
+from repro.experiments.latency_probe import run_latency_probe
+
+from conftest import write_artifact
+
+
+def test_fig1_series(benchmark):
+    probe = benchmark(run_latency_probe, 0)
+    means = probe.mean_ms()
+    p95 = probe.percentile_ms(95)
+    out = StringIO()
+    out.write("## Fig. 1 — end-to-end network latency (simulated probes)\n\n")
+    out.write("| target | measured mean (ms) | measured p95 (ms) | paper (ms) |\n")
+    out.write("|---|---|---|---|\n")
+    for target in probe.targets:
+        ref = PAPER["fig1_latency_ms"].get(target, float("nan"))
+        out.write(
+            f"| {target} | {means[target]:.1f} | {p95[target]:.1f} | {ref:.0f} |\n"
+        )
+    report = out.getvalue()
+    write_artifact("fig1_latency_probe.md", report)
+    print("\n" + report)
+
+    # The figure's claim: edge is an order of magnitude below the clouds.
+    adv = probe.edge_advantage()
+    assert all(ratio > 5 for ratio in adv.values()), adv
+
+
+def test_fig1_probe_benchmark(benchmark):
+    """Throughput of the probe generator (one simulated week)."""
+    probe = benchmark(run_latency_probe, 0)
+    assert probe.hours == 168

@@ -1,0 +1,72 @@
+"""Fig. 5 — Set #3: effectiveness vs number of data items K.
+
+Regenerates both panels (5a: R_avg vs K, 5b: L_avg vs K).  The paper's
+reading: K barely moves the rates (allocation ignores K) but drives the
+latencies up (fixed storage covers a smaller share of the catalogue).
+"""
+
+import numpy as np
+
+from repro.core.idde_g import IddeG
+from repro.core.instance import IDDEInstance
+from repro.experiments.figures import PAPER
+
+from _common import assert_headline_shapes, figure_report
+from conftest import write_artifact
+
+PAPER_NOTES = """Paper (Set #3): K has an insignificant impact on rates, but
+latencies rise with K: IDDE-G 2.61→7.52 ms, IDDE-IP 18.58→38.50, SAA
+9.33→22.12, CDP 24.12→36.80, DUP-G 32.16→48.88 from K=2 to K=8; the
+cross-grid averages are 5.22 / 27.98 / 16.88 / 31.26 / 41.10 ms."""
+
+
+def test_fig5_series(benchmark, set3_sweep):
+    report = benchmark(figure_report, set3_sweep, "Fig. 5 — Set #3 (vary K)", PAPER_NOTES)
+    lines = ["", "### Cross-grid average latency vs paper", "",
+             "| approach | measured (ms) | paper (ms) |", "|---|---|---|"]
+    for name in set3_sweep.solver_names:
+        measured = set3_sweep.average(name, "l_avg_ms")
+        lines.append(
+            f"| {name} | {measured:.2f} | {PAPER['set3_latency_average'][name]:.2f} |"
+        )
+    report += "\n".join(lines) + "\n"
+    write_artifact("fig5_set3.md", report)
+    print("\n" + report)
+    assert_headline_shapes(set3_sweep)
+
+
+def test_fig5a_rates_insensitive_to_k(set3_sweep):
+    """Fig. 5(a): the rate series is flat in K — the allocation game never
+    sees the catalogue.  Tolerate sampling noise of 15%."""
+    for name in ("IDDE-G", "CDP", "DUP-G"):
+        series = np.array(set3_sweep.series(name, "r_avg"))
+        spread = (series.max() - series.min()) / series.mean()
+        assert spread < 0.15, (name, series.tolist())
+
+
+def test_fig5b_latency_rises_with_k(set3_sweep):
+    """Fig. 5(b): latency rises from K=2 to K=8 for every approach."""
+    for name in set3_sweep.solver_names:
+        series = set3_sweep.series(name, "l_avg_ms")
+        assert series[-1] > series[0], (name, series)
+
+
+def test_fig5b_idde_g_clearly_lower(set3_sweep):
+    """The paper's headline: IDDE-G's Set #3 latency is multiple times
+    lower than every baseline's.  Our calibration compresses the latency
+    spread (EXPERIMENTS.md, known deviation #2), so require a clear margin
+    over every baseline and the paper's multiple over collaboration-blind
+    DUP-G."""
+    ours = set3_sweep.average("IDDE-G", "l_avg_ms")
+    for name in set3_sweep.solver_names:
+        if name == "IDDE-G":
+            continue
+        assert set3_sweep.average(name, "l_avg_ms") > 1.1 * ours, name
+    assert set3_sweep.average("DUP-G", "l_avg_ms") > 2.0 * ours
+
+
+def test_fig5_idde_g_solve_benchmark(benchmark):
+    """Wall time of one IDDE-G solve at the largest Set #3 point (K=8)."""
+    instance = IDDEInstance.generate(n=30, m=200, k=8, density=1.0, seed=0)
+    strategy = benchmark(IddeG().solve, instance, 0)
+    assert strategy.r_avg > 0

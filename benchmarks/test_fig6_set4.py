@@ -1,0 +1,64 @@
+"""Fig. 6 — Set #4: effectiveness vs network density.
+
+Regenerates both panels (6a: R_avg vs density, 6b: L_avg vs density).
+The paper's reading: density barely moves the rates (the radio model does
+not see the wired graph), but a denser graph lowers the latencies —
+mildly for IDDE-G, which already serves most users at minimum latency at
+density 1.0.
+"""
+
+import numpy as np
+
+from repro.core.idde_g import IddeG
+from repro.core.instance import IDDEInstance
+
+from _common import assert_headline_shapes, figure_report
+from conftest import write_artifact
+
+PAPER_NOTES = """Paper (Set #4): IDDE-G's rate advantage is 13.94% over
+IDDE-IP, 62.92% over SAA, 36.87% over CDP, 54.91% over DUP-G; latency
+advantage 90.38% / 75.91% / 89.63% / 86.72%.  Density affects latency
+slightly and rates not at all."""
+
+
+def test_fig6_series(benchmark, set4_sweep):
+    report = benchmark(figure_report, set4_sweep, "Fig. 6 — Set #4 (vary density)", PAPER_NOTES)
+    write_artifact("fig6_set4.md", report)
+    print("\n" + report)
+    assert_headline_shapes(set4_sweep)
+
+
+def test_fig6a_rates_insensitive_to_density(set4_sweep):
+    """Fig. 6(a): the wired-graph density cannot affect the radio model."""
+    for name in ("IDDE-G", "CDP", "DUP-G"):
+        series = np.array(set4_sweep.series(name, "r_avg"))
+        spread = (series.max() - series.min()) / series.mean()
+        assert spread < 0.15, (name, series.tolist())
+
+
+def test_fig6b_density_lowers_collaborative_latency(set4_sweep):
+    """Fig. 6(b): a denser edge graph lowers latency for the
+    collaboration-aware approaches (IDDE-G, SAA, CDP)."""
+    improving = [
+        name
+        for name in ("IDDE-G", "SAA", "CDP")
+        if set4_sweep.series(name, "l_avg_ms")[-1]
+        < set4_sweep.series(name, "l_avg_ms")[0]
+    ]
+    assert len(improving) >= 2, {
+        name: set4_sweep.series(name, "l_avg_ms") for name in set4_sweep.solver_names
+    }
+
+
+def test_fig6b_dup_g_insensitive_to_density(set4_sweep):
+    """DUP-G ignores collaboration, so density helps it least: its latency
+    stays the worst across the grid."""
+    lat = {s: set4_sweep.average(s, "l_avg_ms") for s in set4_sweep.solver_names}
+    assert max(lat, key=lat.get) == "DUP-G", lat
+
+
+def test_fig6_idde_g_solve_benchmark(benchmark):
+    """Wall time of one IDDE-G solve at the densest Set #4 point."""
+    instance = IDDEInstance.generate(n=30, m=200, k=5, density=3.0, seed=0)
+    strategy = benchmark(IddeG().solve, instance, 0)
+    assert strategy.r_avg > 0

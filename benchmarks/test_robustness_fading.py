@@ -1,0 +1,67 @@
+"""Robustness R1 — the paper's model-independence claim under shadowing.
+
+Section 2.2: "the SINR can be calculated based on other wireless
+communication models … it will not impact the IDDE problem or the
+performance of the proposed approaches fundamentally."  This bench re-runs
+the solver line-up with log-normally shadowed gains (σ = 6 dB, the urban
+standard) and asserts that the headline orderings survive.
+"""
+
+from io import StringIO
+
+import numpy as np
+
+from repro.baselines import default_solvers
+from repro.core.instance import IDDEInstance
+from repro.radio.fading import lognormal_shadowing
+
+from conftest import BENCH_IP_BUDGET, write_artifact
+
+SEEDS = (0, 1, 2)
+
+
+def _shadowed_instance(seed: int) -> IDDEInstance:
+    base = IDDEInstance.generate(n=30, m=200, k=5, density=1.0, seed=seed)
+    gain = lognormal_shadowing(
+        base.scenario.server_xy, base.scenario.user_xy, rng=seed, sigma_db=6.0
+    )
+    return IDDEInstance(
+        base.scenario, base.topology, base.radio, gain_override=gain
+    )
+
+
+def _run(seed: int) -> dict[str, tuple[float, float]]:
+    instance = _shadowed_instance(seed)
+    out = {}
+    for solver in default_solvers(ip_time_budget=BENCH_IP_BUDGET):
+        s = solver.solve(instance, rng=seed)
+        out[s.solver] = (s.r_avg, s.l_avg_ms)
+    return out
+
+
+def test_orderings_survive_shadowing(benchmark):
+    runs = [_run(seed) for seed in SEEDS]
+    benchmark.pedantic(_shadowed_instance, args=(0,), rounds=1, iterations=1)
+    names = list(runs[0])
+    mean_rate = {n: float(np.mean([r[n][0] for r in runs])) for n in names}
+    mean_lat = {n: float(np.mean([r[n][1] for r in runs])) for n in names}
+
+    out = StringIO()
+    out.write("## Robustness R1 — 6 dB log-normal shadowing\n\n")
+    out.write("| approach | R_avg (MB/s) | L_avg (ms) |\n|---|---|---|\n")
+    for n in names:
+        out.write(f"| {n} | {mean_rate[n]:.2f} | {mean_lat[n]:.2f} |\n")
+    report = out.getvalue()
+    write_artifact("robustness_fading.md", report)
+    print("\n" + report)
+
+    assert max(mean_rate, key=mean_rate.get) == "IDDE-G", mean_rate
+    # IDDE-IP's wall-clock-budgeted search is not deterministic; allow it
+    # within noise of IDDE-G's latency, but IDDE-G must beat every
+    # deterministic heuristic outright.
+    best_lat = min(mean_lat.values())
+    assert mean_lat["IDDE-G"] <= best_lat * 1.05 + 0.2, mean_lat
+    for name in ("SAA", "CDP", "DUP-G"):
+        assert mean_lat[name] > mean_lat["IDDE-G"], mean_lat
+    assert min(mean_rate, key=mean_rate.get) in ("SAA", "DUP-G"), mean_rate
+    assert max(mean_lat, key=mean_lat.get) == "DUP-G", mean_lat

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Interference study: why channel-aware allocation matters.
+
+Reproduces the paper's §1 argument — "allocating too many users to the same
+channel on an edge server tends to incur severe interference and lowers
+users' average data rates" — as a quantitative experiment:
+
+1. sweeps the number of channels per server (1..5) and shows how the
+   equilibrium's average rate responds;
+2. compares, at the paper's 3 channels, four allocation policies of
+   increasing sophistication (random server+channel, strongest server +
+   random channel, strongest server + balanced channel, the IDDE-U game)
+   — the decentralised equilibrium matches centrally engineered channel
+   balancing, without any coordinator;
+3. prints the per-user rate distribution (min / median / mean / max) for
+   the worst and best policies, showing the fairness gap the game closes.
+
+Run:  python examples/interference_study.py
+"""
+
+import numpy as np
+
+from repro.config import RadioConfig, ScenarioConfig
+from repro.core.game import IddeUGame
+from repro.core.instance import IDDEInstance
+from repro.core.objectives import average_data_rate
+from repro.core.profiles import AllocationProfile
+
+
+def build_instance(channels: int, seed: int = 7) -> IDDEInstance:
+    cfg = ScenarioConfig(radio=RadioConfig(channels_per_server=channels))
+    return IDDEInstance.generate(n=25, m=220, k=5, density=1.2, seed=seed, config=cfg)
+
+
+def policy_alloc(instance, policy: str, rng: np.random.Generator) -> AllocationProfile:
+    scenario = instance.scenario
+    engine = instance.new_engine()
+    counts = np.zeros((instance.n_servers, scenario.max_channels), dtype=np.int64)
+    alloc = AllocationProfile.empty(scenario.n_users)
+    for j in range(scenario.n_users):
+        covering = scenario.covering_servers[j]
+        if len(covering) == 0:
+            continue
+        if policy == "random":
+            i = int(covering[rng.integers(0, len(covering))])
+            x = int(rng.integers(0, scenario.channels[i]))
+        elif policy == "strongest+random":
+            i = int(covering[int(np.argmax(engine.gain[covering, j]))])
+            x = int(rng.integers(0, scenario.channels[i]))
+        elif policy == "strongest+balanced":
+            i = int(covering[int(np.argmax(engine.gain[covering, j]))])
+            x = int(np.argmin(counts[i, : scenario.channels[i]]))
+            counts[i, x] += 1
+        else:
+            raise ValueError(policy)
+        alloc.server[j] = i
+        alloc.channel[j] = x
+    return alloc
+
+
+def rate_stats(instance, alloc) -> tuple[float, float, float, float]:
+    engine = instance.new_engine()
+    engine.load_profile(alloc.server, alloc.channel)
+    rates = engine.rates()
+    return (
+        float(rates.min()),
+        float(np.median(rates)),
+        float(rates.mean()),
+        float(rates.max()),
+    )
+
+
+def main() -> None:
+    print("=== 1. Channels per server vs equilibrium average rate ===")
+    print(f"{'channels':>8} | {'R_avg (MB/s)':>12}")
+    for channels in range(1, 6):
+        instance = build_instance(channels)
+        result = IddeUGame(instance).run(rng=0)
+        r = average_data_rate(instance, result.profile)
+        print(f"{channels:>8} | {r:12.2f}")
+    print()
+
+    print("=== 2. Allocation policies at 3 channels (the paper's setting) ===")
+    instance = build_instance(3)
+    rng = np.random.default_rng(0)
+    policies: dict[str, AllocationProfile] = {
+        "random": policy_alloc(instance, "random", rng),
+        "strongest+random": policy_alloc(instance, "strongest+random", rng),
+        "strongest+balanced": policy_alloc(instance, "strongest+balanced", rng),
+    }
+    game_profile = IddeUGame(instance).run(rng=0).profile
+    policies["IDDE-U game"] = game_profile
+    print(f"{'policy':>20} | {'R_avg (MB/s)':>12}")
+    for name, alloc in policies.items():
+        print(f"{name:>20} | {average_data_rate(instance, alloc):12.2f}")
+    print()
+
+    print("=== 3. Per-user rate distribution: worst vs best policy ===")
+    print(f"{'policy':>20} | {'min':>7} | {'median':>7} | {'mean':>7} | {'max':>7}")
+    for name in ("random", "IDDE-U game"):
+        mn, med, mean, mx = rate_stats(instance, policies[name])
+        print(f"{name:>20} | {mn:7.1f} | {med:7.1f} | {mean:7.1f} | {mx:7.1f}")
+    print()
+    print("The game lifts the floor: interference-aware allocation protects")
+    print("the worst-served users, not just the average.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Edge CDN scenario: a video vendor serving a city-centre lunch rush.
+
+The paper's motivating workload (§1) is an app vendor — think a video
+platform — that has reserved storage on the edge servers of a CBD and must
+deliver popular content to a surge of users without wrecking their data
+rates.  This example builds that scenario on the EUA-style pool:
+
+* 35 edge servers drawn from the 125-site pool;
+* 260 users concentrated in the coverage union (the lunch-hour crowd);
+* an 8-title catalogue with strongly skewed (Zipf 1.1) popularity and
+  2 requests per user (people browse);
+
+then formulates strategies with every approach from the paper and prints
+the comparison table, plus a breakdown of where IDDE-G's latency comes
+from (local hit / edge transfer / cloud fetch).
+
+Run:  python examples/video_streaming_cdn.py
+"""
+
+import numpy as np
+
+from repro import IDDEInstance, default_solvers
+from repro.config import ScenarioConfig, WorkloadConfig
+from repro.core.objectives import per_user_latencies
+
+
+def build_instance() -> IDDEInstance:
+    workload = WorkloadConfig(
+        data_sizes=(30.0, 60.0, 90.0),
+        requests_per_user=2,
+        zipf_exponent=1.1,
+    )
+    return IDDEInstance.generate(
+        n=35,
+        m=260,
+        k=8,
+        density=1.6,
+        seed=2024,
+        config=ScenarioConfig(workload=workload),
+    )
+
+
+def latency_breakdown(instance, strategy) -> dict[str, float]:
+    """Fractions of requests served locally, via edge links, or from cloud."""
+    lat = per_user_latencies(instance, strategy.allocation, strategy.delivery)
+    zeta = instance.scenario.requests
+    sizes = instance.scenario.sizes
+    cloud = instance.latency_model.cloud_cost
+    cloud_lat = sizes[None, :] * cloud
+    requested = zeta
+    total = requested.sum()
+    local = ((lat <= 1e-12) & requested).sum()
+    from_cloud = (np.isclose(lat, cloud_lat) & requested & (lat > 1e-12)).sum()
+    via_edge = total - local - from_cloud
+    return {
+        "local": local / total,
+        "edge": via_edge / total,
+        "cloud": from_cloud / total,
+    }
+
+
+def main() -> None:
+    instance = build_instance()
+    print(f"scenario: {instance}")
+    pop = instance.requests_per_item
+    print(f"catalogue popularity (requests per title): {pop.tolist()}")
+    print()
+
+    print(f"{'approach':>8} | {'R_avg (MB/s)':>12} | {'L_avg (ms)':>10} | "
+          f"{'time (s)':>8} | hit profile (local/edge/cloud)")
+    print("-" * 78)
+    for solver in default_solvers(ip_time_budget=3.0):
+        strategy = solver.solve(instance, rng=2024)
+        bd = latency_breakdown(instance, strategy)
+        print(
+            f"{strategy.solver:>8} | {strategy.r_avg:12.2f} | "
+            f"{strategy.l_avg_ms:10.2f} | {strategy.wall_time_s:8.3f} | "
+            f"{bd['local']:.0%} / {bd['edge']:.0%} / {bd['cloud']:.0%}"
+        )
+    print()
+    print("Reading the table: IDDE-G should show the highest average data")
+    print("rate and the lowest delivery latency, achieved by serving most")
+    print("requests from the user's own edge server or a one-hop neighbour.")
+
+
+if __name__ == "__main__":
+    main()

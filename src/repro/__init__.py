@@ -1,0 +1,100 @@
+"""repro — Interference-aware Data Delivery in Edge Storage Systems.
+
+A from-scratch reproduction of *"Formulating Interference-aware Data
+Delivery Strategies in Edge Storage Systems"* (Xia et al., ICPP 2022):
+the IDDE problem, the IDDE-G game-theoretic solver, the four benchmark
+approaches, an EUA-style scenario generator, the wireless-interference and
+edge-topology substrates, and the full Section 4 experiment harness.
+
+Quickstart
+----------
+>>> from repro import IDDEInstance, IddeG
+>>> instance = IDDEInstance.generate(n=10, m=40, k=4, density=1.5, seed=7)
+>>> strategy = IddeG().solve(instance, rng=7)
+>>> strategy.r_avg > 0 and strategy.l_avg_ms >= 0
+True
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from .config import (
+    DeliveryConfig,
+    GameConfig,
+    RadioConfig,
+    ScenarioConfig,
+    TopologyConfig,
+    WorkloadConfig,
+)
+from .core import (
+    AllocationProfile,
+    DeliveryProfile,
+    IDDEInstance,
+    IDDEStrategy,
+    IddeG,
+    IddeUGame,
+    average_data_rate,
+    average_delivery_latency_ms,
+    evaluate,
+    greedy_delivery,
+)
+from .core.strategy import Solver
+from .baselines import CDP, SAA, DupG, IddeIP, default_solvers, solver_by_name
+from .datasets import EuaPool, sample_scenario, synthetic_eua
+from .dynamics import DynamicSimulation, RandomWaypoint
+from .errors import ReproError
+from .metrics import jain_index, strategy_report
+from .solvers import optimal_delivery_milp
+from .topology import EdgeTopology, build_topology
+from .types import DataItem, EdgeServer, Scenario, User
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "RadioConfig",
+    "TopologyConfig",
+    "WorkloadConfig",
+    "GameConfig",
+    "DeliveryConfig",
+    "ScenarioConfig",
+    # entities
+    "Scenario",
+    "EdgeServer",
+    "User",
+    "DataItem",
+    # problem & solvers
+    "IDDEInstance",
+    "AllocationProfile",
+    "DeliveryProfile",
+    "IDDEStrategy",
+    "Solver",
+    "IddeG",
+    "IddeUGame",
+    "IddeIP",
+    "SAA",
+    "CDP",
+    "DupG",
+    "default_solvers",
+    "solver_by_name",
+    # objectives
+    "average_data_rate",
+    "average_delivery_latency_ms",
+    "evaluate",
+    "greedy_delivery",
+    # datasets & topology
+    "EuaPool",
+    "synthetic_eua",
+    "sample_scenario",
+    "EdgeTopology",
+    "build_topology",
+    # extensions
+    "DynamicSimulation",
+    "RandomWaypoint",
+    "optimal_delivery_milp",
+    "jain_index",
+    "strategy_report",
+    # errors
+    "ReproError",
+]

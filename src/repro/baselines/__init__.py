@@ -1,0 +1,68 @@
+"""Benchmark approaches from Section 4.1, plus extra ablation solvers.
+
+* :class:`~repro.baselines.idde_ip.IddeIP` — time-capped joint search
+  standing in for the paper's CPLEX CP Optimizer run (100 s cap);
+* :class:`~repro.baselines.saa.SAA` — sample-average-approximation
+  per-server placement (Ning et al. [21] style);
+* :class:`~repro.baselines.cdp.CDP` — centralised one-pass greedy
+  placement by absolute latency reduction (Liu et al. [16] style);
+* :class:`~repro.baselines.dup_g.DupG` — server-granularity allocation
+  game without edge collaboration (Xia et al. [33] style);
+* :mod:`~repro.baselines.naive` — random / nearest-server strawmen used
+  by the ablation benches.
+
+:func:`default_solvers` returns the paper's five-approach line-up in
+figure order.
+"""
+
+from __future__ import annotations
+
+from ..core.idde_g import IddeG
+from ..core.strategy import Solver
+from .cdp import CDP
+from .dup_g import DupG
+from .idde_ip import IddeIP
+from .naive import NearestNeighbor, RandomSolver
+from .saa import SAA
+
+__all__ = [
+    "Solver",
+    "IddeIP",
+    "IddeG",
+    "SAA",
+    "CDP",
+    "DupG",
+    "RandomSolver",
+    "NearestNeighbor",
+    "default_solvers",
+    "solver_by_name",
+]
+
+
+def default_solvers(*, ip_time_budget: float = 10.0) -> list[Solver]:
+    """The paper's five approaches, in the order of Figs. 3–7."""
+    return [
+        IddeIP(time_budget_s=ip_time_budget),
+        IddeG(),
+        SAA(),
+        CDP(),
+        DupG(),
+    ]
+
+
+def solver_by_name(name: str, **kwargs) -> Solver:
+    """Instantiate a solver from its report name (case-insensitive)."""
+    table = {
+        "idde-ip": IddeIP,
+        "idde-g": IddeG,
+        "saa": SAA,
+        "cdp": CDP,
+        "dup-g": DupG,
+        "dupg": DupG,
+        "random": RandomSolver,
+        "nearest": NearestNeighbor,
+    }
+    key = name.strip().lower()
+    if key not in table:
+        raise KeyError(f"unknown solver {name!r}; choose from {sorted(table)}")
+    return table[key](**kwargs)

@@ -1,0 +1,138 @@
+"""DUP-G — Data, User and Power allocation game (after Xia et al. [33]).
+
+The game-theoretic baseline of Section 4.1.  Two deliberate deviations from
+IDDE-G, both lifted from the cited paper's setting:
+
+1. **Server-granularity game.** Users best-respond at the *server* level:
+   the benefit a user perceives treats all users attached to a candidate
+   server as one interference pool (no channel structure in the game).
+   Channels are only drawn afterwards, uniformly at random per user — the
+   cited model allocates data, users and power but does not manage the
+   channel dimension.  The equilibrium therefore balances server loads but
+   neither intra-cell nor cross-cell channel loads, costing substantial
+   data rate relative to IDDE-U's channel-level play.
+2. **No edge collaboration.** Delivery decisions are taken per server from
+   *global content popularity*, ignoring both the realised local demand and
+   that a neighbour's replica could serve its users over the high-speed
+   links.  Every server therefore packs the same most-popular items into
+   its reserved storage; the popularity tail is cached nowhere in the
+   system and its requests fall through to the cloud, which is what makes
+   DUP-G the worst approach on delivery latency in every figure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.instance import IDDEInstance
+from ..core.profiles import UNALLOCATED, AllocationProfile, DeliveryProfile
+from ..core.strategy import Solver
+
+__all__ = ["DupG"]
+
+
+class DupG(Solver):
+    """Server-level allocation game + collaboration-blind local packing."""
+
+    name = "DUP-G"
+
+    def __init__(self, *, max_rounds: int = 10_000, epsilon: float = 1e-9) -> None:
+        self.max_rounds = max_rounds
+        self.epsilon = epsilon
+
+    # ------------------------------------------------------------------
+    def _server_game(self, instance: IDDEInstance) -> tuple[np.ndarray, int]:
+        """Best-response dynamics over servers only.
+
+        A user's benefit at server ``i`` is the channel-blind, intra-cell
+        analogue of Eq. (12): own power over the power pool it would join,
+
+        ``β(i) = p_j / (load_i + p_j)``
+
+        — the classic weighted-congestion benefit of the cited game.  With
+        all of a server's channels pooled, the cross-cell gain terms cancel
+        out of the comparison and the dynamics reduce to gain-blind load
+        balancing across the covering servers.
+        """
+        scenario = instance.scenario
+        p = scenario.power
+        load = np.zeros(instance.n_servers)
+        assigned = np.full(scenario.n_users, UNALLOCATED, dtype=np.int64)
+
+        rounds = 0
+        for rounds in range(1, self.max_rounds + 1):
+            moved = False
+            for j in range(scenario.n_users):
+                covering = scenario.covering_servers[j]
+                if len(covering) == 0:
+                    continue
+                cur = assigned[j]
+                base = load[covering].copy()
+                if cur != UNALLOCATED:
+                    base[covering == cur] -= p[j]
+                benefit = p[j] / (base + p[j])
+                best = int(np.argmax(benefit))
+                target = int(covering[best])
+                if cur == UNALLOCATED:
+                    improve = True
+                else:
+                    cur_pos = int(np.flatnonzero(covering == cur)[0])
+                    improve = benefit[best] > benefit[cur_pos] * (1.0 + self.epsilon)
+                if improve and target != cur:
+                    if cur != UNALLOCATED:
+                        load[cur] -= p[j]
+                    load[target] += p[j]
+                    assigned[j] = target
+                    moved = True
+            if not moved:
+                break
+        return assigned, rounds
+
+    @staticmethod
+    def _draw_channels(
+        instance: IDDEInstance, assigned: np.ndarray, rng: np.random.Generator
+    ) -> AllocationProfile:
+        scenario = instance.scenario
+        alloc = AllocationProfile.empty(scenario.n_users)
+        for j in np.flatnonzero(assigned != UNALLOCATED):
+            i = int(assigned[j])
+            alloc.server[j] = i
+            alloc.channel[j] = int(rng.integers(0, scenario.channels[i]))
+        return alloc
+
+    @staticmethod
+    def _popularity_packing(
+        instance: IDDEInstance, alloc: AllocationProfile
+    ) -> DeliveryProfile:
+        """Each serving server packs the globally most popular items.
+
+        Collaboration-blind: servers never coordinate, so they all rank the
+        same items and replicate the head of the popularity distribution.
+        """
+        scenario = instance.scenario
+        sizes = scenario.sizes
+        popularity = instance.requests_per_item.astype(float)
+        order = np.argsort(-popularity / sizes, kind="stable")
+        placed = np.zeros((instance.n_servers, instance.n_data), dtype=bool)
+        for i in range(instance.n_servers):
+            if len(alloc.users_of_server(i)) == 0:
+                continue
+            residual = float(scenario.storage[i])
+            for kk in order:
+                if popularity[kk] <= 0:
+                    break
+                if sizes[kk] <= residual:
+                    placed[i, kk] = True
+                    residual -= sizes[kk]
+        return DeliveryProfile(placed)
+
+    # ------------------------------------------------------------------
+    def _solve(
+        self, instance: IDDEInstance, rng: np.random.Generator
+    ) -> tuple[AllocationProfile, DeliveryProfile, dict[str, Any]]:
+        assigned, rounds = self._server_game(instance)
+        alloc = self._draw_channels(instance, assigned, rng)
+        delivery = self._popularity_packing(instance, alloc)
+        return alloc, delivery, {"game_rounds": rounds}

@@ -1,0 +1,186 @@
+"""IDDE-IP — budgeted exact-style search (CPLEX CP Optimizer stand-in).
+
+The paper's IDDE-IP hands the full integer model — allocation *and*
+delivery variables together — to IBM CPLEX's CP Optimizer with the search
+capped at 100 seconds.  Because the IDDE problem is NP-hard, the cap
+truncates the search and the returned *incumbent* is consistently a little
+worse than IDDE-G on both objectives while costing two to three orders of
+magnitude more time (Figs. 3–7).
+
+Without the proprietary solver we reproduce the two experimentally relevant
+properties — anytime incumbent quality on the *joint* model and a hard
+wall-clock budget — with budgeted simulated annealing over the combined
+decision vector: each proposal either relocates one user or flips one
+delivery placement, and acceptance is judged on the scalarised
+bi-objective ``J = R_avg/B − L_avg/L_cloud`` the CP model's lexicographic
+search effectively explores.  Searching the joint space is exactly what
+makes the approach spend its budget inefficiently relative to IDDE-G's
+decomposition — the behaviour the paper measures.  The substitution is
+documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any
+
+import numpy as np
+
+from ..core.instance import IDDEInstance
+from ..core.objectives import retrieval_cost_table
+from ..core.profiles import UNALLOCATED, AllocationProfile, DeliveryProfile
+from ..core.strategy import Solver
+from ..units import seconds_to_ms
+
+__all__ = ["IddeIP"]
+
+
+class IddeIP(Solver):
+    """Anytime joint (α, σ) annealing search under a wall-clock budget."""
+
+    name = "IDDE-IP"
+
+    def __init__(
+        self,
+        *,
+        time_budget_s: float = 10.0,
+        initial_temperature: float = 0.05,
+        final_temperature: float = 0.001,
+        latency_weight: float = 0.5,
+        check_every: int = 32,
+    ) -> None:
+        if time_budget_s <= 0:
+            raise ValueError(f"time_budget_s must be > 0, got {time_budget_s}")
+        #: Total search budget in seconds (the paper used 100 s).
+        self.time_budget_s = time_budget_s
+        self.t_start = initial_temperature
+        self.t_end = final_temperature
+        #: Weight of the normalised latency term in the scalarised objective.
+        self.latency_weight = latency_weight
+        #: Wall-clock polls happen every this many proposals.
+        self.check_every = check_every
+
+    # ------------------------------------------------------------------
+    def _solve(
+        self, instance: IDDEInstance, rng: np.random.Generator
+    ) -> tuple[AllocationProfile, DeliveryProfile, dict[str, Any]]:
+        scenario = instance.scenario
+        n, k = instance.n_servers, instance.n_data
+        sizes = scenario.sizes
+        storage = scenario.storage
+        cloud_ms = seconds_to_ms(
+            float(sizes.mean()) * instance.latency_model.cloud_cost
+        ) if k else 1.0
+        bandwidth = instance.radio.bandwidth
+
+        engine = instance.new_engine()
+        movable = [
+            j
+            for j in range(scenario.n_users)
+            if len(scenario.covering_servers[j]) > 0
+        ]
+        # Feasible cold start: every user on a random covering channel.
+        for j in movable:
+            covering = scenario.covering_servers[j]
+            i = int(covering[rng.integers(0, len(covering))])
+            x = int(rng.integers(0, scenario.channels[i]))
+            engine.assign(j, i, x)
+
+        delivery = DeliveryProfile.empty(n, k)
+        used = delivery.used_storage(sizes)
+
+        def latency_ms() -> float:
+            zeta = scenario.requests
+            total = zeta.sum()
+            if total == 0:
+                return 0.0
+            table = retrieval_cost_table(instance, delivery)
+            attached = engine.alloc_server
+            lat = np.where(
+                (attached != UNALLOCATED)[:, None],
+                table[np.maximum(attached, 0)],
+                sizes[None, :] * instance.latency_model.cloud_cost,
+            )
+            return seconds_to_ms(float((lat * zeta).sum() / total))
+
+        def objective() -> float:
+            return engine.average_rate() / bandwidth - self.latency_weight * (
+                latency_ms() / max(cloud_ms, 1e-9)
+            )
+
+        current = objective()
+        best = current
+        best_state = (
+            engine.alloc_server.copy(),
+            engine.alloc_channel.copy(),
+            delivery.placed.copy(),
+        )
+
+        t0 = time.perf_counter()
+        deadline = t0 + self.time_budget_s
+        span = max(deadline - t0, 1e-6)
+        proposals = 0
+        accepted = 0
+        while True:
+            if proposals % self.check_every == 0 and time.perf_counter() >= deadline:
+                break
+            proposals += 1
+            frac = min((time.perf_counter() - t0) / span, 1.0)
+            temp = self.t_start * (self.t_end / self.t_start) ** frac
+            if movable and (k == 0 or rng.random() < 0.5):
+                # Relocate one user.
+                j = movable[int(rng.integers(0, len(movable)))]
+                covering = scenario.covering_servers[j]
+                i = int(covering[rng.integers(0, len(covering))])
+                x = int(rng.integers(0, scenario.channels[i]))
+                old_i, old_x = int(engine.alloc_server[j]), int(engine.alloc_channel[j])
+                if (i, x) == (old_i, old_x):
+                    continue
+                engine.move(j, i, x)
+                revert = lambda: engine.move(j, old_i, old_x)  # noqa: E731
+            else:
+                # Flip one delivery placement.
+                i = int(rng.integers(0, n))
+                kk = int(rng.integers(0, k))
+                if delivery.placed[i, kk]:
+                    delivery.placed[i, kk] = False
+                    used[i] -= sizes[kk]
+
+                    def revert(i=i, kk=kk):  # noqa: E731
+                        delivery.placed[i, kk] = True
+                        used[i] += sizes[kk]
+
+                else:
+                    if used[i] + sizes[kk] > storage[i] + 1e-9:
+                        continue
+                    delivery.placed[i, kk] = True
+                    used[i] += sizes[kk]
+
+                    def revert(i=i, kk=kk):  # noqa: E731
+                        delivery.placed[i, kk] = False
+                        used[i] -= sizes[kk]
+
+            candidate = objective()
+            delta = candidate - current
+            if delta >= 0 or rng.random() < math.exp(delta / max(temp, 1e-12)):
+                current = candidate
+                accepted += 1
+                if current > best:
+                    best = current
+                    best_state = (
+                        engine.alloc_server.copy(),
+                        engine.alloc_channel.copy(),
+                        delivery.placed.copy(),
+                    )
+            else:
+                revert()
+
+        alloc = AllocationProfile(best_state[0], best_state[1])
+        out = DeliveryProfile(best_state[2])
+        return alloc, out, {
+            "proposals": proposals,
+            "accepted": accepted,
+            "time_budget_s": self.time_budget_s,
+            "best_objective": best,
+        }

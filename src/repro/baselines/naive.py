@@ -1,0 +1,94 @@
+"""Strawman solvers for ablations and sanity floors.
+
+:class:`RandomSolver` draws a uniformly random feasible strategy — the
+floor any serious approach must clear.  :class:`NearestNeighbor` is the
+classic interference-oblivious heuristic: strongest-signal server,
+least-loaded channel, popularity-packed storage.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.instance import IDDEInstance
+from ..core.profiles import UNALLOCATED, AllocationProfile, DeliveryProfile
+from ..core.strategy import Solver
+
+__all__ = ["RandomSolver", "NearestNeighbor"]
+
+
+def _random_feasible_delivery(
+    instance: IDDEInstance, rng: np.random.Generator
+) -> DeliveryProfile:
+    """Fill storage with uniformly random feasible placements."""
+    n, k = instance.n_servers, instance.n_data
+    sizes = instance.scenario.sizes
+    residual = instance.scenario.storage.astype(float).copy()
+    placed = np.zeros((n, k), dtype=bool)
+    cells = [(i, kk) for i in range(n) for kk in range(k)]
+    rng.shuffle(cells)
+    for i, kk in cells:
+        if not placed[i, kk] and residual[i] >= sizes[kk] and rng.random() < 0.5:
+            placed[i, kk] = True
+            residual[i] -= sizes[kk]
+    return DeliveryProfile(placed)
+
+
+class RandomSolver(Solver):
+    """Uniformly random feasible allocation and delivery."""
+
+    name = "Random"
+
+    def _solve(
+        self, instance: IDDEInstance, rng: np.random.Generator
+    ) -> tuple[AllocationProfile, DeliveryProfile, dict[str, Any]]:
+        scenario = instance.scenario
+        alloc = AllocationProfile.empty(scenario.n_users)
+        for j in range(scenario.n_users):
+            covering = scenario.covering_servers[j]
+            if len(covering) == 0:
+                continue
+            i = int(covering[rng.integers(0, len(covering))])
+            x = int(rng.integers(0, scenario.channels[i]))
+            alloc.server[j] = i
+            alloc.channel[j] = x
+        return alloc, _random_feasible_delivery(instance, rng), {}
+
+
+class NearestNeighbor(Solver):
+    """Strongest-signal server, least-loaded channel, popularity packing."""
+
+    name = "Nearest"
+
+    def _solve(
+        self, instance: IDDEInstance, rng: np.random.Generator
+    ) -> tuple[AllocationProfile, DeliveryProfile, dict[str, Any]]:
+        scenario = instance.scenario
+        engine = instance.new_engine()
+        alloc = AllocationProfile.empty(scenario.n_users)
+        counts = np.zeros((instance.n_servers, max(scenario.max_channels, 1)), dtype=np.int64)
+        for j in range(scenario.n_users):
+            covering = scenario.covering_servers[j]
+            if len(covering) == 0:
+                continue
+            gains = engine.gain[covering, j]
+            i = int(covering[int(np.argmax(gains))])
+            x = int(np.argmin(counts[i, : scenario.channels[i]]))
+            counts[i, x] += 1
+            alloc.server[j] = i
+            alloc.channel[j] = x
+
+        # Popularity packing: most-requested items first, on every server
+        # with room (interference- and topology-oblivious).
+        popularity = instance.requests_per_item
+        order = np.argsort(-popularity, kind="stable")
+        sizes = scenario.sizes
+        residual = scenario.storage.astype(float).copy()
+        placed = np.zeros((instance.n_servers, instance.n_data), dtype=bool)
+        for kk in order:
+            fits = residual >= sizes[kk]
+            placed[fits, kk] = True
+            residual[fits] -= sizes[kk]
+        return alloc, DeliveryProfile(placed), {}

@@ -1,0 +1,276 @@
+"""Command-line interface: ``idde`` / ``python -m repro``.
+
+Subcommands
+-----------
+``solve``      Solve one generated instance with one or all approaches.
+``sweep``      Run one Table 2 experiment set and print its tables.
+``reproduce``  Run every set and emit the full markdown report (optionally
+               writing CSV/JSON artifacts with ``--output``).
+``fig1``       Run the Fig. 1 latency probe.
+``theory``     Print the theoretical bounds for a generated instance.
+``dynamics``   Run the mobility extension: warm/cold/static re-solve
+               policies over moving users.
+``gap``        Measure the Phase 2 greedy's optimality gap against the
+               exact MILP delivery oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .baselines import default_solvers, solver_by_name
+from .core.bounds import theory_report
+from .core.instance import IDDEInstance
+from .experiments.figures import PAPER, shape_checks
+from .experiments.latency_probe import run_latency_probe
+from .experiments.report import render_advantage_markdown, render_sweep_markdown
+from .experiments.settings import ALL_SETS
+from .experiments.sweep import run_sweep
+from .parallel import ParallelConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="idde",
+        description="IDDE: interference-aware data delivery in edge storage systems",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v for INFO, -vv for DEBUG diagnostics",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve one generated instance")
+    _add_instance_args(p_solve)
+    p_solve.add_argument(
+        "--solver",
+        default="all",
+        help="solver name (idde-g, idde-ip, saa, cdp, dup-g, random, nearest) or 'all'",
+    )
+    p_solve.add_argument("--ip-budget", type=float, default=3.0, help="IDDE-IP seconds")
+    p_solve.add_argument(
+        "--map", action="store_true", help="draw the scenario and IDDE-G allocation"
+    )
+
+    p_sweep = sub.add_parser("sweep", help="run one Table 2 experiment set")
+    p_sweep.add_argument("set", choices=["1", "2", "3", "4"], help="Table 2 set number")
+    _add_sweep_args(p_sweep)
+
+    p_rep = sub.add_parser("reproduce", help="run every set; emit the markdown report")
+    _add_sweep_args(p_rep)
+    p_rep.add_argument(
+        "--output", default=None, help="directory for CSV/JSON/markdown artifacts"
+    )
+
+    p_fig1 = sub.add_parser("fig1", help="run the Fig. 1 latency probe")
+    p_fig1.add_argument("--seed", type=int, default=0)
+    p_fig1.add_argument("--days", type=int, default=7)
+
+    p_theory = sub.add_parser("theory", help="theoretical bounds for an instance")
+    _add_instance_args(p_theory)
+
+    p_dyn = sub.add_parser("dynamics", help="mobility extension simulation")
+    _add_instance_args(p_dyn)
+    p_dyn.add_argument("--epochs", type=int, default=8)
+    p_dyn.add_argument("--dt", type=float, default=30.0, help="seconds per epoch")
+    p_dyn.add_argument("--speed", type=float, default=10.0, help="mean user speed m/s")
+    p_dyn.add_argument(
+        "--policy",
+        default="all",
+        choices=["warm", "cold", "static", "all"],
+        help="re-solve policy",
+    )
+
+    p_gap = sub.add_parser("gap", help="greedy vs exact MILP delivery gap")
+    _add_instance_args(p_gap)
+    p_gap.add_argument("--trials", type=int, default=5)
+    return parser
+
+
+def _add_instance_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--n", type=int, default=30, help="edge servers")
+    p.add_argument("--m", type=int, default=200, help="users")
+    p.add_argument("--k", type=int, default=5, help="data items")
+    p.add_argument("--density", type=float, default=1.0, help="link density")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_sweep_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--reps", type=int, default=5, help="repetitions per point (paper: 50)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ip-budget", type=float, default=3.0, help="IDDE-IP seconds per trial")
+    p.add_argument("--workers", type=int, default=None, help="worker processes")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = IDDEInstance.generate(
+        n=args.n, m=args.m, k=args.k, density=args.density, seed=args.seed
+    )
+    print(f"instance: {instance}")
+    if args.solver == "all":
+        solvers = default_solvers(ip_time_budget=args.ip_budget)
+    else:
+        kwargs = {"time_budget_s": args.ip_budget} if args.solver.lower() == "idde-ip" else {}
+        solvers = [solver_by_name(args.solver, **kwargs)]
+    print(f"{'solver':>10} | {'R_avg (MB/s)':>12} | {'L_avg (ms)':>10} | {'time (s)':>9}")
+    last = None
+    for solver in solvers:
+        s = solver.solve(instance, rng=args.seed)
+        print(f"{s.solver:>10} | {s.r_avg:12.2f} | {s.l_avg_ms:10.2f} | {s.wall_time_s:9.4f}")
+        if s.solver == "IDDE-G":
+            last = s
+    if getattr(args, "map", False):
+        from .viz import scenario_map
+
+        alloc = last.allocation if last is not None else None
+        print()
+        print(scenario_map(instance.scenario, alloc))
+        print("# = server, digits = users (glyph = allocated server mod 36)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    settings = ALL_SETS[int(args.set) - 1]
+    result = run_sweep(
+        settings,
+        reps=args.reps,
+        seed=args.seed,
+        ip_time_budget_s=args.ip_budget,
+        parallel=ParallelConfig(n_workers=args.workers),
+    )
+    for metric in ("r_avg", "l_avg_ms", "time_s"):
+        print(render_sweep_markdown(result, metric))
+    print(render_advantage_markdown(result))
+    print(f"shape checks: {shape_checks(result)}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments.paper import reproduce_all
+
+    report = reproduce_all(
+        reps=args.reps,
+        seed=args.seed,
+        ip_time_budget_s=args.ip_budget,
+        workers=args.workers,
+        output_dir=args.output,
+    )
+    print(report.markdown)
+    print("paper overall advantages:", dict(PAPER["overall_advantage_pct"]["r_avg"]))
+    print(f"all headline shapes hold: {report.all_shapes_hold()}")
+    if report.artifacts:
+        print("artifacts:")
+        for path in report.artifacts:
+            print(f"  {path}")
+    return 0
+
+
+def _cmd_dynamics(args: argparse.Namespace) -> int:
+    from .datasets.melbourne import CBD_REGION
+    from .dynamics import DynamicSimulation, RandomWaypoint
+
+    instance = IDDEInstance.generate(
+        n=args.n, m=args.m, k=args.k, density=args.density, seed=args.seed
+    )
+    policies = ["warm", "cold", "static"] if args.policy == "all" else [args.policy]
+    speed = (max(args.speed * 0.5, 0.1), args.speed * 1.5)
+    print(f"instance: {instance}; {args.epochs} epochs x {args.dt}s, speeds {speed} m/s")
+    print(
+        f"{'policy':>7} | {'R_avg':>7} | {'L_avg':>7} | {'realloc':>7} | "
+        f"{'moves':>6} | {'migr MB':>8} | {'solve s':>8}"
+    )
+    for policy in policies:
+        mobility = RandomWaypoint(
+            instance.scenario.user_xy, CBD_REGION, rng=args.seed, speed_range=speed
+        )
+        sim = DynamicSimulation(instance, mobility, policy=policy)
+        records = sim.run(epochs=args.epochs, dt=args.dt, rng=args.seed)
+        s = DynamicSimulation.summarize(records)
+        print(
+            f"{policy:>7} | {s['mean_r_avg']:7.2f} | {s['mean_l_avg_ms']:7.2f} | "
+            f"{s['mean_realloc']:7.1f} | {s['mean_moves']:6.1f} | "
+            f"{s['mean_migration_mb']:8.1f} | {s['mean_solve_time_s']:8.4f}"
+        )
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    from .core.delivery import greedy_delivery
+    from .core.game import IddeUGame
+    from .core.objectives import average_delivery_latency_ms
+    from .solvers import optimal_delivery_milp
+
+    print(f"{'seed':>5} | {'greedy (ms)':>11} | {'optimal (ms)':>12} | {'gap %':>6}")
+    gaps = []
+    for trial in range(args.trials):
+        seed = args.seed + trial
+        instance = IDDEInstance.generate(
+            n=args.n, m=args.m, k=args.k, density=args.density, seed=seed
+        )
+        alloc = IddeUGame(instance).run(rng=seed).profile
+        greedy = greedy_delivery(instance, alloc)
+        l_greedy = average_delivery_latency_ms(instance, alloc, greedy.profile)
+        milp = optimal_delivery_milp(instance, alloc)
+        gap = (
+            100.0 * (l_greedy - milp.l_avg_ms) / milp.l_avg_ms
+            if milp.l_avg_ms > 0
+            else 0.0
+        )
+        gaps.append(gap)
+        print(f"{seed:>5} | {l_greedy:11.3f} | {milp.l_avg_ms:12.3f} | {gap:6.2f}")
+    print(f"mean gap over {args.trials} trials: {sum(gaps) / len(gaps):.2f}%")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    probe = run_latency_probe(args.seed, days=args.days)
+    means = probe.mean_ms()
+    print(f"{'target':>10} | {'mean (ms)':>9} | {'p95 (ms)':>9} | paper (ms)")
+    p95 = probe.percentile_ms(95)
+    for target in probe.targets:
+        ref = PAPER["fig1_latency_ms"].get(target, float("nan"))
+        print(f"{target:>10} | {means[target]:9.1f} | {p95[target]:9.1f} | {ref:.0f}")
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    instance = IDDEInstance.generate(
+        n=args.n, m=args.m, k=args.k, density=args.density, seed=args.seed
+    )
+    report = theory_report(instance)
+    print(f"instance: {instance}")
+    print(f"Theorem 4 iteration bound: {report.iteration_bound:.3e}")
+    print(f"Theorem 5 PoA interval: [{report.poa_interval[0]:.4f}, {report.poa_interval[1]:.1f}]")
+    print(f"Theorems 6-7 greedy factor: {report.greedy_factor:.4f}")
+    print(f"cloud-only latency: {report.cloud_only_latency_ms:.2f} ms")
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "sweep": _cmd_sweep,
+    "reproduce": _cmd_reproduce,
+    "fig1": _cmd_fig1,
+    "theory": _cmd_theory,
+    "dynamics": _cmd_dynamics,
+    "gap": _cmd_gap,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    from .logging_util import configure_logging
+
+    configure_logging(args.verbose)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Exact reference solvers for tiny instances — the test oracles.
+
+The IDDE problem is NP-hard (Theorem 1), so exhaustive search is only
+feasible for toy sizes, but those toys are exactly what the integration
+tests need: they certify that
+
+* the Phase 2 greedy's latency is within its approximation bound of the
+  true optimum (:func:`optimal_delivery`), and
+* the Phase 1 equilibrium's average rate is within the PoA interval of the
+  welfare optimum (:func:`optimal_allocation`).
+
+Both searches enumerate the full decision space and are guarded against
+accidental use on large instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..errors import SolverError
+from .instance import IDDEInstance
+from .objectives import average_data_rate, average_delivery_latency_ms
+from .profiles import UNALLOCATED, AllocationProfile, DeliveryProfile
+
+__all__ = ["optimal_delivery", "optimal_allocation", "enumerate_allocations"]
+
+_MAX_DELIVERY_CELLS = 22
+_MAX_ALLOC_SPACE = 300_000
+
+
+def optimal_delivery(
+    instance: IDDEInstance, alloc: AllocationProfile
+) -> tuple[DeliveryProfile, float]:
+    """Exhaustively find the latency-optimal feasible delivery profile.
+
+    Returns ``(σ*, L_avg_ms)``.  Guarded to ``N·K ≤ 22`` cells.
+    """
+    n, k = instance.n_servers, instance.n_data
+    cells = n * k
+    if cells > _MAX_DELIVERY_CELLS:
+        raise SolverError(
+            f"optimal_delivery is exponential; refusing N·K = {cells} > {_MAX_DELIVERY_CELLS}"
+        )
+    sizes = instance.scenario.sizes
+    storage = instance.scenario.storage
+    best_profile: DeliveryProfile | None = None
+    best_latency = float("inf")
+    for bits in itertools.product((False, True), repeat=cells):
+        placed = np.array(bits, dtype=bool).reshape(n, k)
+        used = placed @ sizes
+        if np.any(used > storage + 1e-9):
+            continue
+        profile = DeliveryProfile(placed)
+        latency = average_delivery_latency_ms(instance, alloc, profile)
+        if latency < best_latency - 1e-12:
+            best_latency = latency
+            best_profile = profile
+    assert best_profile is not None  # the empty profile is always feasible
+    return best_profile, best_latency
+
+
+def enumerate_allocations(instance: IDDEInstance):
+    """Yield every feasible :class:`AllocationProfile` (Eq. 1).
+
+    Users with no covering server stay unallocated; all others take every
+    covering ``(server, channel)`` combination.  Guarded by total space
+    size ``≤ 300_000``.
+    """
+    scenario = instance.scenario
+    options: list[list[tuple[int, int]]] = []
+    for j in range(scenario.n_users):
+        cands: list[tuple[int, int]] = []
+        for i in scenario.covering_servers[j]:
+            for x in range(int(scenario.channels[i])):
+                cands.append((int(i), x))
+        options.append(cands if cands else [(UNALLOCATED, UNALLOCATED)])
+    space = 1
+    for cands in options:
+        space *= len(cands)
+        if space > _MAX_ALLOC_SPACE:
+            raise SolverError(
+                f"enumerate_allocations is exponential; space exceeds {_MAX_ALLOC_SPACE}"
+            )
+    for combo in itertools.product(*options):
+        server = np.array([c[0] for c in combo], dtype=np.int64)
+        channel = np.array([c[1] for c in combo], dtype=np.int64)
+        yield AllocationProfile(server, channel)
+
+
+def optimal_allocation(instance: IDDEInstance) -> tuple[AllocationProfile, float]:
+    """Exhaustively find the welfare-optimal allocation (max ``R_avg``)."""
+    best_profile: AllocationProfile | None = None
+    best_rate = -1.0
+    for profile in enumerate_allocations(instance):
+        rate = average_data_rate(instance, profile)
+        if rate > best_rate + 1e-15:
+            best_rate = rate
+            best_profile = profile
+    if best_profile is None:
+        raise SolverError("no feasible allocation found")
+    return best_profile, best_rate

@@ -1,0 +1,71 @@
+"""Constraint checkers for the IDDE formulation (Eqs. 1, 6, 7, 8).
+
+These are the invariants every solver's output must satisfy; the test
+suite's property-based checks drive them over random instances and the
+solvers call :func:`check_strategy` before returning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DeliveryError
+from .instance import IDDEInstance
+from .objectives import per_user_latencies
+from .profiles import AllocationProfile, DeliveryProfile
+
+__all__ = [
+    "check_allocation",
+    "check_storage",
+    "check_latency_constraint",
+    "check_strategy",
+]
+
+
+def check_allocation(instance: IDDEInstance, alloc: AllocationProfile) -> None:
+    """Eq. (1): allocations only to covering servers and real channels."""
+    alloc.validate(instance.scenario)
+
+
+def check_storage(instance: IDDEInstance, delivery: DeliveryProfile) -> None:
+    """Eq. (6): no server stores more than its reserved capacity."""
+    delivery.validate(instance.scenario)
+
+
+def check_latency_constraint(
+    instance: IDDEInstance,
+    alloc: AllocationProfile,
+    delivery: DeliveryProfile,
+    *,
+    atol: float = 1e-9,
+) -> None:
+    """Eq. (8): no retrieval is slower than fetching from the cloud.
+
+    Raises
+    ------
+    DeliveryError
+        If any requested (user, item) pair pays more than the cloud fetch.
+    """
+    lat = per_user_latencies(instance, alloc, delivery)
+    sizes = instance.scenario.sizes
+    cloud = instance.latency_model.cloud_cost
+    bound = sizes[None, :] * cloud + atol
+    zeta = instance.scenario.requests
+    violated = (lat > bound) & zeta
+    if violated.any():
+        j, k = map(int, np.argwhere(violated)[0])
+        raise DeliveryError(
+            f"user {j} retrieves item {k} in {lat[j, k]:.6f}s, slower than the "
+            f"cloud bound {bound[j, k]:.6f}s"
+        )
+
+
+def check_strategy(
+    instance: IDDEInstance,
+    alloc: AllocationProfile,
+    delivery: DeliveryProfile,
+) -> None:
+    """All feasibility constraints of the IDDE formulation at once."""
+    check_allocation(instance, alloc)
+    check_storage(instance, delivery)
+    check_latency_constraint(instance, alloc, delivery)

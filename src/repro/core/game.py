@@ -1,0 +1,342 @@
+"""Phase 1 of IDDE-G: the IDDE-U user-allocation game (Algorithm 1, lines
+5–21).
+
+The game starts from the all-unallocated profile and iterates best-response
+updates driven by the benefit function of Eq. (12) until no user can improve
+— a Nash equilibrium of the potential game (Theorem 3), reached in finitely
+many iterations (Theorem 4).
+
+Three update schedules are provided (:class:`~repro.config.GameConfig`):
+
+``"best-gain-winner"``
+    The literal Algorithm 1 loop: every user submits its best response as
+    an update candidate and the single user with the largest benefit gain
+    "wins" the round and applies its move.
+``"random-winner"``
+    A uniformly random improving user moves each round (the classic
+    asynchronous better-response dynamic used to argue decentralised
+    enforceability in the paper).
+``"round-robin"``
+    Users are swept in index order, each applying its best response
+    immediately; a sweep with no move terminates.  This is the fastest
+    schedule in practice and the package default.
+
+All schedules converge to the same *kind* of profile (a pure Nash
+equilibrium certified by :meth:`IddeUGame.is_nash`), though not necessarily
+the same equilibrium.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import GameConfig
+from ..errors import ConvergenceError
+from ..logging_util import get_logger
+from ..radio.sinr import UNALLOCATED, SinrEngine
+from ..rng import ensure_rng
+from .instance import IDDEInstance
+from .profiles import AllocationProfile
+
+_log = get_logger("core.game")
+
+__all__ = ["IddeUGame", "GameResult", "BestResponse"]
+
+
+@dataclass(frozen=True)
+class BestResponse:
+    """One user's best candidate move and the gain it would realise."""
+
+    user: int
+    server: int
+    channel: int
+    benefit: float
+    current_benefit: float
+
+    @property
+    def gain(self) -> float:
+        return self.benefit - self.current_benefit
+
+
+@dataclass
+class GameResult:
+    """Outcome of one IDDE-U run.
+
+    ``effective_epsilon`` is the improvement threshold in force when the
+    dynamics stopped; it equals the configured epsilon unless cycling
+    forced an escalation (see :class:`~repro.config.GameConfig`), in which
+    case the certificate is for an ε-Nash equilibrium at that tolerance.
+    """
+
+    profile: AllocationProfile
+    rounds: int
+    moves: int
+    converged: bool
+    is_nash: bool
+    wall_time_s: float
+    effective_epsilon: float = 0.0
+    potential_trace: list[float] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GameResult(rounds={self.rounds}, moves={self.moves}, "
+            f"nash={self.is_nash}, t={self.wall_time_s:.3f}s)"
+        )
+
+
+class IddeUGame:
+    """Best-response dynamics over a shared :class:`SinrEngine`."""
+
+    def __init__(
+        self,
+        instance: IDDEInstance,
+        cfg: GameConfig | None = None,
+        *,
+        track_potential: bool = False,
+    ) -> None:
+        self.instance = instance
+        self.cfg = cfg or GameConfig()
+        self.track_potential = track_potential
+
+    #: Participant mask for the current run (None = everyone plays).
+    _active: np.ndarray | None = None
+
+    def _players(self) -> np.ndarray:
+        if self._active is None:
+            return np.arange(self.instance.n_users)
+        return np.flatnonzero(self._active)
+
+    # ------------------------------------------------------------------
+    # single-user best response
+    # ------------------------------------------------------------------
+    def best_response(self, engine: SinrEngine, j: int) -> BestResponse | None:
+        """The benefit-maximising move for user ``j``, or ``None`` when the
+        user has no covering server (it must stay at ``α_j = (0,0)``)."""
+        view = engine.candidates(j)
+        if view.servers.size == 0:
+            return None
+        server, channel, benefit = view.best("benefit")
+        return BestResponse(
+            user=j,
+            server=server,
+            channel=channel,
+            benefit=benefit,
+            current_benefit=engine.user_benefit(j),
+        )
+
+    def _improves(
+        self, br: BestResponse | None, engine: SinrEngine, epsilon: float
+    ) -> bool:
+        if br is None:
+            return False
+        if engine.alloc_server[br.user] == UNALLOCATED:
+            # Any positive benefit beats the unallocated state.
+            return br.benefit > 0.0
+        threshold = br.current_benefit * (1.0 + epsilon) + epsilon * 1e-30
+        if (
+            br.server == engine.alloc_server[br.user]
+            and br.channel == engine.alloc_channel[br.user]
+        ):
+            return False
+        return br.benefit > threshold
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        rng: np.random.Generator | int | None = None,
+        *,
+        initial: AllocationProfile | None = None,
+        active: np.ndarray | None = None,
+    ) -> GameResult:
+        """Play the game to a Nash equilibrium.
+
+        Parameters
+        ----------
+        rng:
+            Only consulted by the ``"random-winner"`` schedule.
+        initial:
+            Optional warm-start profile; defaults to all-unallocated as in
+            Algorithm 1 line 2.
+        active:
+            Optional boolean ``(M,)`` participant mask (used by the churn
+            extension): inactive users never move and never allocate —
+            they behave exactly like the paper's ``α_j = (0,0)`` users.
+            A warm-start profile may not allocate inactive users.
+        """
+        engine = self.instance.new_engine()
+        if active is not None:
+            active = np.asarray(active, dtype=bool)
+            if active.shape != (self.instance.n_users,):
+                raise ConvergenceError(
+                    f"active mask shape {active.shape} mismatches "
+                    f"{self.instance.n_users} users"
+                )
+        self._active = active
+        if initial is not None:
+            initial.validate(self.instance.scenario)
+            if active is not None and bool((initial.allocated & ~active).any()):
+                raise ConvergenceError(
+                    "warm-start profile allocates inactive users"
+                )
+            engine.load_profile(initial.server, initial.channel)
+        rng = ensure_rng(rng)
+        t0 = time.perf_counter()
+        trace: list[float] = []
+        if self.track_potential:
+            from .potential import interference_potential
+
+            trace.append(interference_potential(engine))
+
+        schedule = self.cfg.schedule
+        if schedule == "round-robin":
+            rounds, moves, converged, eps = self._run_round_robin(engine, trace)
+        elif schedule == "best-gain-winner":
+            rounds, moves, converged, eps = self._run_winner(
+                engine, trace, rng, best_gain=True
+            )
+        else:  # random-winner
+            rounds, moves, converged, eps = self._run_winner(
+                engine, trace, rng, best_gain=False
+            )
+
+        profile = AllocationProfile(engine.alloc_server, engine.alloc_channel)
+        # If the dynamics truncated (max_rounds), the profile is returned
+        # without a certificate: callers doing sweeps prefer degraded
+        # output over an exception.
+        try:
+            nash = self.is_nash(profile, tol=eps) if converged else False
+        finally:
+            self._active = None
+        return GameResult(
+            profile=profile,
+            rounds=rounds,
+            moves=moves,
+            converged=converged,
+            is_nash=nash,
+            wall_time_s=time.perf_counter() - t0,
+            effective_epsilon=eps,
+            potential_trace=trace,
+        )
+
+    def _apply(self, engine: SinrEngine, br: BestResponse, trace: list[float]) -> None:
+        engine.move(br.user, br.server, br.channel)
+        if self.track_potential:
+            from .potential import interference_potential
+
+            trace.append(interference_potential(engine))
+
+    def _run_round_robin(
+        self, engine: SinrEngine, trace: list[float]
+    ) -> tuple[int, int, bool, float]:
+        m = self.instance.n_users
+        players = self._players()
+        moves = 0
+        eps = self.cfg.epsilon
+        patience = self.cfg.patience_for(m)
+        since_escalation = 0
+        moves_of = np.zeros(m, dtype=np.int64)
+        cap = self.cfg.max_moves_per_user
+        for rounds in range(1, self.cfg.max_rounds + 1):
+            moved = False
+            for j in players:
+                j = int(j)
+                if moves_of[j] >= cap:
+                    continue
+                br = self.best_response(engine, j)
+                if self._improves(br, engine, eps):
+                    assert br is not None
+                    self._apply(engine, br, trace)
+                    moves += 1
+                    moves_of[j] += 1
+                    since_escalation += 1
+                    moved = True
+            if not moved:
+                return rounds, moves, True, eps
+            if since_escalation >= patience and eps < self.cfg.epsilon_max:
+                eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
+                since_escalation = 0
+                _log.debug(
+                    "round-robin cycling: escalated epsilon to %.1e after %d moves",
+                    eps,
+                    moves,
+                )
+        _log.info("round-robin truncated at max_rounds=%d", self.cfg.max_rounds)
+        return self.cfg.max_rounds, moves, False, eps
+
+    def _run_winner(
+        self,
+        engine: SinrEngine,
+        trace: list[float],
+        rng: np.random.Generator,
+        *,
+        best_gain: bool,
+    ) -> tuple[int, int, bool, float]:
+        m = self.instance.n_users
+        players = self._players()
+        moves = 0
+        eps = self.cfg.epsilon
+        patience = self.cfg.patience_for(m)
+        since_escalation = 0
+        moves_of = np.zeros(m, dtype=np.int64)
+        cap = self.cfg.max_moves_per_user
+        for rounds in range(1, self.cfg.max_rounds + 1):
+            candidates: list[BestResponse] = []
+            for j in players:
+                j = int(j)
+                if moves_of[j] >= cap:
+                    continue
+                br = self.best_response(engine, j)
+                if self._improves(br, engine, eps):
+                    assert br is not None
+                    candidates.append(br)
+            if not candidates:
+                return rounds, moves, True, eps
+            if best_gain:
+                winner = max(candidates, key=lambda b: (b.gain, -b.user))
+            else:
+                winner = candidates[int(rng.integers(0, len(candidates)))]
+            self._apply(engine, winner, trace)
+            moves += 1
+            moves_of[winner.user] += 1
+            since_escalation += 1
+            if since_escalation >= patience and eps < self.cfg.epsilon_max:
+                eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
+                since_escalation = 0
+                _log.debug(
+                    "winner schedule cycling: escalated epsilon to %.1e after %d moves",
+                    eps,
+                    moves,
+                )
+        _log.info("winner schedule truncated at max_rounds=%d", self.cfg.max_rounds)
+        return self.cfg.max_rounds, moves, False, eps
+
+    # ------------------------------------------------------------------
+    # certification
+    # ------------------------------------------------------------------
+    def is_nash(self, profile: AllocationProfile, *, tol: float | None = None) -> bool:
+        """Definition 3 certificate: no user has a profitable deviation.
+
+        ``tol`` defaults to the configured epsilon; a deviation must beat
+        the current benefit by more than ``tol`` (relative) to disprove
+        equilibrium.
+        """
+        tol = self.cfg.epsilon if tol is None else tol
+        engine = self.instance.new_engine()
+        engine.load_profile(profile.server, profile.channel)
+        for j in self._players():
+            j = int(j)
+            br = self.best_response(engine, j)
+            if br is None:
+                continue
+            current = engine.user_benefit(j)
+            if engine.alloc_server[j] == UNALLOCATED:
+                if br.benefit > 0.0:
+                    return False
+            elif br.benefit > current * (1.0 + tol) + tol * 1e-30:
+                return False
+        return True

@@ -1,0 +1,157 @@
+"""NP-hardness reduction gadgets (Theorem 1).
+
+The paper proves the IDDE problem NP-hard by reducing the *minimum routing
+cost spanning tree* (MRCS) problem to Objective #1 and appealing to
+*weighted k-set packing* (WKSP) for Objective #2.  This module builds
+concrete gadget instances for both directions so the hardness argument is
+inspectable and testable, in the spirit of executable paper artefacts:
+
+* :func:`wksp_gadget` — encodes a weighted set-packing input as a delivery
+  subproblem: one "slot" server per packing slot whose storage admits at
+  most one set (data item), with item demand encoding the set weight.
+  Choosing the latency-optimal delivery profile = choosing the
+  max-weight packing.
+* :func:`interference_gadget` — the Objective #1 side: a chain of users
+  with pairwise-overlapping coverage where maximising the average rate
+  requires solving a graph colouring-flavoured channel assignment; used
+  to exhibit instances where greedy channel choices are strictly
+  suboptimal (the seed of the MRCS reduction's difficulty).
+
+These are illustrative reductions for study and testing, not a formal
+proof artifact — see the paper's Theorem 1 for the argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import RadioConfig, TopologyConfig
+from ..errors import ScenarioError
+from ..topology.graph import EdgeTopology
+from ..types import Scenario
+from .instance import IDDEInstance
+
+__all__ = ["WkspInput", "wksp_gadget", "interference_gadget"]
+
+
+@dataclass(frozen=True)
+class WkspInput:
+    """A weighted set-packing instance: ``sets[i]`` is a tuple of element
+    ids, ``weights[i]`` its value."""
+
+    sets: tuple[tuple[int, ...], ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sets) != len(self.weights):
+            raise ScenarioError("sets and weights must align")
+        if any(w <= 0 for w in self.weights):
+            raise ScenarioError("weights must be positive")
+        if any(len(s) == 0 for s in self.sets):
+            raise ScenarioError("empty sets are not allowed")
+
+
+def wksp_gadget(wksp: WkspInput, *, item_size: float = 60.0) -> tuple[IDDEInstance, np.ndarray]:
+    """Encode a WKSP input as an IDDE delivery subproblem.
+
+    Construction: one *element server* per universe element with storage
+    for exactly one item; one data item per set, requested (with weight
+    many requesters) by users attached to each of the set's element
+    servers.  A feasible delivery profile that places item ``i`` on every
+    element server of set ``i`` "selects" the set; storage for one item
+    per server enforces disjointness of selected sets element-wise.
+
+    Returns the instance and the per-item weight vector (for scoring a
+    selection).  Latency-minimising profiles correspond to high-weight
+    packings: each placed replica converts its requesters from cloud
+    fetches to local hits.
+    """
+    universe = sorted({e for s in wksp.sets for e in s})
+    index = {e: i for i, e in enumerate(universe)}
+    n = len(universe)
+    k = len(wksp.sets)
+    spacing = 10_000.0  # element servers are radio-isolated from each other
+
+    server_xy = np.column_stack(
+        [np.arange(n, dtype=float) * spacing, np.zeros(n)]
+    )
+    # Users: per set i, per element e in the set, `round(weight)` users
+    # attached near element server index[e], all requesting item i.
+    user_rows: list[tuple[float, float]] = []
+    requests_rows: list[int] = []
+    for i, (s, w) in enumerate(zip(wksp.sets, wksp.weights)):
+        copies = max(1, int(round(w)))
+        for e in s:
+            base = server_xy[index[e]]
+            for c in range(copies):
+                user_rows.append((base[0] + 5.0 + c * 0.5, base[1] + 5.0))
+                requests_rows.append(i)
+    m = len(user_rows)
+    requests = np.zeros((m, k), dtype=bool)
+    requests[np.arange(m), requests_rows] = True
+
+    scenario = Scenario(
+        server_xy=server_xy,
+        radius=np.full(n, 100.0),
+        storage=np.full(n, item_size),  # exactly one item per server
+        channels=np.full(n, 3, dtype=np.int64),
+        user_xy=np.array(user_rows, dtype=float),
+        power=np.full(m, 2.0),
+        rmax=np.full(m, 200.0),
+        sizes=np.full(k, item_size),
+        requests=requests,
+    )
+    # No edge links: replicas only help locally, exactly the packing value.
+    topology = EdgeTopology(
+        n=n,
+        links=np.empty((0, 2), dtype=np.int64),
+        speeds=np.empty(0),
+        cloud_speed=TopologyConfig().cloud_speed,
+    )
+    instance = IDDEInstance(scenario, topology, RadioConfig())
+    return instance, np.array(wksp.weights, dtype=float)
+
+
+def interference_gadget(chain_length: int = 4) -> IDDEInstance:
+    """A coverage chain where channel assignment is a colouring problem.
+
+    Servers sit on a line with radii that make consecutive servers'
+    coverages overlap; one user sits in each overlap zone plus one at each
+    end.  With a single channel per server, any two users sharing a
+    covering server interfere, so maximising the average rate is a
+    max-cut-flavoured assignment along the chain — the combinatorial core
+    the MRCS reduction leans on.
+    """
+    if chain_length < 2:
+        raise ScenarioError(f"chain needs >= 2 servers, got {chain_length}")
+    spacing = 300.0
+    n = chain_length
+    server_xy = np.column_stack(
+        [np.arange(n, dtype=float) * spacing, np.zeros(n)]
+    )
+    # Users in overlaps (between i and i+1) and at both ends.
+    user_x = [0.0 - 50.0]
+    user_x += [spacing * i + spacing / 2 for i in range(n - 1)]
+    user_x += [(n - 1) * spacing + 50.0]
+    user_xy = np.column_stack([np.array(user_x), np.zeros(len(user_x))])
+    m = len(user_x)
+    requests = np.zeros((m, 1), dtype=bool)
+    requests[:, 0] = True
+    scenario = Scenario(
+        server_xy=server_xy,
+        radius=np.full(n, 200.0),
+        storage=np.full(n, 100.0),
+        channels=np.full(n, 1, dtype=np.int64),
+        user_xy=user_xy,
+        power=np.full(m, 2.0),
+        rmax=np.full(m, 200.0),
+        sizes=np.array([60.0]),
+        requests=requests,
+    )
+    links = np.column_stack([np.arange(n - 1), np.arange(1, n)])
+    topology = EdgeTopology(
+        n=n, links=links, speeds=np.full(n - 1, 3000.0), cloud_speed=600.0
+    )
+    return IDDEInstance(scenario, topology, RadioConfig(channels_per_server=1))

@@ -1,0 +1,57 @@
+"""IDDE-G: the paper's proposed two-phase solver (Algorithm 1).
+
+Phase 1 plays the IDDE-U game to a Nash equilibrium (user allocation,
+Objective #1); Phase 2 greedily places replicas by latency reduction per
+megabyte (data delivery, Objective #2).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..config import DeliveryConfig, GameConfig
+from .delivery import greedy_delivery
+from .game import IddeUGame
+from .instance import IDDEInstance
+from .profiles import AllocationProfile, DeliveryProfile
+from .strategy import Solver
+
+__all__ = ["IddeG"]
+
+
+class IddeG(Solver):
+    """The IDDE-G algorithm (game-based allocation + greedy delivery)."""
+
+    name = "IDDE-G"
+
+    def __init__(
+        self,
+        game: GameConfig | None = None,
+        delivery: DeliveryConfig | None = None,
+        *,
+        track_potential: bool = False,
+    ) -> None:
+        self.game_cfg = game or GameConfig()
+        self.delivery_cfg = delivery or DeliveryConfig()
+        self.track_potential = track_potential
+
+    def _solve(
+        self, instance: IDDEInstance, rng: np.random.Generator
+    ) -> tuple[AllocationProfile, DeliveryProfile, dict[str, Any]]:
+        game = IddeUGame(instance, self.game_cfg, track_potential=self.track_potential)
+        result = game.run(rng)
+        delivery = greedy_delivery(instance, result.profile, self.delivery_cfg)
+        extras = {
+            "game_rounds": result.rounds,
+            "game_moves": result.moves,
+            "game_converged": result.converged,
+            "is_nash": result.is_nash,
+            "delivery_iterations": delivery.iterations,
+            "replicas": delivery.profile.n_replicas,
+            "delivery_gain_s": delivery.total_gain_s,
+        }
+        if self.track_potential:
+            extras["potential_trace"] = result.potential_trace
+        return result.profile, delivery.profile, extras

@@ -1,0 +1,90 @@
+"""The IDDE strategy result object and the solver interface.
+
+Every approach in this package — IDDE-G and all baselines — implements
+:class:`Solver` and returns an :class:`IDDEStrategy`: the pair ``(α, σ)``
+together with both objective values and timing metadata, already validated
+against the instance constraints.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..rng import ensure_rng
+from .constraints import check_strategy
+from .instance import IDDEInstance
+from .objectives import evaluate
+from .profiles import AllocationProfile, DeliveryProfile
+
+__all__ = ["IDDEStrategy", "Solver"]
+
+
+@dataclass(frozen=True)
+class IDDEStrategy:
+    """The output of one solver run on one instance."""
+
+    solver: str
+    allocation: AllocationProfile
+    delivery: DeliveryProfile
+    r_avg: float
+    l_avg_ms: float
+    wall_time_s: float
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IDDEStrategy({self.solver}: R_avg={self.r_avg:.2f} MB/s, "
+            f"L_avg={self.l_avg_ms:.2f} ms, t={self.wall_time_s:.3f}s)"
+        )
+
+
+class Solver(abc.ABC):
+    """Abstract IDDE solver.
+
+    Subclasses implement :meth:`_solve` returning the profile pair; the
+    public :meth:`solve` wraps it with timing, validation and objective
+    evaluation so every solver is measured identically (this is how the
+    computation-time figure, Fig. 7, is produced).
+    """
+
+    #: Human-readable solver name used in reports and figures.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def _solve(
+        self, instance: IDDEInstance, rng: np.random.Generator
+    ) -> tuple[AllocationProfile, DeliveryProfile, dict[str, Any]]:
+        """Produce ``(α, σ, extras)`` for the instance."""
+
+    def solve(
+        self,
+        instance: IDDEInstance,
+        rng: np.random.Generator | int | None = None,
+        *,
+        validate: bool = True,
+    ) -> IDDEStrategy:
+        """Run the solver, validate the result, and evaluate objectives."""
+        rng = ensure_rng(rng)
+        t0 = time.perf_counter()
+        alloc, delivery, extras = self._solve(instance, rng)
+        wall = time.perf_counter() - t0
+        if validate:
+            check_strategy(instance, alloc, delivery)
+        ev = evaluate(instance, alloc, delivery)
+        return IDDEStrategy(
+            solver=self.name,
+            allocation=alloc,
+            delivery=delivery,
+            r_avg=ev.r_avg,
+            l_avg_ms=ev.l_avg_ms,
+            wall_time_s=wall,
+            extras=extras,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

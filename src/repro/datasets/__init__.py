@@ -1,0 +1,44 @@
+"""Dataset substrate: EUA-style edge-computing scenario pools.
+
+The paper draws its edge-server and user positions from the public EUA
+dataset (125 servers / 816 users in the Melbourne CBD) and randomises every
+other quantity per Section 4.2.  This subpackage provides:
+
+* :mod:`repro.datasets.melbourne` — the CBD-like region constants;
+* :mod:`repro.datasets.synthetic` — spatial placement generators;
+* :mod:`repro.datasets.eua` — the :class:`~repro.datasets.eua.EuaPool`
+  (a full 125/816 pool), a seeded synthetic-EUA generator, a CSV loader
+  for the real dataset when available offline, and scenario sampling;
+* :mod:`repro.datasets.workload` — request matrices, data sizes, storage
+  and power provisioning.
+"""
+
+from .eua import EuaPool, load_eua_csv, sample_scenario, synthetic_eua
+from .melbourne import CBD_REGION, EUA_SERVER_COUNT, EUA_USER_COUNT
+from .synthetic import place_servers, place_users
+from .workload import (
+    draw_data_sizes,
+    draw_powers,
+    draw_rate_caps,
+    draw_storage,
+    request_matrix,
+    zipf_weights,
+)
+
+__all__ = [
+    "EuaPool",
+    "synthetic_eua",
+    "load_eua_csv",
+    "sample_scenario",
+    "CBD_REGION",
+    "EUA_SERVER_COUNT",
+    "EUA_USER_COUNT",
+    "place_servers",
+    "place_users",
+    "request_matrix",
+    "zipf_weights",
+    "draw_data_sizes",
+    "draw_storage",
+    "draw_powers",
+    "draw_rate_caps",
+]

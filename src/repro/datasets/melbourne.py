@@ -1,0 +1,37 @@
+"""Melbourne-CBD-like region constants matching the EUA dataset footprint.
+
+The EUA dataset covers roughly the Melbourne central business district — an
+area of about 2.2 km × 1.6 km — with 125 base stations whose coverage radii
+the edge-computing literature standardises to 100–150 m.  We model the region
+on a local tangent plane in metres.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Region
+
+__all__ = [
+    "CBD_REGION",
+    "EUA_SERVER_COUNT",
+    "EUA_USER_COUNT",
+    "COVERAGE_RADIUS_RANGE",
+]
+
+#: Planar stand-in for the Melbourne CBD footprint (metres).
+CBD_REGION = Region(0.0, 0.0, 2200.0, 1600.0)
+
+#: Number of edge servers in the EUA extract used by the paper.
+EUA_SERVER_COUNT = 125
+
+#: Number of users in the EUA extract used by the paper.
+EUA_USER_COUNT = 816
+
+#: Coverage radius range in metres.  The raw EUA convention is 100–150 m,
+#: but the paper's experiments sample only N = 20..50 of the 125 sites at a
+#: time while still exhibiting multi-server coverage (its Fig. 2 users and
+#: the interference model both require overlapping cells).  We follow the
+#: macro-cell convention of the companion interference papers (e.g. Cui et
+#: al., "Interference-aware SaaS user allocation game for edge computing")
+#: and use 250–350 m so a user at the default N = 30 sees ~2–3 candidate
+#: servers, matching the allocation-freedom regime the IDDE-U game needs.
+COVERAGE_RADIUS_RANGE = (250.0, 350.0)

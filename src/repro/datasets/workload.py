@@ -1,0 +1,107 @@
+"""Workload generation: requests, data sizes, storage, powers, rate caps.
+
+All quantities follow Section 4.2 of the paper:
+
+* data sizes drawn uniformly from {30, 60, 90} MB;
+* per-server reserved storage drawn uniformly from [30, 300] MB;
+* per-user transmit power drawn uniformly from [1, 5] W;
+* request pattern ``ζ_{j,k}``: the paper specifies only "requested data";
+  we default to one request per user with Zipf-distributed popularity,
+  the standard content-popularity model for edge caching, configurable via
+  :class:`~repro.config.WorkloadConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import WorkloadConfig
+from ..errors import ScenarioError
+
+__all__ = [
+    "zipf_weights",
+    "request_matrix",
+    "draw_data_sizes",
+    "draw_storage",
+    "draw_powers",
+    "draw_rate_caps",
+]
+
+
+def zipf_weights(k: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf popularity weights over ``k`` items.
+
+    ``w_r ∝ 1 / r^exponent`` for rank ``r = 1..k``; ``exponent = 0`` gives
+    the uniform distribution.
+    """
+    if k <= 0:
+        raise ScenarioError(f"need at least one data item, got k={k}")
+    ranks = np.arange(1, k + 1, dtype=float)
+    w = ranks**-exponent
+    return w / w.sum()
+
+
+def request_matrix(
+    m: int,
+    k: int,
+    rng: np.random.Generator,
+    cfg: WorkloadConfig | None = None,
+) -> np.ndarray:
+    """Sample the boolean request matrix ``ζ`` of shape ``(m, k)``.
+
+    Each user requests ``cfg.requests_per_user`` *distinct* items drawn
+    without replacement from the Zipf popularity distribution.  When the
+    catalogue is smaller than the request count, users request everything.
+    """
+    cfg = cfg or WorkloadConfig()
+    if m < 0:
+        raise ScenarioError(f"negative user count {m}")
+    if k <= 0:
+        raise ScenarioError(f"need at least one data item, got k={k}")
+    zeta = np.zeros((m, k), dtype=bool)
+    per_user = min(cfg.requests_per_user, k)
+    weights = zipf_weights(k, cfg.zipf_exponent)
+    for j in range(m):
+        picks = rng.choice(k, size=per_user, replace=False, p=weights)
+        zeta[j, picks] = True
+    return zeta
+
+
+def draw_data_sizes(
+    k: int, rng: np.random.Generator, cfg: WorkloadConfig | None = None
+) -> np.ndarray:
+    """Draw ``k`` data sizes uniformly from the configured size menu (MB)."""
+    cfg = cfg or WorkloadConfig()
+    if k <= 0:
+        raise ScenarioError(f"need at least one data item, got k={k}")
+    menu = np.asarray(cfg.data_sizes, dtype=float)
+    return menu[rng.integers(0, len(menu), size=k)]
+
+
+def draw_storage(
+    n: int, rng: np.random.Generator, cfg: WorkloadConfig | None = None
+) -> np.ndarray:
+    """Draw per-server reserved storage ``A_i`` uniformly (MB)."""
+    cfg = cfg or WorkloadConfig()
+    if n <= 0:
+        raise ScenarioError(f"need at least one server, got n={n}")
+    lo, hi = cfg.storage_range
+    return rng.uniform(lo, hi, size=n)
+
+
+def draw_powers(
+    m: int, rng: np.random.Generator, cfg: WorkloadConfig | None = None
+) -> np.ndarray:
+    """Draw per-user transmit powers ``p_j`` uniformly (Watts)."""
+    cfg = cfg or WorkloadConfig()
+    lo, hi = cfg.power_range
+    return rng.uniform(lo, hi, size=max(m, 0))
+
+
+def draw_rate_caps(
+    m: int, rng: np.random.Generator, cfg: WorkloadConfig | None = None
+) -> np.ndarray:
+    """Draw per-user Shannon rate caps ``R_{j,max}`` uniformly (MB/s)."""
+    cfg = cfg or WorkloadConfig()
+    lo, hi = cfg.rmax_range
+    return rng.uniform(lo, hi, size=max(m, 0))

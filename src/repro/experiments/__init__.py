@@ -1,0 +1,51 @@
+"""Experiment harness: the paper's Section 4 evaluation, regenerable.
+
+* :mod:`~repro.experiments.settings` — Table 2's four parameter sets;
+* :mod:`~repro.experiments.runner` — one trial = one instance solved by
+  every approach, returning all three metrics (R_avg, L_avg, time);
+* :mod:`~repro.experiments.sweep` — repeated trials over a varying
+  parameter, optionally across processes, with mean/std aggregation;
+* :mod:`~repro.experiments.figures` — the paper's reported reference
+  numbers and series extraction for Figs. 3–7;
+* :mod:`~repro.experiments.report` — markdown emitters used to build
+  EXPERIMENTS.md;
+* :mod:`~repro.experiments.latency_probe` — the Fig. 1 motivation
+  experiment (edge vs cloud RTT over a simulated week).
+"""
+
+from .latency_probe import LatencyProbe, run_latency_probe
+from .runner import TrialSpec, TrialResult, run_trial, SOLVER_NAMES
+from .settings import ALL_SETS, SET1, SET2, SET3, SET4, SweepSettings, DEFAULTS
+from .sweep import SweepPoint, SweepResult, run_sweep
+from .export import sweep_to_rows, write_csv, write_json
+from .figures import PAPER, series
+from .paper import ReproductionReport, reproduce_all
+from .report import render_sweep_markdown, render_point_row
+
+__all__ = [
+    "TrialSpec",
+    "TrialResult",
+    "run_trial",
+    "SOLVER_NAMES",
+    "SweepSettings",
+    "DEFAULTS",
+    "SET1",
+    "SET2",
+    "SET3",
+    "SET4",
+    "ALL_SETS",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "PAPER",
+    "series",
+    "render_sweep_markdown",
+    "render_point_row",
+    "LatencyProbe",
+    "run_latency_probe",
+    "sweep_to_rows",
+    "write_csv",
+    "write_json",
+    "ReproductionReport",
+    "reproduce_all",
+]

@@ -1,0 +1,73 @@
+"""Structured export of sweep results (CSV / JSON).
+
+The bench harness prints markdown for humans; plotting pipelines want
+machine-readable series.  :func:`sweep_to_rows` flattens a
+:class:`~repro.experiments.sweep.SweepResult` into tidy records (one row
+per grid value × solver × metric), and the writers serialise them.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from .runner import METRICS
+from .sweep import SweepResult
+
+__all__ = ["sweep_to_rows", "write_csv", "write_json", "load_json"]
+
+_FIELDS = ("set", "varying", "value", "solver", "metric", "mean", "std", "reps")
+
+
+def sweep_to_rows(result: SweepResult) -> list[dict[str, Any]]:
+    """Flatten a sweep into tidy rows (long format)."""
+    rows: list[dict[str, Any]] = []
+    for point in result.points:
+        for solver in result.solver_names:
+            for metric in METRICS:
+                rows.append(
+                    {
+                        "set": result.settings.name,
+                        "varying": result.settings.varying,
+                        "value": point.value,
+                        "solver": solver,
+                        "metric": metric,
+                        "mean": point.mean[solver][metric],
+                        "std": point.std[solver][metric],
+                        "reps": point.reps,
+                    }
+                )
+    return rows
+
+
+def write_csv(result: SweepResult, path: str | Path) -> Path:
+    """Write the tidy rows as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        writer.writerows(sweep_to_rows(result))
+    return path
+
+
+def write_json(result: SweepResult, path: str | Path) -> Path:
+    """Write the tidy rows as a JSON document; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "set": result.settings.name,
+        "varying": result.settings.varying,
+        "values": list(result.values),
+        "solvers": list(result.solver_names),
+        "rows": sweep_to_rows(result),
+    }
+    path.write_text(json.dumps(doc, indent=2))
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Load a document written by :func:`write_json`."""
+    return json.loads(Path(path).read_text())

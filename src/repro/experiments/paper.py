@@ -1,0 +1,107 @@
+"""One-call reproduction of the paper's full evaluation.
+
+:func:`reproduce_all` runs every Table 2 sweep plus the Fig. 1 probe and
+assembles a single markdown report (the EXPERIMENTS.md generator), with
+optional CSV/JSON artifact export per sweep.  This is the programmatic
+face of ``idde reproduce``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+
+from ..parallel import ParallelConfig
+from .export import write_csv, write_json
+from .figures import PAPER, shape_checks
+from .latency_probe import run_latency_probe
+from .report import (
+    render_advantage_markdown,
+    render_sweep_markdown,
+    render_timing_markdown,
+)
+from .settings import ALL_SETS
+from .sweep import SweepResult, run_sweep
+
+__all__ = ["ReproductionReport", "reproduce_all"]
+
+
+@dataclass
+class ReproductionReport:
+    """Everything one reproduction run produced."""
+
+    sweeps: list[SweepResult] = field(default_factory=list)
+    markdown: str = ""
+    artifacts: list[Path] = field(default_factory=list)
+
+    def all_shapes_hold(self) -> bool:
+        """Whether every sweep reproduced the §4.5 headline orderings."""
+        return all(
+            all(shape_checks(result).values()) for result in self.sweeps
+        )
+
+
+def reproduce_all(
+    *,
+    reps: int = 5,
+    seed: int = 0,
+    ip_time_budget_s: float = 3.0,
+    workers: int | None = None,
+    output_dir: str | Path | None = None,
+) -> ReproductionReport:
+    """Run all four sets + Fig. 1 and build the comparison report.
+
+    Parameters
+    ----------
+    reps, seed, ip_time_budget_s, workers:
+        Sweep execution knobs (the paper used reps=50 and a 100 s cap).
+    output_dir:
+        When given, per-sweep CSV + JSON series and the markdown report
+        are written below it.
+    """
+    parallel = ParallelConfig(n_workers=workers)
+    report = ReproductionReport()
+    out = StringIO()
+    out.write("# Reproduction report\n\n")
+
+    # Fig. 1 probe.
+    probe = run_latency_probe(seed)
+    means = probe.mean_ms()
+    out.write("## Fig. 1 — latency motivation\n\n")
+    out.write("| target | measured mean (ms) | paper (ms) |\n|---|---|---|\n")
+    for target in probe.targets:
+        ref = PAPER["fig1_latency_ms"].get(target, float("nan"))
+        out.write(f"| {target} | {means[target]:.1f} | {ref:.0f} |\n")
+    out.write("\n")
+
+    for settings in ALL_SETS:
+        result = run_sweep(
+            settings,
+            reps=reps,
+            seed=seed,
+            ip_time_budget_s=ip_time_budget_s,
+            parallel=parallel,
+        )
+        report.sweeps.append(result)
+        for metric in ("r_avg", "l_avg_ms"):
+            out.write(render_sweep_markdown(result, metric))
+            out.write("\n")
+        out.write(render_advantage_markdown(result))
+        out.write(f"\nshape checks: {shape_checks(result)}\n\n")
+
+    out.write(render_timing_markdown(report.sweeps))
+    report.markdown = out.getvalue()
+
+    if output_dir is not None:
+        base = Path(output_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        for result in report.sweeps:
+            stem = result.settings.name.replace(" ", "_").replace("#", "")
+            report.artifacts.append(write_csv(result, base / f"{stem}.csv"))
+            report.artifacts.append(write_json(result, base / f"{stem}.json"))
+        md = base / "report.md"
+        md.write_text(report.markdown)
+        report.artifacts.append(md)
+
+    return report

@@ -1,0 +1,109 @@
+"""Markdown emitters for sweep results (the EXPERIMENTS.md tables)."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .sweep import SweepResult
+
+__all__ = [
+    "render_point_row",
+    "render_sweep_markdown",
+    "render_advantage_markdown",
+    "render_timing_markdown",
+    "render_significance_markdown",
+]
+
+_METRIC_LABEL = {
+    "r_avg": "R_avg (MB/s)",
+    "l_avg_ms": "L_avg (ms)",
+    "time_s": "time (s)",
+}
+
+
+def render_point_row(result: SweepResult, metric: str, index: int) -> str:
+    """One markdown table row: the metric at one grid point, all solvers."""
+    point = result.points[index]
+    cells = [f"{point.get(name, metric):.2f}" for name in result.solver_names]
+    return "| " + " | ".join([str(point.value), *cells]) + " |"
+
+
+def render_sweep_markdown(result: SweepResult, metric: str) -> str:
+    """A full markdown table: grid value × solver for one metric."""
+    out = StringIO()
+    label = _METRIC_LABEL.get(metric, metric)
+    out.write(
+        f"### {result.settings.name}: {label} vs {result.settings.varying}\n\n"
+    )
+    out.write("| " + " | ".join([result.settings.varying, *result.solver_names]) + " |\n")
+    out.write("|" + "---|" * (len(result.solver_names) + 1) + "\n")
+    for idx in range(len(result.points)):
+        out.write(render_point_row(result, metric, idx) + "\n")
+    return out.getvalue()
+
+
+def render_advantage_markdown(result: SweepResult) -> str:
+    """IDDE-G's average advantages for one sweep, both objectives."""
+    out = StringIO()
+    out.write(f"### {result.settings.name}: IDDE-G average advantage\n\n")
+    out.write("| vs | R_avg (+%) | L_avg (−%) |\n|---|---|---|\n")
+    rate_adv = result.advantage_pct("r_avg")
+    lat_adv = result.advantage_pct("l_avg_ms")
+    for name in result.solver_names:
+        if name == "IDDE-G":
+            continue
+        out.write(f"| {name} | {rate_adv[name]:.2f} | {lat_adv[name]:.2f} |\n")
+    return out.getvalue()
+
+
+def render_significance_markdown(
+    result: SweepResult, metric: str, *, ours: str = "IDDE-G"
+) -> str:
+    """Paired-significance table: IDDE-G vs each baseline on one metric.
+
+    Pools the per-trial samples across the whole grid (the pairs stay
+    aligned because every trial runs all approaches on the same instance).
+    Requires the sweep to have been run with ``keep_raw=True``.
+
+    Raises
+    ------
+    ValueError
+        If the sweep holds no raw samples.
+    """
+    from .significance import compare
+
+    if not result.points or not result.points[0].raw:
+        raise ValueError("significance needs run_sweep(..., keep_raw=True)")
+    higher_better = metric == "r_avg"
+    ours_samples = [
+        x for point in result.points for x in point.raw[ours][metric]
+    ]
+    out = StringIO()
+    label = _METRIC_LABEL.get(metric, metric)
+    out.write(f"### {result.settings.name}: paired significance, {label}\n\n")
+    out.write(
+        "| vs | mean Δ | 95% CI | win rate | significant |\n|---|---|---|---|---|\n"
+    )
+    for name in result.solver_names:
+        if name == ours:
+            continue
+        theirs = [x for point in result.points for x in point.raw[name][metric]]
+        c = compare(ours_samples, theirs, higher_better=higher_better)
+        out.write(
+            f"| {name} | {c.mean_diff:+.3f} | [{c.ci_low:+.3f}, {c.ci_high:+.3f}] "
+            f"| {c.win_rate:.0%} | {'yes' if c.significant else 'no'} |\n"
+        )
+    return out.getvalue()
+
+
+def render_timing_markdown(results: list[SweepResult]) -> str:
+    """Fig. 7: per-set average computation time per solver."""
+    out = StringIO()
+    out.write("### Computation time (s) per set\n\n")
+    solvers = results[0].solver_names
+    out.write("| set | " + " | ".join(solvers) + " |\n")
+    out.write("|" + "---|" * (len(solvers) + 1) + "\n")
+    for res in results:
+        cells = [f"{res.average(name, 'time_s'):.4f}" for name in solvers]
+        out.write("| " + " | ".join([res.settings.name, *cells]) + " |\n")
+    return out.getvalue()

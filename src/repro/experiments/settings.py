@@ -1,0 +1,64 @@
+"""Table 2: the four experiment parameter sets.
+
+Each set varies one parameter and fixes the other three at the defaults
+``N=30, M=200, K=5, density=1.0``:
+
+=======  =================================  =====================
+Set      Varying                            Values
+=======  =================================  =====================
+Set #1   number of edge servers ``N``       20, 25, …, 50
+Set #2   number of users ``M``              50, 100, …, 350
+Set #3   number of data items ``K``         2, 3, …, 8
+Set #4   network density                    1.0, 1.4, …, 3.0
+=======  =================================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from ..errors import ExperimentError
+
+__all__ = ["SweepSettings", "DEFAULTS", "SET1", "SET2", "SET3", "SET4", "ALL_SETS"]
+
+#: The fixed defaults shared by all sets (Table 2).
+DEFAULTS: Mapping[str, float] = MappingProxyType(
+    {"n": 30, "m": 200, "k": 5, "density": 1.0}
+)
+
+_PARAMS = ("n", "m", "k", "density")
+
+
+@dataclass(frozen=True)
+class SweepSettings:
+    """One row of Table 2: a varying parameter and its value grid."""
+
+    name: str
+    varying: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.varying not in _PARAMS:
+            raise ExperimentError(
+                f"varying must be one of {_PARAMS}, got {self.varying!r}"
+            )
+        if len(self.values) == 0:
+            raise ExperimentError(f"{self.name}: empty value grid")
+
+    def params_for(self, value: float) -> dict[str, float]:
+        """The full (n, m, k, density) parameter point for one grid value."""
+        if value not in self.values:
+            raise ExperimentError(f"{value!r} is not on {self.name}'s grid {self.values}")
+        params = dict(DEFAULTS)
+        params[self.varying] = value
+        return params
+
+
+SET1 = SweepSettings("Set #1", "n", tuple(range(20, 55, 5)))
+SET2 = SweepSettings("Set #2", "m", tuple(range(50, 400, 50)))
+SET3 = SweepSettings("Set #3", "k", tuple(range(2, 9)))
+SET4 = SweepSettings("Set #4", "density", tuple(round(1.0 + 0.4 * i, 1) for i in range(6)))
+
+ALL_SETS: tuple[SweepSettings, ...] = (SET1, SET2, SET3, SET4)

@@ -1,0 +1,121 @@
+"""Paired statistical analysis of solver comparisons.
+
+The paper reports plain means over 50 repetitions; reviewers increasingly
+ask whether the gaps are significant.  Because every trial evaluates all
+approaches on the *same* instance (see :mod:`repro.experiments.runner`),
+the comparisons are paired, and the right tools are:
+
+* :func:`paired_differences` — per-trial metric differences between two
+  approaches across a sweep;
+* :func:`bootstrap_ci` — a percentile bootstrap confidence interval for
+  the mean of a sample (seeded, deterministic);
+* :func:`win_rate` — the fraction of trials one approach beats another;
+* :func:`compare` — the full paired summary used by reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rng import ensure_rng
+
+__all__ = ["paired_differences", "bootstrap_ci", "win_rate", "compare", "PairedComparison"]
+
+
+def paired_differences(
+    a: np.ndarray | list[float], b: np.ndarray | list[float]
+) -> np.ndarray:
+    """Per-trial differences ``a − b`` (inputs must align trial-wise)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"paired samples must align, got {a.shape} vs {b.shape}")
+    return a - b
+
+
+def bootstrap_ci(
+    sample: np.ndarray | list[float],
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    rng: np.random.Generator | int | None = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``sample``."""
+    xs = np.asarray(sample, dtype=float)
+    if xs.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = ensure_rng(rng)
+    idx = rng.integers(0, xs.size, size=(n_boot, xs.size))
+    means = xs[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def win_rate(
+    a: np.ndarray | list[float],
+    b: np.ndarray | list[float],
+    *,
+    higher_better: bool = True,
+) -> float:
+    """Fraction of paired trials where ``a`` beats ``b`` (ties count ½)."""
+    diff = paired_differences(a, b)
+    if not higher_better:
+        diff = -diff
+    wins = (diff > 0).sum() + 0.5 * (diff == 0).sum()
+    return float(wins / diff.size)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Summary of one paired solver comparison on one metric."""
+
+    mean_a: float
+    mean_b: float
+    mean_diff: float
+    ci_low: float
+    ci_high: float
+    win_rate: float
+    n: int
+
+    @property
+    def significant(self) -> bool:
+        """Whether the CI for the mean difference excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PairedComparison(Δ={self.mean_diff:+.3f} "
+            f"[{self.ci_low:+.3f}, {self.ci_high:+.3f}], "
+            f"win={self.win_rate:.0%}, n={self.n})"
+        )
+
+
+def compare(
+    a: np.ndarray | list[float],
+    b: np.ndarray | list[float],
+    *,
+    higher_better: bool = True,
+    confidence: float = 0.95,
+    rng: np.random.Generator | int | None = 0,
+) -> PairedComparison:
+    """Full paired comparison of two aligned metric samples."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    diff = paired_differences(a, b)
+    lo, hi = bootstrap_ci(diff, confidence=confidence, rng=rng)
+    return PairedComparison(
+        mean_a=float(a.mean()),
+        mean_b=float(b.mean()),
+        mean_diff=float(diff.mean()),
+        ci_low=lo,
+        ci_high=hi,
+        win_rate=win_rate(a, b, higher_better=higher_better),
+        n=int(diff.size),
+    )

@@ -1,0 +1,173 @@
+"""Persistence: save and load scenarios, topologies, instances, strategies.
+
+Reproducibility artifacts: a trial's exact instance and the profiles a
+solver produced can be serialised to a single ``.npz`` file and reloaded
+bit-exactly — the format every array-backed object in this package
+round-trips through.  JSON is deliberately not used for the bulk arrays
+(lossy/verbose); a small JSON header inside the archive carries scalars.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .config import RadioConfig
+from .core.instance import IDDEInstance
+from .core.profiles import AllocationProfile, DeliveryProfile
+from .core.strategy import IDDEStrategy
+from .errors import DatasetError
+from .topology.graph import EdgeTopology
+from .types import Scenario
+
+__all__ = [
+    "save_instance",
+    "load_instance",
+    "save_strategy",
+    "load_strategy",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _radio_to_dict(cfg: RadioConfig) -> dict:
+    return {
+        "eta": cfg.eta,
+        "loss_exponent": cfg.loss_exponent,
+        "bandwidth": cfg.bandwidth,
+        "noise_dbm": cfg.noise_dbm,
+        "channels_per_server": cfg.channels_per_server,
+        "min_distance": cfg.min_distance,
+    }
+
+
+def _radio_from_dict(d: dict) -> RadioConfig:
+    return RadioConfig(**d)
+
+
+def save_instance(instance: IDDEInstance, path: str | Path) -> Path:
+    """Serialise a full instance (scenario + topology + radio) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sc = instance.scenario
+    topo = instance.topology
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "instance",
+        "radio": _radio_to_dict(instance.radio),
+        "cloud_speed": topo.cloud_speed,
+        "has_gain_override": instance.gain_override is not None,
+    }
+    arrays = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "server_xy": sc.server_xy,
+        "radius": sc.radius,
+        "storage": sc.storage,
+        "channels": sc.channels,
+        "user_xy": sc.user_xy,
+        "power": sc.power,
+        "rmax": sc.rmax,
+        "sizes": sc.sizes,
+        "requests": sc.requests,
+        "links": topo.links,
+        "speeds": topo.speeds,
+    }
+    if instance.gain_override is not None:
+        arrays["gain_override"] = instance.gain_override
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def _read_header(data: np.lib.npyio.NpzFile, expected_kind: str) -> dict:
+    try:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+    except KeyError as exc:
+        raise DatasetError("missing header; not a repro archive") from exc
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported format version {header.get('format_version')!r}"
+        )
+    if header.get("kind") != expected_kind:
+        raise DatasetError(
+            f"archive holds a {header.get('kind')!r}, expected {expected_kind!r}"
+        )
+    return header
+
+
+def load_instance(path: str | Path) -> IDDEInstance:
+    """Reload an instance saved by :func:`save_instance`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    with np.load(path) as data:
+        header = _read_header(data, "instance")
+        scenario = Scenario(
+            server_xy=data["server_xy"],
+            radius=data["radius"],
+            storage=data["storage"],
+            channels=data["channels"],
+            user_xy=data["user_xy"],
+            power=data["power"],
+            rmax=data["rmax"],
+            sizes=data["sizes"],
+            requests=data["requests"],
+        )
+        topology = EdgeTopology(
+            n=scenario.n_servers,
+            links=data["links"],
+            speeds=data["speeds"],
+            cloud_speed=float(header["cloud_speed"]),
+        )
+        gain = data["gain_override"] if header["has_gain_override"] else None
+        return IDDEInstance(
+            scenario,
+            topology,
+            _radio_from_dict(header["radio"]),
+            gain_override=gain,
+        )
+
+
+def save_strategy(strategy: IDDEStrategy, path: str | Path) -> Path:
+    """Serialise a solver's output profiles and headline metrics."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "strategy",
+        "solver": strategy.solver,
+        "r_avg": strategy.r_avg,
+        "l_avg_ms": strategy.l_avg_ms,
+        "wall_time_s": strategy.wall_time_s,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        alloc_server=strategy.allocation.server,
+        alloc_channel=strategy.allocation.channel,
+        placed=strategy.delivery.placed,
+    )
+    return path
+
+
+def load_strategy(path: str | Path) -> IDDEStrategy:
+    """Reload a strategy saved by :func:`save_strategy`.
+
+    ``extras`` are not persisted (they may hold arbitrary objects); the
+    loaded strategy carries an empty dictionary.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    with np.load(path) as data:
+        header = _read_header(data, "strategy")
+        return IDDEStrategy(
+            solver=str(header["solver"]),
+            allocation=AllocationProfile(data["alloc_server"], data["alloc_channel"]),
+            delivery=DeliveryProfile(data["placed"]),
+            r_avg=float(header["r_avg"]),
+            l_avg_ms=float(header["l_avg_ms"]),
+            wall_time_s=float(header["wall_time_s"]),
+            extras={},
+        )

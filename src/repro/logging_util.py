@@ -1,0 +1,50 @@
+"""Logging plumbing for the package.
+
+All modules obtain loggers through :func:`get_logger` (namespaced under
+``repro.``); applications opt into output with :func:`configure_logging`.
+The library itself never configures the root logger — standard
+library-citizen behaviour.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the package namespace (``repro`` or ``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0) -> logging.Logger:
+    """Attach a stderr handler to the package logger.
+
+    ``verbosity``: 0 = WARNING, 1 = INFO, 2+ = DEBUG.  Idempotent — calling
+    again only adjusts the level.
+    """
+    logger = get_logger()
+    level = (
+        logging.WARNING
+        if verbosity <= 0
+        else logging.INFO
+        if verbosity == 1
+        else logging.DEBUG
+    )
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    for handler in logger.handlers:
+        handler.setLevel(level)
+    return logger

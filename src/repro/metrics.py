@@ -1,0 +1,105 @@
+"""Quality-of-experience metrics beyond the paper's two averages.
+
+The paper optimises the *average* data rate and latency; operators also
+care about the distribution — a strategy that starves a few users can
+still post a good mean.  These helpers quantify that:
+
+* :func:`jain_index` — Jain's fairness index, 1/M (worst) .. 1 (equal);
+* :func:`percentile_summary` — min/p10/median/p90/max of a metric;
+* :func:`coverage_ratio` — fraction of users actually allocated;
+* :func:`strategy_report` — the full per-strategy QoE bundle used by the
+  examples and the fairness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.instance import IDDEInstance
+from .core.objectives import evaluate
+from .core.profiles import AllocationProfile, DeliveryProfile
+
+__all__ = [
+    "jain_index",
+    "percentile_summary",
+    "coverage_ratio",
+    "QoEReport",
+    "strategy_report",
+]
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index ``(Σx)² / (n · Σx²)``.
+
+    Equals 1 for perfectly equal allocations and ``1/n`` when one user
+    takes everything.  All-zero input returns 1.0 (vacuously fair).
+    """
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("Jain's index is defined for non-negative values")
+    total_sq = float(x.sum()) ** 2
+    denom = x.size * float((x**2).sum())
+    if denom == 0.0:
+        return 1.0
+    return total_sq / denom
+
+
+def percentile_summary(values: np.ndarray) -> dict[str, float]:
+    """min / p10 / median / p90 / max of a metric vector."""
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        return {"min": 0.0, "p10": 0.0, "median": 0.0, "p90": 0.0, "max": 0.0}
+    return {
+        "min": float(x.min()),
+        "p10": float(np.percentile(x, 10)),
+        "median": float(np.median(x)),
+        "p90": float(np.percentile(x, 90)),
+        "max": float(x.max()),
+    }
+
+
+def coverage_ratio(alloc: AllocationProfile) -> float:
+    """Fraction of users allocated to some channel."""
+    if alloc.n_users == 0:
+        return 1.0
+    return alloc.n_allocated / alloc.n_users
+
+
+@dataclass(frozen=True)
+class QoEReport:
+    """Distributional quality-of-experience summary of one strategy."""
+
+    r_avg: float
+    l_avg_ms: float
+    rate_fairness: float
+    rate_percentiles: dict[str, float]
+    latency_percentiles_ms: dict[str, float]
+    allocated_ratio: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QoEReport(R_avg={self.r_avg:.1f}, L_avg={self.l_avg_ms:.1f} ms, "
+            f"fairness={self.rate_fairness:.3f}, "
+            f"allocated={self.allocated_ratio:.0%})"
+        )
+
+
+def strategy_report(
+    instance: IDDEInstance,
+    alloc: AllocationProfile,
+    delivery: DeliveryProfile,
+) -> QoEReport:
+    """Evaluate a strategy's full QoE distribution."""
+    ev = evaluate(instance, alloc, delivery)
+    return QoEReport(
+        r_avg=ev.r_avg,
+        l_avg_ms=ev.l_avg_ms,
+        rate_fairness=jain_index(ev.rates),
+        rate_percentiles=percentile_summary(ev.rates),
+        latency_percentiles_ms=percentile_summary(ev.latencies_ms),
+        allocated_ratio=coverage_ratio(alloc),
+    )

@@ -1,0 +1,15 @@
+"""Wireless last-mile substrate (Section 2.2 of the paper).
+
+Implements the user–server communication model: channel gain
+``g_{i,j} = η · H_{i,j}^{-loss}``, the SINR of Eq. (2) with intra-cell and
+inter-cell interference, and the Shannon data rate of Eqs. (3)–(4) with the
+per-user rate cap.  The :class:`~repro.radio.sinr.SinrEngine` maintains
+incremental per-channel power aggregates so best-response dynamics evaluate
+every candidate channel of a user in one vectorised sweep.
+"""
+
+from .channel import gain_matrix
+from .rate import shannon_rate
+from .sinr import SinrEngine
+
+__all__ = ["gain_matrix", "shannon_rate", "SinrEngine"]

@@ -1,0 +1,31 @@
+"""Shannon data rate (Eqs. 3–4): ``R = B · log2(1 + SINR)`` with a cap.
+
+The cap ``R_{j,max}`` models the Shannon capacity limit of the user's mobile
+link; Eq. (4) takes the minimum of the cap and the achieved rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shannon_rate", "capped_rate"]
+
+
+def shannon_rate(bandwidth: float | np.ndarray, sinr: np.ndarray) -> np.ndarray:
+    """``B · log2(1 + SINR)``, elementwise; accepts scalars or arrays.
+
+    Uses ``log1p`` for accuracy at small SINR.  Negative SINR inputs are
+    clamped to zero (they can only arise from floating-point cancellation
+    in callers, never from the model itself).
+    """
+    s = np.maximum(np.asarray(sinr, dtype=float), 0.0)
+    return np.asarray(bandwidth, dtype=float) * np.log1p(s) / np.log(2.0)
+
+
+def capped_rate(
+    bandwidth: float | np.ndarray,
+    sinr: np.ndarray,
+    rmax: float | np.ndarray,
+) -> np.ndarray:
+    """Eq. (4): ``min(R_max, B·log2(1+SINR))`` elementwise."""
+    return np.minimum(np.asarray(rmax, dtype=float), shannon_rate(bandwidth, sinr))

@@ -1,0 +1,332 @@
+"""The vectorised SINR engine: incremental interference bookkeeping.
+
+This is the inner kernel of the IDDE-U game.  For one user ``j`` evaluating
+a move, the denominator of Eq. (2) decomposes into a *channel-indexed*
+aggregate that is independent of the target server:
+
+``den(i, x) = Σ_{o ∈ V_j} g_{o,j} · P'[o, x] + ω``
+
+where ``P'[o, x]`` is the total transmit power allocated to channel ``x`` of
+server ``o`` excluding ``j`` itself.  Both the intra-cell term (``o = i``)
+and the inter-cell term (``o ≠ i``) carry the same gain-to-``j`` structure,
+so one matrix–vector product per user yields the interference for *every*
+candidate channel at once, and the SINR for every candidate ``(i, x)`` is a
+rank-1 outer structure on top of it.  The engine maintains the per-channel
+power table ``P[N, X]`` incrementally under assign/unassign, making a
+best-response evaluation ``O(|V_j| · X)``.
+
+The *benefit* of Eq. (12) is the interference-normalised received power with
+the user's own power included in the intra-cell sum and no noise term:
+
+``β(i, x) = g_{i,j} p_j / (W_j[x] + g_{i,j} p_j)``
+
+which orders candidate channels identically to the SINR when the noise is
+negligible (it is, at −174 dBm) but is exactly the paper's driving function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import RadioConfig
+from ..errors import AllocationError, CoverageError
+from ..types import Scenario
+from .channel import gain_matrix
+from .rate import capped_rate, shannon_rate
+
+__all__ = ["SinrEngine", "CandidateView"]
+
+UNALLOCATED = -1
+
+
+@dataclass(frozen=True)
+class CandidateView:
+    """The vectorised evaluation of one user's candidate moves.
+
+    Attributes
+    ----------
+    servers : ``(S,)`` covering server indices (the paper's ``V_j``).
+    valid : ``(S, X)`` mask of existing channels per covering server.
+    sinr : ``(S, X)`` SINR for allocating the user to each candidate.
+    rate : ``(S, X)`` capped data rate for each candidate (MB/s).
+    benefit : ``(S, X)`` Eq. (12) benefit for each candidate.
+    """
+
+    servers: np.ndarray
+    valid: np.ndarray
+    sinr: np.ndarray
+    rate: np.ndarray
+    benefit: np.ndarray
+
+    def best(self, metric: str = "benefit") -> tuple[int, int, float]:
+        """Return ``(server, channel, value)`` of the best valid candidate.
+
+        Raises
+        ------
+        CoverageError
+            If the user has no covering server (no candidates).
+        """
+        values = getattr(self, metric)
+        if values.size == 0:
+            raise CoverageError("user has no covering server")
+        masked = np.where(self.valid, values, -np.inf)
+        flat = int(np.argmax(masked))
+        s, x = divmod(flat, masked.shape[1])
+        return int(self.servers[s]), int(x), float(masked[s, x])
+
+
+class SinrEngine:
+    """Mutable interference state over a fixed :class:`Scenario`.
+
+    The engine owns the allocation arrays (``server[j]``, ``channel[j]``,
+    with −1 meaning unallocated) and the per-channel power table, and
+    exposes: single-user candidate evaluation (:meth:`candidates`), global
+    rate evaluation (:meth:`rates`), and incremental mutation
+    (:meth:`assign`, :meth:`unassign`, :meth:`move`).
+
+    Parameters
+    ----------
+    scenario:
+        The problem entities.
+    cfg:
+        Radio parameters; channel counts come from the scenario (which was
+        itself provisioned from a :class:`~repro.config.RadioConfig`).
+    gain:
+        Optional ``(N, M)`` gain-matrix override (e.g. a shadowed model
+        from :mod:`repro.radio.fading`); defaults to the deterministic
+        power law of :func:`~repro.radio.channel.gain_matrix`.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        cfg: RadioConfig | None = None,
+        *,
+        gain: np.ndarray | None = None,
+    ):
+        self.scenario = scenario
+        self.cfg = cfg or RadioConfig()
+        if gain is None:
+            self.gain = gain_matrix(scenario.server_xy, scenario.user_xy, self.cfg)
+        else:
+            gain = np.asarray(gain, dtype=float)
+            if gain.shape != (scenario.n_servers, scenario.n_users):
+                raise AllocationError(
+                    f"gain override must be (N, M) = "
+                    f"{(scenario.n_servers, scenario.n_users)}, got {gain.shape}"
+                )
+            if np.any(gain <= 0):
+                raise AllocationError("gain override must be strictly positive")
+            self.gain = gain.copy()
+        self.coverage = scenario.coverage
+        self.covering = scenario.covering_servers
+        self.power = scenario.power
+        self.noise = self.cfg.noise_watts
+        self.bandwidth = self.cfg.bandwidth
+        n, x = scenario.n_servers, max(scenario.max_channels, 1)
+        self.n_channels = x
+        #: total allocated power per (server, channel)
+        self.channel_power = np.zeros((n, x), dtype=float)
+        #: number of users per (server, channel)
+        self.channel_count = np.zeros((n, x), dtype=np.int64)
+        self.alloc_server = np.full(scenario.n_users, UNALLOCATED, dtype=np.int64)
+        self.alloc_channel = np.full(scenario.n_users, UNALLOCATED, dtype=np.int64)
+        self._channel_valid = scenario.channel_mask
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def assign(self, j: int, server: int, channel: int) -> None:
+        """Allocate user ``j`` to ``(server, channel)``.
+
+        Enforces Eq. (1): the server must cover the user, and the channel
+        must exist on the server.  The user must currently be unallocated
+        (use :meth:`move` to relocate).
+        """
+        self._check_user(j)
+        if self.alloc_server[j] != UNALLOCATED:
+            raise AllocationError(f"user {j} is already allocated; use move()")
+        if not self.coverage[server, j]:
+            raise CoverageError(f"server {server} does not cover user {j}")
+        if not (0 <= channel < self.scenario.channels[server]):
+            raise AllocationError(
+                f"channel {channel} out of range for server {server} "
+                f"({self.scenario.channels[server]} channels)"
+            )
+        self.alloc_server[j] = server
+        self.alloc_channel[j] = channel
+        self.channel_power[server, channel] += self.power[j]
+        self.channel_count[server, channel] += 1
+
+    def unassign(self, j: int) -> None:
+        """Deallocate user ``j`` (no-op if already unallocated)."""
+        self._check_user(j)
+        i, x = self.alloc_server[j], self.alloc_channel[j]
+        if i == UNALLOCATED:
+            return
+        self.channel_power[i, x] -= self.power[j]
+        self.channel_count[i, x] -= 1
+        # Guard against float drift accumulating across many moves.
+        if self.channel_count[i, x] == 0:
+            self.channel_power[i, x] = 0.0
+        self.alloc_server[j] = UNALLOCATED
+        self.alloc_channel[j] = UNALLOCATED
+
+    def move(self, j: int, server: int, channel: int) -> None:
+        """Relocate user ``j`` to ``(server, channel)`` atomically."""
+        self.unassign(j)
+        self.assign(j, server, channel)
+
+    def reset(self) -> None:
+        """Return to the all-unallocated state."""
+        self.channel_power.fill(0.0)
+        self.channel_count.fill(0)
+        self.alloc_server.fill(UNALLOCATED)
+        self.alloc_channel.fill(UNALLOCATED)
+
+    def load_profile(self, server: np.ndarray, channel: np.ndarray) -> None:
+        """Replace the full allocation state from profile arrays."""
+        server = np.asarray(server, dtype=np.int64)
+        channel = np.asarray(channel, dtype=np.int64)
+        if server.shape != (self.scenario.n_users,) or channel.shape != server.shape:
+            raise AllocationError("profile arrays must both have shape (M,)")
+        self.reset()
+        for j in np.flatnonzero(server != UNALLOCATED):
+            self.assign(int(j), int(server[j]), int(channel[j]))
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def interference_profile(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-channel interference aggregate ``W_j[x]`` for user ``j``.
+
+        Returns ``(servers, W)`` where ``servers`` is ``V_j`` and ``W`` has
+        shape ``(X,)``: the gain-weighted power on each channel index summed
+        over the covering servers, excluding ``j``'s own contribution.
+        """
+        self._check_user(j)
+        servers = self.covering[j]
+        if len(servers) == 0:
+            return servers, np.zeros(self.n_channels)
+        g = self.gain[servers, j]
+        p = self.channel_power[servers, :]
+        w = g @ p
+        i, x = self.alloc_server[j], self.alloc_channel[j]
+        if i != UNALLOCATED:
+            w[x] -= self.gain[i, j] * self.power[j]
+            # Clamp tiny negative residue from float cancellation.
+            if w[x] < 0.0:
+                w[x] = 0.0
+        return servers, w
+
+    def candidates(self, j: int) -> CandidateView:
+        """Evaluate every candidate ``(server, channel)`` for user ``j``."""
+        servers, w = self.interference_profile(j)
+        s = len(servers)
+        if s == 0:
+            empty = np.empty((0, self.n_channels))
+            return CandidateView(
+                servers=servers,
+                valid=np.empty((0, self.n_channels), dtype=bool),
+                sinr=empty,
+                rate=empty,
+                benefit=empty,
+            )
+        signal = (self.gain[servers, j] * self.power[j])[:, None]  # (S, 1)
+        den = w[None, :] + self.noise  # (1, X) broadcast to (S, X)
+        sinr = signal / den
+        rate = capped_rate(self.bandwidth, sinr, self.scenario.rmax[j])
+        benefit = signal / (w[None, :] + signal)
+        valid = self._channel_valid[servers, : self.n_channels]
+        return CandidateView(servers=servers, valid=valid, sinr=sinr, rate=rate, benefit=benefit)
+
+    def user_sinr(self, j: int) -> float:
+        """SINR of user ``j`` at its current allocation (0 if unallocated)."""
+        self._check_user(j)
+        i, x = self.alloc_server[j], self.alloc_channel[j]
+        if i == UNALLOCATED:
+            return 0.0
+        _, w = self.interference_profile(j)
+        return float(self.gain[i, j] * self.power[j] / (w[x] + self.noise))
+
+    def user_rate(self, j: int) -> float:
+        """Eq. (4) data rate of user ``j`` at its current allocation."""
+        i = self.alloc_server[j]
+        if i == UNALLOCATED:
+            return 0.0
+        return float(
+            capped_rate(self.bandwidth, np.asarray(self.user_sinr(j)), self.scenario.rmax[j])
+        )
+
+    def user_benefit(self, j: int) -> float:
+        """Eq. (12) benefit of user ``j`` at its current allocation."""
+        self._check_user(j)
+        i, x = self.alloc_server[j], self.alloc_channel[j]
+        if i == UNALLOCATED:
+            return 0.0
+        _, w = self.interference_profile(j)
+        signal = self.gain[i, j] * self.power[j]
+        return float(signal / (w[x] + signal))
+
+    def rates(self) -> np.ndarray:
+        """Vectorised Eq. (4) rates for all users (``(M,)``, MB/s).
+
+        Unallocated users contribute zero, matching the indicator in
+        Eq. (4).
+        """
+        m = self.scenario.n_users
+        out = np.zeros(m)
+        alloc = np.flatnonzero(self.alloc_server != UNALLOCATED)
+        if len(alloc) == 0:
+            return out
+        a = self.alloc_server[alloc]
+        x = self.alloc_channel[alloc]
+        # Gain-weighted channel power from every server to each user, on the
+        # user's own channel index: (N, Ma) gather then a masked reduction
+        # over the covering servers only.
+        gw = self.gain[:, alloc] * self.coverage[:, alloc]  # (N, Ma)
+        p_sel = self.channel_power[:, x]  # (N, Ma)
+        w = np.einsum("nm,nm->m", gw, p_sel)
+        own = self.gain[a, alloc] * self.power[alloc]
+        w = np.maximum(w - own, 0.0)
+        sinr = own / (w + self.noise)
+        out[alloc] = capped_rate(self.bandwidth, sinr, self.scenario.rmax[alloc])
+        return out
+
+    def average_rate(self) -> float:
+        """Eq. (5): mean over **all** M users (unallocated count as zero)."""
+        m = self.scenario.n_users
+        if m == 0:
+            return 0.0
+        return float(self.rates().sum() / m)
+
+    def uncapped_rates(self) -> np.ndarray:
+        """Shannon rates without the ``R_max`` cap (diagnostics)."""
+        m = self.scenario.n_users
+        out = np.zeros(m)
+        for j in range(m):
+            i = self.alloc_server[j]
+            if i == UNALLOCATED:
+                continue
+            out[j] = float(shannon_rate(self.bandwidth, np.asarray(self.user_sinr(j))))
+        return out
+
+    # ------------------------------------------------------------------
+    def users_on(self, server: int, channel: int) -> np.ndarray:
+        """Indices of users allocated to ``(server, channel)``."""
+        return np.flatnonzero(
+            (self.alloc_server == server) & (self.alloc_channel == channel)
+        )
+
+    def _check_user(self, j: int) -> None:
+        if not (0 <= j < self.scenario.n_users):
+            raise AllocationError(f"user index {j} out of range [0, {self.scenario.n_users})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        allocated = int((self.alloc_server != UNALLOCATED).sum())
+        return (
+            f"SinrEngine(N={self.scenario.n_servers}, M={self.scenario.n_users}, "
+            f"allocated={allocated})"
+        )

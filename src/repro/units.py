@@ -1,0 +1,81 @@
+"""Unit conversions used throughout the IDDE models.
+
+The paper mixes telecom units (dBm noise floors, Watt transmit powers) with
+storage-system units (megabytes, MB/s link speeds, millisecond latencies).
+Centralising the conversions here keeps every model module dimensionally
+honest and makes the conventions testable in one place.
+
+Conventions
+-----------
+* Distances are **metres**.
+* Data sizes are **megabytes (MB)**.
+* Link speeds and data rates are **MB/s** (the paper reports ``MBps``).
+* Latencies are reported in **milliseconds** but computed internally in
+  seconds; :func:`seconds_to_ms` converts at the reporting boundary.
+* Transmit powers are **Watts**; the noise floor is configured in **dBm**
+  and converted to Watts with :func:`dbm_to_watts`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "mb_to_bytes",
+    "bytes_to_mb",
+    "MB",
+    "MS_PER_S",
+]
+
+#: Bytes per megabyte (decimal convention, as in storage marketing and the
+#: paper's MB/MBps figures).
+MB: int = 1_000_000
+
+#: Milliseconds per second.
+MS_PER_S: float = 1_000.0
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to Watts.
+
+    ``P[W] = 10 ** ((P[dBm] - 30) / 10)``.  The paper's additive white
+    Gaussian noise floor of −174 dBm converts to ≈ 3.98e−21 W.
+    """
+    return 10.0 ** ((dbm - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in Watts to dBm.
+
+    Raises
+    ------
+    ValueError
+        If ``watts`` is not strictly positive (dBm is a log scale).
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be > 0 W to express in dBm, got {watts!r}")
+    return 10.0 * math.log10(watts) + 30.0
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * MS_PER_S
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / MS_PER_S
+
+
+def mb_to_bytes(mb: float) -> float:
+    """Convert megabytes to bytes (decimal MB)."""
+    return mb * MB
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert bytes to megabytes (decimal MB)."""
+    return n_bytes / MB

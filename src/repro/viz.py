@@ -1,0 +1,107 @@
+"""Terminal visualisation: scenario maps and metric sparklines.
+
+No plotting backend is available offline, so the examples and CLI render
+with text: :func:`scenario_map` draws servers, coverage and users on a
+character grid; :func:`sparkline` and :func:`series_panel` compress sweep
+series into unicode bars for quick shape reading.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .core.profiles import AllocationProfile
+from .types import Scenario
+
+__all__ = ["scenario_map", "sparkline", "series_panel"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float] | np.ndarray) -> str:
+    """Render a numeric series as a unicode bar string.
+
+    Constant (or empty) series render as mid-height bars.
+    """
+    xs = np.asarray(list(values), dtype=float)
+    if xs.size == 0:
+        return ""
+    lo, hi = float(xs.min()), float(xs.max())
+    if not math.isfinite(lo) or not math.isfinite(hi):
+        raise ValueError("sparkline requires finite values")
+    if hi - lo < 1e-12:
+        return _BARS[3] * xs.size
+    scaled = (xs - lo) / (hi - lo) * (len(_BARS) - 1)
+    return "".join(_BARS[int(round(v))] for v in scaled)
+
+
+def series_panel(series: dict[str, list[float]], *, label_width: int = 10) -> str:
+    """One sparkline per named series, aligned, with min→max annotations."""
+    lines = []
+    for name, values in series.items():
+        xs = list(values)
+        if not xs:
+            continue
+        lines.append(
+            f"{name:>{label_width}} {sparkline(xs)}  "
+            f"[{min(xs):.1f} … {max(xs):.1f}]"
+        )
+    return "\n".join(lines)
+
+
+def scenario_map(
+    scenario: Scenario,
+    alloc: AllocationProfile | None = None,
+    *,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Draw the scenario on a character grid.
+
+    Glyphs: ``#`` server site, ``.`` covered ground, digits/letters users
+    (the glyph encodes the allocated server index modulo 36; ``?`` marks
+    unallocated users).  When two entities share a cell, servers win, then
+    users.
+    """
+    if width < 8 or height < 4:
+        raise ValueError(f"grid too small: {width}x{height}")
+    xs = np.concatenate([scenario.server_xy[:, 0], scenario.user_xy[:, 0]])
+    ys = np.concatenate([scenario.server_xy[:, 1], scenario.user_xy[:, 1]])
+    pad = max(float(scenario.radius.max()), 1.0)
+    x0, x1 = xs.min() - pad, xs.max() + pad
+    y0, y1 = ys.min() - pad, ys.max() + pad
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        cx = int((x - x0) / (x1 - x0) * (width - 1))
+        cy = int((y - y0) / (y1 - y0) * (height - 1))
+        return min(max(cy, 0), height - 1), min(max(cx, 0), width - 1)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # Coverage shading.
+    for r in range(height):
+        for c in range(width):
+            gx = x0 + (c + 0.5) / width * (x1 - x0)
+            gy = y0 + (r + 0.5) / height * (y1 - y0)
+            d2 = (scenario.server_xy[:, 0] - gx) ** 2 + (
+                scenario.server_xy[:, 1] - gy
+            ) ** 2
+            if (d2 <= scenario.radius**2).any():
+                grid[r][c] = "."
+
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyz"
+    for j in range(scenario.n_users):
+        r, c = to_cell(*scenario.user_xy[j])
+        if alloc is not None and alloc.server[j] >= 0:
+            grid[r][c] = glyphs[int(alloc.server[j]) % len(glyphs)]
+        else:
+            grid[r][c] = "?" if alloc is not None else "o"
+
+    for i in range(scenario.n_servers):
+        r, c = to_cell(*scenario.server_xy[i])
+        grid[r][c] = "#"
+
+    # y axis grows upward: print rows reversed.
+    return "\n".join("".join(row) for row in reversed(grid))

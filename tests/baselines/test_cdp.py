@@ -1,0 +1,46 @@
+"""CDP baseline tests."""
+
+import numpy as np
+
+from repro.baselines.cdp import CDP
+
+
+class TestAllocation:
+    def test_strongest_server(self, small_instance):
+        s = CDP().solve(small_instance, rng=0)
+        engine = small_instance.new_engine()
+        for j in range(small_instance.n_users):
+            cov = small_instance.scenario.covering_servers[j]
+            if len(cov) == 0:
+                continue
+            expected = int(cov[int(np.argmax(engine.gain[cov, j]))])
+            assert s.allocation.server[j] == expected
+
+    def test_channels_within_range(self, small_instance):
+        s = CDP().solve(small_instance, rng=0)
+        alloc = s.allocation
+        mask = alloc.allocated
+        channels = alloc.channel[mask]
+        servers = alloc.server[mask]
+        assert (channels >= 0).all()
+        assert (channels < small_instance.scenario.channels[servers]).all()
+
+
+class TestPlacement:
+    def test_places_popular_items_widely(self, medium_instance):
+        s = CDP().solve(medium_instance, rng=0)
+        popularity = medium_instance.requests_per_item
+        placed_per_item = s.delivery.placed.sum(axis=0)
+        # The most popular item gets at least as many replicas as the least
+        # popular one under the popularity-uniform demand model.
+        top = int(np.argmax(popularity))
+        bottom = int(np.argmin(popularity))
+        assert placed_per_item[top] >= placed_per_item[bottom]
+
+    def test_fast(self, medium_instance):
+        s = CDP().solve(medium_instance, rng=0)
+        assert s.wall_time_s < 1.0
+
+    def test_extras(self, small_instance):
+        s = CDP().solve(small_instance, rng=0)
+        assert s.extras["delivery_iterations"] >= 1

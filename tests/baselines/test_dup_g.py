@@ -1,0 +1,57 @@
+"""DUP-G baseline tests."""
+
+import numpy as np
+
+from repro.baselines.dup_g import DupG
+from repro.core.profiles import UNALLOCATED
+
+
+class TestServerGame:
+    def test_balances_load(self):
+        """With two co-located servers, the load-balancing game must split
+        users across them rather than piling onto one."""
+        from ..conftest import make_instance, make_scenario
+
+        rng = np.random.default_rng(0)
+        sc = make_scenario(
+            [[0.0, 0.0], [10.0, 0.0]],
+            rng.uniform(-50, 50, size=(12, 2)),
+            radius=500.0,
+        )
+        inst = make_instance(sc)
+        assigned, rounds = DupG()._server_game(inst)
+        counts = np.bincount(assigned[assigned != UNALLOCATED], minlength=2)
+        assert abs(int(counts[0]) - int(counts[1])) <= 2
+        assert rounds >= 1
+
+    def test_game_terminates(self, medium_instance):
+        assigned, rounds = DupG()._server_game(medium_instance)
+        assert rounds < DupG().max_rounds
+        covered = medium_instance.scenario.covered_users
+        assert ((assigned != UNALLOCATED) == covered).all()
+
+
+class TestPacking:
+    def test_all_serving_servers_pack_same_head(self, medium_instance):
+        """Collaboration-blind packing: every serving server holds the
+        most popular item that fits, so the head is replicated everywhere
+        it can be."""
+        s = DupG().solve(medium_instance, rng=0)
+        popularity = medium_instance.requests_per_item.astype(float)
+        sizes = medium_instance.scenario.sizes
+        head = int(np.argmax(popularity / sizes))
+        serving = np.unique(s.allocation.server[s.allocation.allocated])
+        fits = medium_instance.scenario.storage[serving] >= sizes[head]
+        assert s.delivery.placed[serving[fits], head].all()
+
+    def test_idle_servers_store_nothing(self, line_instance):
+        s = DupG().solve(line_instance, rng=0)
+        idle = np.setdiff1d(
+            np.arange(line_instance.n_servers),
+            np.unique(s.allocation.server[s.allocation.allocated]),
+        )
+        assert s.delivery.placed[idle].sum() == 0
+
+    def test_extras(self, small_instance):
+        s = DupG().solve(small_instance, rng=0)
+        assert s.extras["game_rounds"] >= 1

@@ -1,0 +1,57 @@
+"""SAA baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.saa import SAA
+from repro.core.objectives import average_delivery_latency_ms
+from repro.core.profiles import DeliveryProfile
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_samples": 0},
+            {"n_rounds": 0},
+            {"sample_fraction": 0.0},
+            {"sample_fraction": 1.5},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            SAA(**kwargs)
+
+
+class TestBehaviour:
+    def test_allocation_random_but_covered(self, small_instance):
+        s = SAA(n_samples=3, n_rounds=1).solve(small_instance, rng=0)
+        s.allocation.validate(small_instance.scenario)
+        assert s.allocation.n_allocated == int(
+            small_instance.scenario.covered_users.sum()
+        )
+
+    def test_placement_avoids_pointless_duplicates(self, line_instance):
+        """With better-response refinement, a server skips items that a
+        peer already serves cheaply when its own demand is lower-value."""
+        s = SAA(n_samples=20, n_rounds=2).solve(line_instance, rng=0)
+        # The placement must reduce latency below cloud-only.
+        empty = DeliveryProfile.empty(4, 3)
+        cloud_only = average_delivery_latency_ms(line_instance, s.allocation, empty)
+        assert s.l_avg_ms < cloud_only
+
+    def test_more_samples_cost_more_time(self, medium_instance):
+        cheap = SAA(n_samples=2, n_rounds=1).solve(medium_instance, rng=0)
+        pricey = SAA(n_samples=80, n_rounds=3).solve(medium_instance, rng=0)
+        assert pricey.wall_time_s > cheap.wall_time_s
+
+    def test_extras(self, small_instance):
+        s = SAA(n_samples=4, n_rounds=2).solve(small_instance, rng=0)
+        assert s.extras == {"n_samples": 4, "n_rounds": 2}
+
+    def test_sampling_seed_sensitivity(self, small_instance):
+        a = SAA(n_samples=3, n_rounds=1).solve(small_instance, rng=0)
+        b = SAA(n_samples=3, n_rounds=1).solve(small_instance, rng=99)
+        # Different sampling streams may change the profile; both valid.
+        a.delivery.validate(small_instance.scenario)
+        b.delivery.validate(small_instance.scenario)

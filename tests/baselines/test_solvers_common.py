@@ -1,0 +1,49 @@
+"""Contract tests every approach must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CDP, SAA, DupG, IddeIP, NearestNeighbor, RandomSolver
+from repro.core.idde_g import IddeG
+
+ALL_SOLVERS = [
+    pytest.param(lambda: IddeG(), id="IDDE-G"),
+    pytest.param(lambda: IddeIP(time_budget_s=0.3), id="IDDE-IP"),
+    pytest.param(lambda: SAA(n_samples=5, n_rounds=1), id="SAA"),
+    pytest.param(lambda: CDP(), id="CDP"),
+    pytest.param(lambda: DupG(), id="DUP-G"),
+    pytest.param(lambda: RandomSolver(), id="Random"),
+    pytest.param(lambda: NearestNeighbor(), id="Nearest"),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_SOLVERS)
+class TestSolverContract:
+    def test_produces_valid_strategy(self, factory, small_instance):
+        strategy = factory().solve(small_instance, rng=0)
+        # solve() already validates; re-validate explicitly for belt and
+        # braces, and check the metric ranges.
+        strategy.allocation.validate(small_instance.scenario)
+        strategy.delivery.validate(small_instance.scenario)
+        assert strategy.r_avg >= 0
+        assert strategy.l_avg_ms >= 0
+        assert strategy.wall_time_s > 0
+
+    def test_all_covered_users_allocated(self, factory, small_instance):
+        strategy = factory().solve(small_instance, rng=0)
+        covered = small_instance.scenario.covered_users
+        assert (strategy.allocation.allocated >= covered).all() or (
+            strategy.allocation.allocated == covered
+        ).all()
+
+    def test_latency_never_beats_full_local_replication(self, factory, line_instance):
+        strategy = factory().solve(line_instance, rng=0)
+        assert strategy.l_avg_ms >= 0.0
+
+    def test_deterministic_given_rng(self, factory, small_instance):
+        a = factory().solve(small_instance, rng=np.random.default_rng(7))
+        b = factory().solve(small_instance, rng=np.random.default_rng(7))
+        if isinstance(factory(), IddeIP):
+            pytest.skip("IDDE-IP is wall-clock budgeted, not proposal budgeted")
+        assert a.allocation == b.allocation
+        assert a.delivery == b.delivery

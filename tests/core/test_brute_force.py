@@ -1,0 +1,80 @@
+"""Brute-force oracle tests."""
+
+import pytest
+
+from repro.core.brute_force import (
+    enumerate_allocations,
+    optimal_allocation,
+    optimal_delivery,
+)
+from repro.core.instance import IDDEInstance
+from repro.core.objectives import average_delivery_latency_ms
+from repro.core.profiles import AllocationProfile
+from repro.errors import SolverError
+from repro.topology.graph import build_topology
+
+from ..conftest import make_scenario
+
+
+@pytest.fixture
+def micro_instance():
+    """2 servers / 3 users / 2 items, full coverage — enumerable."""
+    sc = make_scenario(
+        [[0.0, 0.0], [150.0, 0.0]],
+        [[20.0, 10.0], [100.0, -10.0], [140.0, 30.0]],
+        radius=400.0,
+        channels=2,
+        storage=70.0,
+        sizes=(30.0, 60.0),
+    )
+    topo = build_topology(2, 2.0, 0)
+    return IDDEInstance(sc, topo)
+
+
+class TestOptimalDelivery:
+    def test_returns_feasible(self, micro_instance):
+        alloc = AllocationProfile.empty(3)
+        alloc.server[:] = [0, 1, 1]
+        alloc.channel[:] = [0, 0, 1]
+        profile, latency = optimal_delivery(micro_instance, alloc)
+        profile.validate(micro_instance.scenario)
+        assert latency == pytest.approx(
+            average_delivery_latency_ms(micro_instance, alloc, profile)
+        )
+
+    def test_optimum_not_worse_than_greedy(self, micro_instance):
+        from repro.core.delivery import greedy_delivery
+
+        alloc = AllocationProfile.empty(3)
+        alloc.server[:] = [0, 1, 1]
+        alloc.channel[:] = [0, 0, 1]
+        _, l_opt = optimal_delivery(micro_instance, alloc)
+        greedy = greedy_delivery(micro_instance, alloc)
+        l_greedy = average_delivery_latency_ms(micro_instance, alloc, greedy.profile)
+        assert l_opt <= l_greedy + 1e-9
+
+    def test_guard_on_large_instances(self, medium_instance):
+        with pytest.raises(SolverError):
+            optimal_delivery(
+                medium_instance, AllocationProfile.empty(medium_instance.n_users)
+            )
+
+
+class TestOptimalAllocation:
+    def test_enumeration_counts(self, micro_instance):
+        # 3 users × (2 servers × 2 channels) = 4^3 = 64 profiles.
+        profiles = list(enumerate_allocations(micro_instance))
+        assert len(profiles) == 64
+
+    def test_optimum_not_worse_than_nash(self, micro_instance):
+        from repro.core.game import IddeUGame
+        from repro.core.objectives import average_data_rate
+
+        _, r_opt = optimal_allocation(micro_instance)
+        nash = IddeUGame(micro_instance).run(rng=0)
+        r_nash = average_data_rate(micro_instance, nash.profile)
+        assert r_opt >= r_nash - 1e-9
+
+    def test_guard_on_large_instances(self, medium_instance):
+        with pytest.raises(SolverError):
+            list(enumerate_allocations(medium_instance))

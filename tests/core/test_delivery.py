@@ -1,0 +1,166 @@
+"""Phase 2 greedy delivery tests (Algorithm 1 lines 22-26, Eq. 17)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DeliveryConfig
+from repro.core.delivery import attached_request_counts, greedy_delivery
+from repro.core.game import IddeUGame
+from repro.core.objectives import average_delivery_latency_ms
+from repro.core.profiles import AllocationProfile, DeliveryProfile
+
+
+@pytest.fixture
+def line_alloc(line_instance):
+    """Users attached to their (unique) covering server."""
+    alloc = AllocationProfile.empty(line_instance.n_users)
+    for j in range(line_instance.n_users):
+        cov = line_instance.scenario.covering_servers[j]
+        alloc.server[j] = int(cov[0])
+        alloc.channel[j] = 0
+    return alloc
+
+
+class TestAttachedCounts:
+    def test_counts(self, line_instance, line_alloc):
+        counts = attached_request_counts(line_instance, line_alloc)
+        assert counts.shape == (3, 4)
+        # 2 users per server, item j % 3.
+        assert counts.sum() == line_instance.scenario.requests.sum()
+
+    def test_unallocated_excluded(self, line_instance):
+        alloc = AllocationProfile.empty(line_instance.n_users)
+        counts = attached_request_counts(line_instance, alloc)
+        assert counts.sum() == 0
+
+
+class TestGreedy:
+    def test_respects_storage(self, line_instance, line_alloc):
+        result = greedy_delivery(line_instance, line_alloc)
+        result.profile.validate(line_instance.scenario)
+
+    def test_reduces_latency(self, line_instance, line_alloc):
+        empty = DeliveryProfile.empty(4, 3)
+        before = average_delivery_latency_ms(line_instance, line_alloc, empty)
+        result = greedy_delivery(line_instance, line_alloc)
+        after = average_delivery_latency_ms(line_instance, line_alloc, result.profile)
+        assert after < before
+
+    def test_placements_monotone_improve(self, line_instance, line_alloc):
+        """Replaying the greedy's placement sequence never increases L_avg."""
+        result = greedy_delivery(line_instance, line_alloc)
+        profile = DeliveryProfile.empty(4, 3)
+        last = average_delivery_latency_ms(line_instance, line_alloc, profile)
+        for i, k in result.placements:
+            profile.placed[i, k] = True
+            cur = average_delivery_latency_ms(line_instance, line_alloc, profile)
+            assert cur <= last + 1e-9
+            last = cur
+
+    def test_no_useless_replicas(self, line_instance, line_alloc):
+        """Every placement the greedy makes strictly reduced latency."""
+        result = greedy_delivery(line_instance, line_alloc)
+        profile = DeliveryProfile.empty(4, 3)
+        last = average_delivery_latency_ms(line_instance, line_alloc, profile)
+        for i, k in result.placements:
+            profile.placed[i, k] = True
+            cur = average_delivery_latency_ms(line_instance, line_alloc, profile)
+            assert cur < last - 1e-12
+            last = cur
+
+    def test_empty_alloc_places_nothing(self, line_instance):
+        alloc = AllocationProfile.empty(line_instance.n_users)
+        result = greedy_delivery(line_instance, alloc)
+        assert result.profile.n_replicas == 0
+
+    def test_gain_accounting(self, line_instance, line_alloc):
+        result = greedy_delivery(line_instance, line_alloc)
+        empty = DeliveryProfile.empty(4, 3)
+        before = average_delivery_latency_ms(line_instance, line_alloc, empty)
+        after = average_delivery_latency_ms(line_instance, line_alloc, result.profile)
+        total_requests = line_instance.scenario.requests.sum()
+        # total_gain_s is the sum over requests; convert to the average.
+        assert (before - after) == pytest.approx(
+            1000.0 * result.total_gain_s / total_requests, rel=1e-9
+        )
+
+    def test_zero_storage_places_nothing(self, line_instance, line_alloc):
+        from ..conftest import make_scenario
+        from repro.core.instance import IDDEInstance
+
+        sc = line_instance.scenario
+        tight = make_scenario(
+            sc.server_xy,
+            sc.user_xy,
+            radius=150.0,
+            storage=0.0,
+            sizes=tuple(sc.sizes),
+            requests=sc.requests,
+        )
+        inst = IDDEInstance(tight, line_instance.topology)
+        result = greedy_delivery(inst, line_alloc)
+        assert result.profile.n_replicas == 0
+
+    def test_weights_override(self, line_instance, line_alloc):
+        weights = np.zeros((3, 4))
+        weights[0, 0] = 5.0  # only item 0 at server 0 is worth anything
+        result = greedy_delivery(line_instance, line_alloc, weights=weights)
+        assert result.profile.placed[0, 0]
+        # No weight elsewhere: item 1/2 replicas only placed if they reduce
+        # the weighted objective, which they cannot.
+        assert result.profile.placed[:, 1:].sum() == 0
+
+    def test_weights_shape_checked(self, line_instance, line_alloc):
+        with pytest.raises(ValueError):
+            greedy_delivery(line_instance, line_alloc, weights=np.zeros((2, 2)))
+
+
+class TestRatioVsAbsolute:
+    def test_ratio_rule_wins_when_big_item_crowds_storage(self):
+        """Eq. (17)'s per-byte rule beats absolute gain when one big item
+        would crowd out several small high-value placements — the regime
+        the paper's ratio normalisation targets (ablation A1)."""
+        from ..conftest import make_instance, make_scenario
+
+        # One server, 90 MB of storage.  Item 0 is 90 MB with 4 requesters;
+        # items 1-3 are 30 MB with 10 requesters each.  Absolute gain picks
+        # the big item (0.6 s saved) and fills the disk; the per-byte rule
+        # picks the three small items (1.5 s saved).
+        n_users = 34
+        requests = np.zeros((n_users, 4), dtype=bool)
+        requests[:4, 0] = True
+        for u in range(4, 14):
+            requests[u, 1] = True
+        for u in range(14, 24):
+            requests[u, 2] = True
+        for u in range(24, 34):
+            requests[u, 3] = True
+        rng = np.random.default_rng(0)
+        sc = make_scenario(
+            [[0.0, 0.0]],
+            rng.uniform(-50, 50, size=(n_users, 2)),
+            radius=300.0,
+            storage=90.0,
+            sizes=(90.0, 30.0, 30.0, 30.0),
+            requests=requests,
+        )
+        inst = make_instance(sc, density=0.0)
+        alloc = AllocationProfile.empty(n_users)
+        alloc.server[:] = 0
+        alloc.channel[:] = np.arange(n_users) % 2
+        ratio = greedy_delivery(inst, alloc, DeliveryConfig(ratio_rule=True))
+        absolute = greedy_delivery(inst, alloc, DeliveryConfig(ratio_rule=False))
+        l_ratio = average_delivery_latency_ms(inst, alloc, ratio.profile)
+        l_abs = average_delivery_latency_ms(inst, alloc, absolute.profile)
+        assert l_ratio < l_abs
+        assert absolute.profile.placed[0, 0]
+        assert not ratio.profile.placed[0, 0]
+
+    def test_both_rules_feasible_on_generated_instance(self, medium_instance):
+        game = IddeUGame(medium_instance)
+        alloc = game.run(rng=0).profile
+        for rule in (True, False):
+            result = greedy_delivery(
+                medium_instance, alloc, DeliveryConfig(ratio_rule=rule)
+            )
+            result.profile.validate(medium_instance.scenario)

@@ -1,0 +1,54 @@
+"""IDDE-G solver composition tests."""
+
+import pytest
+
+from repro.config import DeliveryConfig, GameConfig
+from repro.core.idde_g import IddeG
+from repro.core.objectives import average_data_rate, average_delivery_latency_ms
+
+
+class TestIddeG:
+    def test_solves_and_validates(self, small_instance):
+        strategy = IddeG().solve(small_instance, rng=0)
+        assert strategy.solver == "IDDE-G"
+        assert strategy.r_avg > 0
+        assert strategy.l_avg_ms >= 0
+        assert strategy.wall_time_s > 0
+
+    def test_extras(self, small_instance):
+        strategy = IddeG().solve(small_instance, rng=0)
+        assert strategy.extras["game_converged"]
+        assert strategy.extras["is_nash"]
+        assert strategy.extras["replicas"] == strategy.delivery.n_replicas
+
+    def test_objectives_consistent(self, small_instance):
+        s = IddeG().solve(small_instance, rng=0)
+        assert s.r_avg == pytest.approx(
+            average_data_rate(small_instance, s.allocation)
+        )
+        assert s.l_avg_ms == pytest.approx(
+            average_delivery_latency_ms(small_instance, s.allocation, s.delivery)
+        )
+
+    def test_deterministic_with_round_robin(self, small_instance):
+        a = IddeG().solve(small_instance, rng=0)
+        b = IddeG().solve(small_instance, rng=0)
+        assert a.allocation == b.allocation
+        assert a.delivery == b.delivery
+
+    def test_custom_configs(self, small_instance):
+        solver = IddeG(
+            game=GameConfig(schedule="best-gain-winner"),
+            delivery=DeliveryConfig(ratio_rule=False),
+        )
+        s = solver.solve(small_instance, rng=0)
+        assert s.extras["is_nash"]
+
+    def test_potential_trace_opt_in(self, small_instance):
+        s = IddeG(track_potential=True).solve(small_instance, rng=0)
+        assert "potential_trace" in s.extras
+        assert len(s.extras["potential_trace"]) >= 1
+
+    def test_no_trace_by_default(self, small_instance):
+        s = IddeG().solve(small_instance, rng=0)
+        assert "potential_trace" not in s.extras

@@ -1,0 +1,71 @@
+"""IDDEInstance tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import ScenarioConfig, WorkloadConfig
+from repro.core.instance import IDDEInstance
+from repro.datasets.eua import synthetic_eua
+from repro.errors import ScenarioError
+from repro.topology.graph import build_topology
+
+from ..conftest import make_scenario
+
+
+class TestConstruction:
+    def test_topology_size_checked(self, tiny_scenario):
+        topo = build_topology(5, 1.0, 0)  # wrong server count
+        with pytest.raises(ScenarioError):
+            IDDEInstance(tiny_scenario, topo)
+
+    def test_properties(self, tiny_instance):
+        assert tiny_instance.n_servers == 3
+        assert tiny_instance.n_users == 6
+        assert tiny_instance.n_data == 2
+
+    def test_requests_per_item(self, tiny_instance):
+        # conftest assigns item j % K: 3 users each.
+        assert tiny_instance.requests_per_item.tolist() == [3, 3]
+
+    def test_new_engine_fresh(self, tiny_instance):
+        e1 = tiny_instance.new_engine()
+        e1.assign(0, 0, 0)
+        e2 = tiny_instance.new_engine()
+        assert e2.channel_count.sum() == 0
+
+    def test_latency_model_cached(self, tiny_instance):
+        assert tiny_instance.latency_model is tiny_instance.latency_model
+
+
+class TestGenerate:
+    def test_dimensions(self):
+        inst = IDDEInstance.generate(n=12, m=40, k=3, density=1.5, seed=9)
+        assert inst.n_servers == 12 and inst.n_users == 40 and inst.n_data == 3
+        assert inst.topology.n_links == 18
+
+    def test_deterministic(self):
+        a = IDDEInstance.generate(n=10, m=20, k=2, seed=4)
+        b = IDDEInstance.generate(n=10, m=20, k=2, seed=4)
+        assert np.allclose(a.scenario.server_xy, b.scenario.server_xy)
+        assert np.array_equal(a.topology.links, b.topology.links)
+        assert np.array_equal(a.scenario.requests, b.scenario.requests)
+
+    def test_seed_changes_instance(self):
+        a = IDDEInstance.generate(n=10, m=20, k=2, seed=4)
+        b = IDDEInstance.generate(n=10, m=20, k=2, seed=5)
+        assert not np.allclose(a.scenario.server_xy, b.scenario.server_xy)
+
+    def test_shared_pool(self):
+        pool = synthetic_eua(0)
+        inst = IDDEInstance.generate(n=10, m=20, k=2, seed=1, pool=pool)
+        # Every chosen server position exists in the pool.
+        for row in inst.scenario.server_xy:
+            assert (np.isclose(pool.server_xy, row).all(axis=1)).any()
+
+    def test_custom_config(self):
+        cfg = ScenarioConfig(workload=WorkloadConfig(requests_per_user=2))
+        inst = IDDEInstance.generate(n=8, m=15, k=4, seed=2, config=cfg)
+        assert (inst.scenario.requests.sum(axis=1) == 2).all()
+
+    def test_repr(self, small_instance):
+        assert "IDDEInstance(N=8, M=30, K=4" in repr(small_instance)

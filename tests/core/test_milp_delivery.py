@@ -1,0 +1,106 @@
+"""Exact MILP delivery oracle tests (HiGHS via scipy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import optimal_delivery
+from repro.core.delivery import greedy_delivery
+from repro.core.game import IddeUGame
+from repro.core.objectives import average_delivery_latency_ms
+from repro.core.profiles import AllocationProfile
+from repro.solvers import optimal_delivery_milp
+
+
+def equilibrium(instance):
+    return IddeUGame(instance).run(rng=0).profile
+
+
+class TestAgainstBruteForce:
+    def test_matches_exhaustive_optimum(self, line_instance):
+        alloc = AllocationProfile.empty(line_instance.n_users)
+        for j in range(line_instance.n_users):
+            cov = line_instance.scenario.covering_servers[j]
+            alloc.server[j] = int(cov[0])
+            alloc.channel[j] = 0
+        _, l_brute = optimal_delivery(line_instance, alloc)
+        milp = optimal_delivery_milp(line_instance, alloc)
+        assert milp.l_avg_ms == pytest.approx(l_brute, abs=1e-6)
+
+    def test_matches_on_random_micro_instances(self):
+        from repro.core.instance import IDDEInstance
+        from repro.topology.graph import build_topology
+        from ..conftest import make_scenario
+
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            sc = make_scenario(
+                rng.uniform(0, 300, size=(3, 2)),
+                rng.uniform(0, 300, size=(4, 2)),
+                radius=600.0,
+                storage=float(rng.uniform(50, 120)),
+                sizes=(30.0, 60.0),
+            )
+            instance = IDDEInstance(sc, build_topology(3, 2.0, seed))
+            alloc = equilibrium(instance)
+            _, l_brute = optimal_delivery(instance, alloc)
+            milp = optimal_delivery_milp(instance, alloc)
+            assert milp.l_avg_ms == pytest.approx(l_brute, abs=1e-6)
+
+
+class TestAgainstGreedy:
+    def test_never_worse_than_greedy(self, medium_instance):
+        alloc = equilibrium(medium_instance)
+        greedy = greedy_delivery(medium_instance, alloc)
+        l_greedy = average_delivery_latency_ms(
+            medium_instance, alloc, greedy.profile
+        )
+        milp = optimal_delivery_milp(medium_instance, alloc)
+        assert milp.l_avg_ms <= l_greedy + 1e-6
+
+    def test_greedy_within_theoretical_guarantee(self, medium_instance):
+        """The Theorem 6/7 guarantee against the *exact* optimum at a scale
+        brute force cannot reach."""
+        from repro.core.bounds import greedy_approximation_factor
+        from repro.core.profiles import DeliveryProfile
+
+        alloc = equilibrium(medium_instance)
+        empty = DeliveryProfile.empty(medium_instance.n_servers, medium_instance.n_data)
+        phi = average_delivery_latency_ms(medium_instance, alloc, empty)
+        milp = optimal_delivery_milp(medium_instance, alloc)
+        greedy = greedy_delivery(medium_instance, alloc)
+        l_greedy = average_delivery_latency_ms(
+            medium_instance, alloc, greedy.profile
+        )
+        factor = greedy_approximation_factor(medium_instance)
+        assert (phi - l_greedy) >= factor * (phi - milp.l_avg_ms) - 1e-9
+
+
+class TestModel:
+    def test_profile_feasible(self, medium_instance):
+        alloc = equilibrium(medium_instance)
+        milp = optimal_delivery_milp(medium_instance, alloc)
+        milp.profile.validate(medium_instance.scenario)
+
+    def test_empty_allocation_places_nothing_useful(self, line_instance):
+        alloc = AllocationProfile.empty(line_instance.n_users)
+        milp = optimal_delivery_milp(line_instance, alloc)
+        # No attached demand: the objective is empty and sigma = 0 is optimal.
+        assert milp.l_avg_ms == pytest.approx(
+            average_delivery_latency_ms(line_instance, alloc, milp.profile)
+        )
+
+    def test_metadata(self, line_instance):
+        alloc = AllocationProfile.empty(line_instance.n_users)
+        for j in range(line_instance.n_users):
+            cov = line_instance.scenario.covering_servers[j]
+            alloc.server[j] = int(cov[0])
+            alloc.channel[j] = 0
+        milp = optimal_delivery_milp(line_instance, alloc)
+        assert milp.status == 0
+        assert milp.n_variables > 0
+        assert milp.n_constraints > 0
+
+    def test_time_limit_accepts_option(self, medium_instance):
+        alloc = equilibrium(medium_instance)
+        milp = optimal_delivery_milp(medium_instance, alloc, time_limit_s=30.0)
+        milp.profile.validate(medium_instance.scenario)

@@ -1,0 +1,143 @@
+"""Objective evaluation tests (Eqs. 5 and 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import (
+    average_data_rate,
+    average_delivery_latency_ms,
+    evaluate,
+    per_user_latencies,
+    retrieval_cost_table,
+)
+from repro.core.profiles import AllocationProfile, DeliveryProfile
+
+
+def full_alloc(instance):
+    """Attach every user to its strongest covering server, channel 0."""
+    engine = instance.new_engine()
+    alloc = AllocationProfile.empty(instance.n_users)
+    for j in range(instance.n_users):
+        cov = instance.scenario.covering_servers[j]
+        if len(cov) == 0:
+            continue
+        i = int(cov[int(np.argmax(engine.gain[cov, j]))])
+        alloc.server[j] = i
+        alloc.channel[j] = 0
+    return alloc
+
+
+class TestRetrievalCostTable:
+    def test_empty_profile_is_cloud(self, line_instance):
+        table = retrieval_cost_table(line_instance, DeliveryProfile.empty(4, 3))
+        sizes = line_instance.scenario.sizes
+        cloud = line_instance.latency_model.cloud_cost
+        assert np.allclose(table, sizes[None, :] * cloud)
+
+    def test_local_replica_is_free(self, line_instance):
+        d = DeliveryProfile.empty(4, 3)
+        d.placed[2, 1] = True
+        table = retrieval_cost_table(line_instance, d)
+        assert table[2, 1] == 0.0
+
+    def test_neighbor_replica_one_hop(self, line_instance):
+        d = DeliveryProfile.empty(4, 3)
+        d.placed[0, 0] = True
+        table = retrieval_cost_table(line_instance, d)
+        s0 = line_instance.scenario.sizes[0]
+        assert table[1, 0] == pytest.approx(s0 / 3000.0)
+
+    def test_never_exceeds_cloud(self, line_instance):
+        d = DeliveryProfile.empty(4, 3)
+        d.placed[0, :] = True
+        table = retrieval_cost_table(line_instance, d)
+        sizes = line_instance.scenario.sizes
+        cloud = line_instance.latency_model.cloud_cost
+        assert (table <= sizes[None, :] * cloud + 1e-15).all()
+
+    def test_min_over_origins(self, line_instance):
+        d = DeliveryProfile.empty(4, 3)
+        d.placed[0, 0] = True
+        d.placed[3, 0] = True
+        table = retrieval_cost_table(line_instance, d)
+        s0 = line_instance.scenario.sizes[0]
+        # server 1 is 1 hop from 0 and 2 hops from 3.
+        assert table[1, 0] == pytest.approx(s0 / 3000.0)
+
+
+class TestPerUserLatencies:
+    def test_unallocated_pay_cloud(self, line_instance):
+        alloc = AllocationProfile.empty(line_instance.n_users)
+        d = DeliveryProfile.empty(4, 3)
+        d.placed[:, :] = True
+        lat = per_user_latencies(line_instance, alloc, d)
+        sizes = line_instance.scenario.sizes
+        cloud = line_instance.latency_model.cloud_cost
+        assert np.allclose(lat, sizes[None, :] * cloud)
+
+    def test_allocated_gather(self, line_instance):
+        alloc = full_alloc(line_instance)
+        d = DeliveryProfile.empty(4, 3)
+        d.placed[0, 0] = True
+        lat = per_user_latencies(line_instance, alloc, d)
+        # Users attached to server 0 fetch item 0 locally.
+        for j in np.flatnonzero(alloc.server == 0):
+            assert lat[j, 0] == 0.0
+
+
+class TestAverages:
+    def test_latency_zero_with_full_replication(self, line_instance):
+        alloc = full_alloc(line_instance)
+        d = DeliveryProfile.empty(4, 3)
+        d.placed[:, :] = True
+        assert average_delivery_latency_ms(line_instance, alloc, d) == 0.0
+
+    def test_latency_cloud_with_empty_profile(self, line_instance):
+        alloc = full_alloc(line_instance)
+        d = DeliveryProfile.empty(4, 3)
+        l_ms = average_delivery_latency_ms(line_instance, alloc, d)
+        zeta = line_instance.scenario.requests
+        sizes = line_instance.scenario.sizes
+        cloud = line_instance.latency_model.cloud_cost
+        expected = 1000.0 * (zeta * sizes[None, :] * cloud).sum() / zeta.sum()
+        assert l_ms == pytest.approx(expected)
+
+    def test_rate_matches_engine(self, line_instance):
+        alloc = full_alloc(line_instance)
+        engine = line_instance.new_engine()
+        engine.load_profile(alloc.server, alloc.channel)
+        assert average_data_rate(line_instance, alloc) == pytest.approx(
+            engine.average_rate()
+        )
+
+    def test_rate_empty_alloc_zero(self, line_instance):
+        alloc = AllocationProfile.empty(line_instance.n_users)
+        assert average_data_rate(line_instance, alloc) == 0.0
+
+
+class TestEvaluate:
+    def test_bundle_consistency(self, line_instance):
+        alloc = full_alloc(line_instance)
+        d = DeliveryProfile.empty(4, 3)
+        d.placed[0, :] = True
+        ev = evaluate(line_instance, alloc, d)
+        assert ev.r_avg == pytest.approx(average_data_rate(line_instance, alloc))
+        assert ev.l_avg_ms == pytest.approx(
+            average_delivery_latency_ms(line_instance, alloc, d)
+        )
+        assert ev.allocated_users == alloc.n_allocated
+        assert ev.replicas == 3
+        assert ev.rates.shape == (line_instance.n_users,)
+        assert ev.latencies_ms.shape == (line_instance.n_users,)
+
+    def test_per_user_latency_only_requested(self, line_instance):
+        alloc = full_alloc(line_instance)
+        d = DeliveryProfile.empty(4, 3)
+        ev = evaluate(line_instance, alloc, d)
+        # Every user requests exactly one item here; per-user ms equals the
+        # latency of that item.
+        zeta = line_instance.scenario.requests
+        lat = per_user_latencies(line_instance, alloc, d)
+        for j in range(line_instance.n_users):
+            k = int(np.flatnonzero(zeta[j])[0])
+            assert ev.latencies_ms[j] == pytest.approx(1000.0 * lat[j, k])

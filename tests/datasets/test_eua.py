@@ -1,0 +1,127 @@
+"""EUA pool and scenario-sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.eua import EuaPool, load_eua_csv, sample_scenario, synthetic_eua
+from repro.datasets.melbourne import CBD_REGION, EUA_SERVER_COUNT, EUA_USER_COUNT
+from repro.errors import DatasetError, ScenarioError
+from repro.geometry import coverage_matrix
+
+
+class TestSyntheticEua:
+    def test_pool_dimensions(self):
+        pool = synthetic_eua(0)
+        assert pool.n_servers == EUA_SERVER_COUNT
+        assert pool.n_users == EUA_USER_COUNT
+
+    def test_deterministic(self):
+        a, b = synthetic_eua(5), synthetic_eua(5)
+        assert np.allclose(a.server_xy, b.server_xy)
+        assert np.allclose(a.user_xy, b.user_xy)
+
+    def test_seed_changes_pool(self):
+        assert not np.allclose(synthetic_eua(1).server_xy, synthetic_eua(2).server_xy)
+
+    def test_servers_in_region(self):
+        pool = synthetic_eua(3)
+        assert CBD_REGION.contains(pool.server_xy).all()
+
+    def test_every_pool_user_covered(self):
+        pool = synthetic_eua(4)
+        cov = coverage_matrix(pool.server_xy, pool.radius, pool.user_xy)
+        assert cov.any(axis=0).all()
+
+    def test_custom_size(self):
+        pool = synthetic_eua(0, n_servers=10, n_users=50)
+        assert pool.n_servers == 10 and pool.n_users == 50
+
+
+class TestEuaPoolValidation:
+    def test_bad_radius(self):
+        with pytest.raises(DatasetError):
+            EuaPool(
+                server_xy=np.zeros((2, 2)),
+                radius=np.array([1.0, 0.0]),
+                user_xy=np.zeros((1, 2)),
+            )
+
+    def test_bad_shapes(self):
+        with pytest.raises(DatasetError):
+            EuaPool(
+                server_xy=np.zeros((2, 3)),
+                radius=np.ones(2),
+                user_xy=np.zeros((1, 2)),
+            )
+
+
+class TestCsvLoader:
+    def test_round_trip(self, tmp_path):
+        servers = tmp_path / "servers.csv"
+        servers.write_text(
+            "SITE_ID,LATITUDE,LONGITUDE\n1,-37.8136,144.9631\n2,-37.8150,144.9700\n"
+        )
+        users = tmp_path / "users.csv"
+        users.write_text("Latitude,Longitude\n-37.8140,144.9650\n")
+        pool = load_eua_csv(servers, users)
+        assert pool.n_servers == 2 and pool.n_users == 1
+        # ~600 m between the two sites.
+        d = np.linalg.norm(pool.server_xy[0] - pool.server_xy[1])
+        assert 500 < d < 700
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_eua_csv(tmp_path / "nope.csv", tmp_path / "nope2.csv")
+
+    def test_missing_columns(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x,y\n1,2\n")
+        with pytest.raises(DatasetError):
+            load_eua_csv(bad, bad)
+
+    def test_bad_row(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("LATITUDE,LONGITUDE\nfoo,bar\n")
+        with pytest.raises(DatasetError):
+            load_eua_csv(bad, bad)
+
+
+class TestSampleScenario:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        return synthetic_eua(0)
+
+    def test_dimensions(self, pool):
+        sc = sample_scenario(pool, 20, 100, 5, np.random.default_rng(0))
+        assert sc.n_servers == 20 and sc.n_users == 100 and sc.n_data == 5
+
+    def test_every_user_covered(self, pool):
+        sc = sample_scenario(pool, 25, 150, 4, np.random.default_rng(1))
+        assert sc.covered_users.all()
+
+    def test_deterministic_given_rng(self, pool):
+        a = sample_scenario(pool, 10, 30, 3, np.random.default_rng(2))
+        b = sample_scenario(pool, 10, 30, 3, np.random.default_rng(2))
+        assert np.allclose(a.server_xy, b.server_xy)
+        assert np.array_equal(a.requests, b.requests)
+
+    def test_paper_ranges(self, pool):
+        sc = sample_scenario(pool, 30, 200, 5, np.random.default_rng(3))
+        assert set(np.unique(sc.sizes)) <= {30.0, 60.0, 90.0}
+        assert (sc.storage >= 30.0).all() and (sc.storage <= 300.0).all()
+        assert (sc.power >= 1.0).all() and (sc.power <= 5.0).all()
+        assert (sc.channels == 3).all()
+
+    def test_rejects_oversized_n(self, pool):
+        with pytest.raises(ScenarioError):
+            sample_scenario(pool, pool.n_servers + 1, 10, 2, np.random.default_rng(0))
+
+    def test_rejects_bad_k(self, pool):
+        with pytest.raises(ScenarioError):
+            sample_scenario(pool, 5, 10, 0, np.random.default_rng(0))
+
+    def test_topup_when_pool_small(self):
+        pool = synthetic_eua(0, n_servers=5, n_users=10)
+        sc = sample_scenario(pool, 3, 50, 2, np.random.default_rng(4))
+        assert sc.n_users == 50
+        assert sc.covered_users.all()

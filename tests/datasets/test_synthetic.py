@@ -1,0 +1,58 @@
+"""Server/user placement generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import place_servers, place_users
+from repro.errors import ScenarioError
+from repro.geometry import Region, coverage_matrix
+
+REGION = Region(0, 0, 2000, 1500)
+
+
+class TestPlaceServers:
+    def test_grid_placement(self):
+        xy, radii = place_servers(REGION, 40, np.random.default_rng(0))
+        assert xy.shape == (40, 2)
+        assert REGION.contains(xy).all()
+        assert (radii >= 100.0).all() and (radii <= 150.0).all()
+
+    def test_uniform_placement(self):
+        xy, _ = place_servers(REGION, 40, np.random.default_rng(1), placement="uniform")
+        assert REGION.contains(xy).all()
+
+    def test_unknown_placement(self):
+        with pytest.raises(ScenarioError):
+            place_servers(REGION, 5, np.random.default_rng(0), placement="ring")
+
+    def test_custom_radius_range(self):
+        _, radii = place_servers(
+            REGION, 10, np.random.default_rng(2), radius_range=(200.0, 200.0)
+        )
+        assert np.allclose(radii, 200.0)
+
+    def test_bad_radius_range(self):
+        with pytest.raises(ScenarioError):
+            place_servers(REGION, 5, np.random.default_rng(0), radius_range=(0.0, 10.0))
+
+    def test_zero_servers(self):
+        with pytest.raises(ScenarioError):
+            place_servers(REGION, 0, np.random.default_rng(0))
+
+
+class TestPlaceUsers:
+    def test_covered(self):
+        xy, radii = place_servers(REGION, 20, np.random.default_rng(3))
+        users = place_users(xy, radii, 200, np.random.default_rng(4))
+        cov = coverage_matrix(xy, radii, users)
+        assert cov.any(axis=0).all()
+
+    def test_zero_users(self):
+        xy, radii = place_servers(REGION, 3, np.random.default_rng(5))
+        users = place_users(xy, radii, 0, np.random.default_rng(6))
+        assert users.shape == (0, 2)
+
+    def test_negative_raises(self):
+        xy, radii = place_servers(REGION, 3, np.random.default_rng(7))
+        with pytest.raises(ScenarioError):
+            place_users(xy, radii, -1, np.random.default_rng(8))

@@ -1,0 +1,99 @@
+"""Workload generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.datasets.workload import (
+    draw_data_sizes,
+    draw_powers,
+    draw_rate_caps,
+    draw_storage,
+    request_matrix,
+    zipf_weights,
+)
+from repro.errors import ScenarioError
+
+
+class TestZipf:
+    def test_normalised(self):
+        w = zipf_weights(10, 0.8)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(8, 0.8)
+        assert (np.diff(w) < 0).all()
+
+    def test_uniform_at_zero_exponent(self):
+        w = zipf_weights(5, 0.0)
+        assert np.allclose(w, 0.2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ScenarioError):
+            zipf_weights(0, 1.0)
+
+
+class TestRequestMatrix:
+    def test_shape_and_per_user_count(self):
+        zeta = request_matrix(20, 6, np.random.default_rng(0))
+        assert zeta.shape == (20, 6)
+        assert (zeta.sum(axis=1) == 1).all()
+
+    def test_multiple_requests_distinct(self):
+        cfg = WorkloadConfig(requests_per_user=3)
+        zeta = request_matrix(15, 6, np.random.default_rng(1), cfg)
+        assert (zeta.sum(axis=1) == 3).all()
+
+    def test_requests_capped_at_catalogue(self):
+        cfg = WorkloadConfig(requests_per_user=10)
+        zeta = request_matrix(5, 3, np.random.default_rng(2), cfg)
+        assert (zeta.sum(axis=1) == 3).all()
+
+    def test_popularity_skew(self):
+        cfg = WorkloadConfig(zipf_exponent=1.5)
+        zeta = request_matrix(2000, 5, np.random.default_rng(3), cfg)
+        counts = zeta.sum(axis=0)
+        assert counts[0] > counts[-1] * 2
+
+    def test_zero_users(self):
+        zeta = request_matrix(0, 3, np.random.default_rng(4))
+        assert zeta.shape == (0, 3)
+
+    def test_rejects_zero_items(self):
+        with pytest.raises(ScenarioError):
+            request_matrix(3, 0, np.random.default_rng(5))
+
+    def test_deterministic(self):
+        a = request_matrix(10, 4, np.random.default_rng(6))
+        b = request_matrix(10, 4, np.random.default_rng(6))
+        assert np.array_equal(a, b)
+
+
+class TestDraws:
+    def test_data_sizes_from_menu(self):
+        sizes = draw_data_sizes(200, np.random.default_rng(0))
+        assert set(np.unique(sizes)) <= {30.0, 60.0, 90.0}
+
+    def test_data_sizes_rejects_zero(self):
+        with pytest.raises(ScenarioError):
+            draw_data_sizes(0, np.random.default_rng(0))
+
+    def test_storage_in_range(self):
+        a = draw_storage(500, np.random.default_rng(1))
+        assert (a >= 30.0).all() and (a <= 300.0).all()
+
+    def test_storage_rejects_zero_servers(self):
+        with pytest.raises(ScenarioError):
+            draw_storage(0, np.random.default_rng(1))
+
+    def test_powers_in_range(self):
+        p = draw_powers(500, np.random.default_rng(2))
+        assert (p >= 1.0).all() and (p <= 5.0).all()
+
+    def test_rate_caps_in_range(self):
+        r = draw_rate_caps(500, np.random.default_rng(3))
+        cfg = WorkloadConfig()
+        assert (r >= cfg.rmax_range[0]).all() and (r <= cfg.rmax_range[1]).all()
+
+    def test_zero_users_ok_for_powers(self):
+        assert draw_powers(0, np.random.default_rng(4)).shape == (0,)

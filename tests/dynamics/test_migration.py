@@ -1,0 +1,92 @@
+"""Migration planning tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import DeliveryProfile
+from repro.dynamics.migration import plan_migration
+from repro.errors import DeliveryError
+
+
+class TestPlanMigration:
+    def test_no_change_no_cost(self, line_instance):
+        profile = DeliveryProfile.empty(4, 3)
+        profile.placed[0, 0] = True
+        plan = plan_migration(line_instance, profile, profile.copy())
+        assert plan.n_added == 0 and plan.n_removed == 0
+        assert plan.bytes_moved == 0.0
+        assert plan.sequential_time_s == 0.0
+        assert plan.parallel_time_s == 0.0
+
+    def test_cold_start_seeds_from_cloud(self, line_instance):
+        empty = DeliveryProfile.empty(4, 3)
+        new = DeliveryProfile.empty(4, 3)
+        new.placed[1, 0] = True
+        plan = plan_migration(line_instance, empty, new)
+        assert plan.n_added == 1
+        assert plan.sources == (-1,)
+        assert plan.cloud_seeded == 1
+        s0 = line_instance.scenario.sizes[0]
+        assert plan.transfer_times_s[0] == pytest.approx(s0 / 600.0)
+        assert plan.bytes_moved == pytest.approx(s0)
+
+    def test_seeds_from_nearest_old_holder(self, line_instance):
+        old = DeliveryProfile.empty(4, 3)
+        old.placed[0, 1] = True
+        new = old.copy()
+        new.placed[1, 1] = True
+        plan = plan_migration(line_instance, old, new)
+        assert plan.sources == (0,)
+        s1 = line_instance.scenario.sizes[1]
+        assert plan.transfer_times_s[0] == pytest.approx(s1 / 3000.0)
+        assert plan.cloud_seeded == 0
+
+    def test_prefers_cloud_over_far_holder(self, line_instance):
+        # Holder 3 hops away at 3000 MB/s costs 3/3000 = 1e-3 s/MB, cloud
+        # costs 1/600 ≈ 1.67e-3 s/MB: holder wins.  But with the latency
+        # constraint the path cost is already capped, so the plan picks
+        # whichever is genuinely cheaper.
+        old = DeliveryProfile.empty(4, 3)
+        old.placed[0, 2] = True
+        new = old.copy()
+        new.placed[3, 2] = True
+        plan = plan_migration(line_instance, old, new)
+        s2 = line_instance.scenario.sizes[2]
+        expected = s2 * min(3 / 3000.0, 1 / 600.0)
+        assert plan.transfer_times_s[0] == pytest.approx(expected)
+
+    def test_removals_are_free(self, line_instance):
+        old = DeliveryProfile.empty(4, 3)
+        old.placed[0, 0] = True
+        old.placed[1, 1] = True
+        new = DeliveryProfile.empty(4, 3)
+        plan = plan_migration(line_instance, old, new)
+        assert plan.n_removed == 2
+        assert plan.bytes_moved == 0.0
+
+    def test_sequential_vs_parallel(self, line_instance):
+        empty = DeliveryProfile.empty(4, 3)
+        new = DeliveryProfile.empty(4, 3)
+        new.placed[0, 0] = True
+        new.placed[1, 0] = True
+        plan = plan_migration(line_instance, empty, new)
+        assert plan.sequential_time_s == pytest.approx(sum(plan.transfer_times_s))
+        assert plan.parallel_time_s == pytest.approx(max(plan.transfer_times_s))
+        assert plan.parallel_time_s <= plan.sequential_time_s
+
+    def test_new_profile_must_be_feasible(self, line_instance):
+        empty = DeliveryProfile.empty(4, 3)
+        bad = DeliveryProfile.empty(4, 3)
+        bad.placed[0, :] = True  # 180 MB > 100 MB storage
+        from repro.errors import StorageViolation
+
+        with pytest.raises(StorageViolation):
+            plan_migration(line_instance, empty, bad)
+
+    def test_shape_mismatch(self, line_instance):
+        with pytest.raises(DeliveryError):
+            plan_migration(
+                line_instance,
+                DeliveryProfile.empty(2, 2),
+                DeliveryProfile.empty(4, 3),
+            )

@@ -1,0 +1,93 @@
+"""Mobility model tests."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.mobility import ConfinedRandomWalk, RandomWaypoint
+from repro.errors import ScenarioError
+from repro.geometry import Region
+
+REGION = Region(0, 0, 1000, 800)
+
+
+def start_positions(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform([0, 0], [1000, 800], size=(n, 2))
+
+
+class TestRandomWaypoint:
+    def test_stays_in_region(self):
+        model = RandomWaypoint(start_positions(), REGION, rng=0)
+        for _ in range(50):
+            pts = model.step(10.0)
+            assert REGION.contains(pts).all()
+
+    def test_moves_toward_target(self):
+        model = RandomWaypoint(start_positions(1), REGION, rng=0, speed_range=(1.0, 1.0))
+        before = model.positions.copy()
+        target = model.targets.copy()
+        model.step(5.0)
+        d_before = np.linalg.norm(target - before)
+        d_after = np.linalg.norm(target - model.positions)
+        assert d_after < d_before
+
+    def test_speed_respected(self):
+        model = RandomWaypoint(
+            start_positions(10), REGION, rng=1, speed_range=(2.0, 2.0)
+        )
+        before = model.positions.copy()
+        model.step(3.0)
+        moved = np.linalg.norm(model.positions - before, axis=1)
+        assert (moved <= 6.0 + 1e-9).all()
+
+    def test_arrival_redraws_target(self):
+        model = RandomWaypoint(start_positions(1), REGION, rng=2, speed_range=(3.0, 3.0))
+        old_target = model.targets.copy()
+        # Step long enough to certainly arrive (diagonal is ~1280 m).
+        model.step(1e6)
+        assert not np.allclose(model.targets, old_target)
+
+    def test_deterministic(self):
+        a = RandomWaypoint(start_positions(), REGION, rng=3)
+        b = RandomWaypoint(start_positions(), REGION, rng=3)
+        for _ in range(5):
+            assert np.allclose(a.step(7.0), b.step(7.0))
+
+    def test_bad_speed_range(self):
+        with pytest.raises(ScenarioError):
+            RandomWaypoint(start_positions(), REGION, rng=0, speed_range=(0.0, 1.0))
+
+    def test_negative_dt(self):
+        model = RandomWaypoint(start_positions(), REGION, rng=0)
+        with pytest.raises(ScenarioError):
+            model.step(-1.0)
+
+
+class TestConfinedRandomWalk:
+    def test_stays_in_region(self):
+        model = ConfinedRandomWalk(start_positions(), REGION, rng=0, sigma=30.0)
+        for _ in range(100):
+            pts = model.step(10.0)
+            assert REGION.contains(pts).all()
+
+    def test_diffuses(self):
+        model = ConfinedRandomWalk(start_positions(), REGION, rng=1, sigma=2.0)
+        before = model.positions.copy()
+        for _ in range(10):
+            model.step(10.0)
+        moved = np.linalg.norm(model.positions - before, axis=1)
+        assert moved.mean() > 1.0
+
+    def test_zero_dt_is_static(self):
+        model = ConfinedRandomWalk(start_positions(), REGION, rng=2)
+        before = model.positions.copy()
+        model.step(0.0)
+        assert np.allclose(model.positions, before)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ScenarioError):
+            ConfinedRandomWalk(start_positions(), REGION, rng=0, sigma=0.0)
+
+    def test_bad_positions_shape(self):
+        with pytest.raises(ScenarioError):
+            ConfinedRandomWalk(np.zeros((3, 3)), REGION, rng=0)

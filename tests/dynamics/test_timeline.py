@@ -1,0 +1,126 @@
+"""Dynamic simulation (epoch loop) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import IDDEInstance
+from repro.datasets.melbourne import CBD_REGION
+from repro.dynamics import ConfinedRandomWalk, DynamicSimulation, RandomWaypoint
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return IDDEInstance.generate(n=12, m=50, k=4, density=1.5, seed=5)
+
+
+def waypoint(instance, speed=(5.0, 15.0), seed=1):
+    return RandomWaypoint(
+        instance.scenario.user_xy, CBD_REGION, rng=seed, speed_range=speed
+    )
+
+
+class TestBasics:
+    def test_epoch_zero_is_initial_solve(self, instance):
+        sim = DynamicSimulation(instance, waypoint(instance))
+        records = sim.run(epochs=1, dt=10.0, rng=0)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.epoch == 0
+        assert rec.r_avg > 0
+        assert rec.migration.cloud_seeded == rec.migration.n_added  # cold fill
+
+    def test_record_count(self, instance):
+        sim = DynamicSimulation(instance, waypoint(instance))
+        records = sim.run(epochs=5, dt=20.0, rng=0)
+        assert [r.epoch for r in records] == [0, 1, 2, 3, 4]
+
+    def test_policy_validation(self, instance):
+        with pytest.raises(ExperimentError):
+            DynamicSimulation(instance, waypoint(instance), policy="oracle")
+
+    def test_user_count_mismatch(self, instance):
+        small = RandomWaypoint(np.zeros((3, 2)), CBD_REGION, rng=0)
+        with pytest.raises(ExperimentError):
+            DynamicSimulation(instance, small)
+
+    def test_zero_epochs_rejected(self, instance):
+        sim = DynamicSimulation(instance, waypoint(instance))
+        with pytest.raises(ExperimentError):
+            sim.run(epochs=0, dt=1.0)
+
+
+class TestPolicies:
+    def test_static_never_resolves(self, instance):
+        sim = DynamicSimulation(instance, waypoint(instance), policy="static")
+        records = sim.run(epochs=4, dt=30.0, rng=0)
+        assert all(r.game_moves == 0 for r in records[1:])
+        assert all(r.migration_mb == 0.0 for r in records[1:])
+
+    def test_static_decays_under_heavy_motion(self, instance):
+        """A never-updated strategy loses rate as users walk away."""
+        sim = DynamicSimulation(
+            instance, waypoint(instance, speed=(20.0, 40.0)), policy="static"
+        )
+        records = sim.run(epochs=6, dt=60.0, rng=0)
+        assert records[-1].r_avg < records[0].r_avg * 0.8
+
+    def test_warm_tracks_quality(self, instance):
+        warm = DynamicSimulation(
+            instance, waypoint(instance, speed=(20.0, 40.0)), policy="warm"
+        ).run(epochs=6, dt=60.0, rng=0)
+        static = DynamicSimulation(
+            instance, waypoint(instance, speed=(20.0, 40.0)), policy="static"
+        ).run(epochs=6, dt=60.0, rng=0)
+        assert warm[-1].r_avg > static[-1].r_avg
+
+    def test_warm_cheaper_than_cold_under_slow_motion(self, instance):
+        """With gentle mobility, warm-started re-solves need far fewer
+        best-response moves than solving from scratch."""
+        slow = (0.3, 0.8)
+        warm = DynamicSimulation(
+            instance, waypoint(instance, speed=slow), policy="warm"
+        ).run(epochs=5, dt=10.0, rng=0)
+        cold = DynamicSimulation(
+            instance, waypoint(instance, speed=slow), policy="cold"
+        ).run(epochs=5, dt=10.0, rng=0)
+        warm_moves = np.mean([r.game_moves for r in warm[1:]])
+        cold_moves = np.mean([r.game_moves for r in cold[1:]])
+        assert warm_moves < cold_moves * 0.5, (warm_moves, cold_moves)
+
+    def test_cold_and_warm_maintain_rate(self, instance):
+        for policy in ("warm", "cold"):
+            records = DynamicSimulation(
+                instance, waypoint(instance, speed=(10.0, 20.0)), policy=policy
+            ).run(epochs=5, dt=30.0, rng=0)
+            rates = [r.r_avg for r in records]
+            assert min(rates) > 0.6 * rates[0], (policy, rates)
+
+
+class TestWithRandomWalk:
+    def test_runs_with_walk_model(self, instance):
+        walk = ConfinedRandomWalk(
+            instance.scenario.user_xy, CBD_REGION, rng=2, sigma=5.0
+        )
+        sim = DynamicSimulation(instance, walk, policy="warm")
+        records = sim.run(epochs=4, dt=20.0, rng=0)
+        assert len(records) == 4
+        assert all(r.r_avg > 0 for r in records)
+
+
+class TestSummary:
+    def test_summary_keys(self, instance):
+        sim = DynamicSimulation(instance, waypoint(instance))
+        records = sim.run(epochs=4, dt=20.0, rng=0)
+        summary = DynamicSimulation.summarize(records)
+        assert set(summary) == {
+            "mean_r_avg",
+            "mean_l_avg_ms",
+            "mean_realloc",
+            "mean_moves",
+            "mean_migration_mb",
+            "mean_solve_time_s",
+        }
+
+    def test_empty_summary(self):
+        assert DynamicSimulation.summarize([]) == {}

@@ -1,0 +1,70 @@
+"""Sweep export tests (CSV / JSON round trips)."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import load_json, sweep_to_rows, write_csv, write_json
+from repro.experiments.settings import SweepSettings
+from repro.experiments.sweep import run_sweep
+from repro.parallel import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    settings = SweepSettings("exp", "n", (6, 9))
+    return run_sweep(
+        settings,
+        reps=2,
+        seed=0,
+        ip_time_budget_s=0.2,
+        solver_names=("IDDE-G", "CDP"),
+        parallel=ParallelConfig(n_workers=1),
+    )
+
+
+class TestRows:
+    def test_row_count(self, result):
+        rows = sweep_to_rows(result)
+        # 2 values × 2 solvers × 3 metrics.
+        assert len(rows) == 12
+
+    def test_row_contents(self, result):
+        rows = sweep_to_rows(result)
+        first = rows[0]
+        assert first["set"] == "exp"
+        assert first["varying"] == "n"
+        assert first["solver"] in ("IDDE-G", "CDP")
+        assert first["reps"] == 2
+        assert first["mean"] >= 0
+
+
+class TestCsv:
+    def test_round_trip(self, result, tmp_path):
+        path = write_csv(result, tmp_path / "sweep.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 12
+        assert {r["metric"] for r in rows} == {"r_avg", "l_avg_ms", "time_s"}
+
+    def test_creates_parent_dirs(self, result, tmp_path):
+        path = write_csv(result, tmp_path / "deep" / "nested" / "sweep.csv")
+        assert path.exists()
+
+
+class TestJson:
+    def test_round_trip(self, result, tmp_path):
+        path = write_json(result, tmp_path / "sweep.json")
+        doc = load_json(path)
+        assert doc["set"] == "exp"
+        assert doc["values"] == [6, 9]
+        assert doc["solvers"] == ["IDDE-G", "CDP"]
+        assert len(doc["rows"]) == 12
+
+    def test_values_match_result(self, result, tmp_path):
+        path = write_json(result, tmp_path / "sweep.json")
+        doc = load_json(path)
+        for row in doc["rows"]:
+            if row["solver"] == "IDDE-G" and row["metric"] == "r_avg":
+                point = [p for p in result.points if p.value == row["value"]][0]
+                assert row["mean"] == pytest.approx(point.mean["IDDE-G"]["r_avg"])

@@ -1,0 +1,61 @@
+"""Paper reference data and shape-check tests."""
+
+import pytest
+
+from repro.experiments.figures import PAPER, series, shape_checks
+from repro.experiments.settings import SweepSettings
+from repro.experiments.sweep import run_sweep
+from repro.parallel import ParallelConfig
+
+
+class TestPaperData:
+    def test_overall_advantages_present(self):
+        adv = PAPER["overall_advantage_pct"]
+        assert adv["r_avg"]["SAA"] == 53.27
+        assert adv["l_avg_ms"]["DUP-G"] == 85.04
+
+    def test_set2_endpoints(self):
+        assert PAPER["set2_rate_endpoints"]["IDDE-G"] == (196.71, 68.48)
+
+    def test_set3_latency(self):
+        assert PAPER["set3_latency_average"]["IDDE-G"] == 5.22
+
+    def test_timing(self):
+        t = PAPER["computation_time_s"]
+        assert t["IDDE-IP"] > t["SAA"] > t["IDDE-G"] > t["CDP"]
+
+    def test_immutability(self):
+        with pytest.raises(TypeError):
+            PAPER["computation_time_s"]["IDDE-G"] = 0.0
+
+
+class TestSeriesAndShapes:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        settings = SweepSettings("mini", "n", (8, 12))
+        return run_sweep(
+            settings,
+            reps=3,
+            seed=0,
+            ip_time_budget_s=0.25,
+            parallel=ParallelConfig(n_workers=1),
+        )
+
+    def test_series_shape(self, small_sweep):
+        s = series(small_sweep, "r_avg")
+        assert set(s) == set(small_sweep.solver_names)
+        assert all(len(v) == 2 for v in s.values())
+
+    def test_shape_checks_keys(self, small_sweep):
+        checks = shape_checks(small_sweep)
+        assert set(checks) == {
+            "idde_g_best_rate",
+            "idde_g_best_latency",
+            "ip_slowest",
+        }
+
+    def test_ip_slowest_holds(self, small_sweep):
+        assert shape_checks(small_sweep)["ip_slowest"]
+
+    def test_idde_g_best_rate_holds(self, small_sweep):
+        assert shape_checks(small_sweep)["idde_g_best_rate"]

@@ -1,0 +1,49 @@
+"""Fig. 1 latency probe tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.latency_probe import DEFAULT_TARGETS, run_latency_probe
+
+
+class TestProbe:
+    def test_dimensions(self):
+        probe = run_latency_probe(0, days=7)
+        assert probe.hours == 168
+        assert probe.samples_ms.shape == (4, 168)
+
+    def test_deterministic(self):
+        a = run_latency_probe(3)
+        b = run_latency_probe(3)
+        assert np.allclose(a.samples_ms, b.samples_ms)
+
+    def test_edge_vs_cloud_gap(self):
+        """The figure's claim: edge RTT is an order of magnitude below
+        intercontinental cloud RTT."""
+        probe = run_latency_probe(0)
+        adv = probe.edge_advantage()
+        assert adv["Singapore"] > 5
+        assert adv["London"] > 10
+        assert adv["Frankfurt"] > 10
+
+    def test_means_near_calibration(self):
+        probe = run_latency_probe(1, days=28)
+        means = probe.mean_ms()
+        for target, (base, _) in DEFAULT_TARGETS.items():
+            assert means[target] == pytest.approx(base, rel=0.25)
+
+    def test_percentiles_ordered(self):
+        probe = run_latency_probe(2)
+        p50 = probe.percentile_ms(50)
+        p95 = probe.percentile_ms(95)
+        for t in probe.targets:
+            assert p95[t] >= p50[t]
+
+    def test_all_samples_positive(self):
+        probe = run_latency_probe(4)
+        assert (probe.samples_ms > 0).all()
+
+    def test_custom_targets(self):
+        probe = run_latency_probe(0, targets={"A": (10.0, 0.1), "B": (20.0, 0.1)})
+        assert probe.targets == ("A", "B")
+        assert probe.edge_advantage() == {}

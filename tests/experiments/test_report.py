@@ -1,0 +1,53 @@
+"""Markdown report emitter tests."""
+
+import pytest
+
+from repro.experiments.report import (
+    render_advantage_markdown,
+    render_point_row,
+    render_sweep_markdown,
+    render_timing_markdown,
+)
+from repro.experiments.settings import SweepSettings
+from repro.experiments.sweep import run_sweep
+from repro.parallel import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    settings = SweepSettings("mini", "n", (6, 9))
+    return run_sweep(
+        settings,
+        reps=2,
+        seed=0,
+        ip_time_budget_s=0.2,
+        solver_names=("IDDE-G", "CDP"),
+        parallel=ParallelConfig(n_workers=1),
+    )
+
+
+class TestRenderers:
+    def test_point_row(self, result):
+        row = render_point_row(result, "r_avg", 0)
+        assert row.startswith("| 6 |")
+        assert row.count("|") == 4
+
+    def test_sweep_table(self, result):
+        md = render_sweep_markdown(result, "r_avg")
+        assert "R_avg (MB/s)" in md
+        assert "| n | IDDE-G | CDP |" in md
+        assert md.count("\n") >= 5
+
+    def test_unknown_metric_label_fallback(self, result):
+        md = render_sweep_markdown(result, "time_s")
+        assert "time (s)" in md
+
+    def test_advantage_table(self, result):
+        md = render_advantage_markdown(result)
+        assert "| CDP |" in md
+        assert "IDDE-G" in md
+
+    def test_timing_table(self, result):
+        md = render_timing_markdown([result])
+        assert "mini" in md
+        assert "Computation time" in md

@@ -1,0 +1,48 @@
+"""Table 2 parameter grid tests."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.settings import ALL_SETS, DEFAULTS, SET1, SET2, SET3, SET4, SweepSettings
+
+
+class TestTable2:
+    def test_defaults(self):
+        assert dict(DEFAULTS) == {"n": 30, "m": 200, "k": 5, "density": 1.0}
+
+    def test_set1(self):
+        assert SET1.varying == "n"
+        assert SET1.values == (20, 25, 30, 35, 40, 45, 50)
+
+    def test_set2(self):
+        assert SET2.varying == "m"
+        assert SET2.values == (50, 100, 150, 200, 250, 300, 350)
+
+    def test_set3(self):
+        assert SET3.varying == "k"
+        assert SET3.values == (2, 3, 4, 5, 6, 7, 8)
+
+    def test_set4(self):
+        assert SET4.varying == "density"
+        assert SET4.values == (1.0, 1.4, 1.8, 2.2, 2.6, 3.0)
+
+    def test_all_sets_in_order(self):
+        assert [s.name for s in ALL_SETS] == ["Set #1", "Set #2", "Set #3", "Set #4"]
+
+
+class TestParamsFor:
+    def test_varies_one_fixes_rest(self):
+        p = SET1.params_for(40)
+        assert p == {"n": 40, "m": 200, "k": 5, "density": 1.0}
+
+    def test_off_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            SET1.params_for(33)
+
+    def test_bad_varying(self):
+        with pytest.raises(ExperimentError):
+            SweepSettings("bad", "channels", (1, 2))
+
+    def test_empty_grid(self):
+        with pytest.raises(ExperimentError):
+            SweepSettings("bad", "n", ())

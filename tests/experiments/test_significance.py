@@ -1,0 +1,131 @@
+"""Paired statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.significance import (
+    bootstrap_ci,
+    compare,
+    paired_differences,
+    win_rate,
+)
+
+
+class TestPairedDifferences:
+    def test_basic(self):
+        d = paired_differences([3.0, 5.0], [1.0, 2.0])
+        assert d.tolist() == [2.0, 3.0]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            paired_differences([1.0], [1.0, 2.0])
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for trial in range(30):
+            sample = rng.normal(2.0, 1.0, size=40)
+            lo, hi = bootstrap_ci(sample, rng=trial)
+            if lo <= 2.0 <= hi:
+                hits += 1
+        assert hits >= 25  # ~95% coverage
+
+    def test_deterministic_given_seed(self):
+        sample = np.arange(20, dtype=float)
+        assert bootstrap_ci(sample, rng=3) == bootstrap_ci(sample, rng=3)
+
+    def test_tightens_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, 10), rng=0)
+        big = bootstrap_ci(rng.normal(0, 1, 1000), rng=0)
+        assert (big[1] - big[0]) < (small[1] - small[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestWinRate:
+    def test_all_wins(self):
+        assert win_rate([2, 3, 4], [1, 1, 1]) == 1.0
+
+    def test_lower_better(self):
+        assert win_rate([1, 1], [5, 5], higher_better=False) == 1.0
+
+    def test_ties_half(self):
+        assert win_rate([1, 2], [1, 1]) == pytest.approx(0.75)
+
+
+class TestCompare:
+    def test_clear_difference_significant(self):
+        a = np.full(30, 10.0) + np.random.default_rng(0).normal(0, 0.1, 30)
+        b = np.full(30, 5.0) + np.random.default_rng(1).normal(0, 0.1, 30)
+        c = compare(a, b)
+        assert c.significant
+        assert c.mean_diff == pytest.approx(5.0, abs=0.2)
+        assert c.win_rate == 1.0
+        assert c.n == 30
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 50)
+        noise = rng.normal(0, 1, 50)
+        c = compare(x, x + noise * 0.0)
+        assert not c.significant
+        assert c.mean_diff == 0.0
+
+    def test_render_significance_markdown(self):
+        from repro.experiments.report import render_significance_markdown
+        from repro.experiments.settings import SweepSettings
+        from repro.experiments.sweep import run_sweep
+        from repro.parallel import ParallelConfig
+
+        result = run_sweep(
+            SweepSettings("sig", "m", (20, 40)),
+            reps=3,
+            seed=0,
+            ip_time_budget_s=0.2,
+            solver_names=("IDDE-G", "SAA"),
+            parallel=ParallelConfig(n_workers=1),
+            keep_raw=True,
+        )
+        md = render_significance_markdown(result, "r_avg")
+        assert "SAA" in md and "win rate" in md
+
+    def test_render_requires_raw(self):
+        from repro.experiments.report import render_significance_markdown
+        from repro.experiments.settings import SweepSettings
+        from repro.experiments.sweep import run_sweep
+        from repro.parallel import ParallelConfig
+
+        result = run_sweep(
+            SweepSettings("sig2", "m", (20,)),
+            reps=2,
+            seed=0,
+            ip_time_budget_s=0.2,
+            solver_names=("IDDE-G", "SAA"),
+            parallel=ParallelConfig(n_workers=1),
+        )
+        with pytest.raises(ValueError):
+            render_significance_markdown(result, "r_avg")
+
+    def test_on_real_sweep_data(self):
+        """IDDE-G vs SAA rates across paired trials: significant."""
+        from repro.experiments.runner import TrialSpec, run_trial
+
+        a, b = [], []
+        for seed in range(5):
+            r = run_trial(
+                TrialSpec(
+                    n=10, m=40, k=3, seed=seed, solver_names=("IDDE-G", "SAA")
+                )
+            )
+            a.append(r.metrics["IDDE-G"]["r_avg"])
+            b.append(r.metrics["SAA"]["r_avg"])
+        c = compare(a, b)
+        assert c.mean_diff > 0
+        assert c.win_rate > 0.8

@@ -1,0 +1,95 @@
+"""Sweep driver and aggregation tests."""
+
+import math
+
+import pytest
+
+from repro.experiments.settings import SweepSettings
+from repro.experiments.sweep import run_sweep
+from repro.parallel import ParallelConfig
+
+TINY = SweepSettings("tiny", "n", (6, 9))
+FAST_SOLVERS = ("IDDE-G", "CDP")
+
+
+def tiny_sweep(**kwargs):
+    defaults = dict(
+        reps=2,
+        seed=0,
+        ip_time_budget_s=0.2,
+        solver_names=FAST_SOLVERS,
+        parallel=ParallelConfig(n_workers=1),
+    )
+    defaults.update(kwargs)
+    return run_sweep(TINY, **defaults)
+
+
+class _SmallGrid:
+    pass
+
+
+class TestRunSweep:
+    def test_points_in_grid_order(self):
+        result = tiny_sweep()
+        assert result.values == [6, 9]
+        assert all(p.reps == 2 for p in result.points)
+
+    def test_mean_and_std_populated(self):
+        result = tiny_sweep()
+        for point in result.points:
+            for name in FAST_SOLVERS:
+                assert point.mean[name]["r_avg"] > 0
+                assert point.std[name]["r_avg"] >= 0
+
+    def test_series_extraction(self):
+        result = tiny_sweep()
+        series = result.series("IDDE-G", "r_avg")
+        assert len(series) == 2
+        assert all(x > 0 for x in series)
+
+    def test_average(self):
+        result = tiny_sweep()
+        series = result.series("CDP", "l_avg_ms")
+        assert result.average("CDP", "l_avg_ms") == pytest.approx(
+            sum(series) / len(series)
+        )
+
+    def test_deterministic_across_runs(self):
+        a = tiny_sweep()
+        b = tiny_sweep()
+        assert a.series("IDDE-G", "r_avg") == b.series("IDDE-G", "r_avg")
+
+    def test_seed_changes_trials(self):
+        a = tiny_sweep(seed=0)
+        b = tiny_sweep(seed=1)
+        assert a.series("IDDE-G", "r_avg") != b.series("IDDE-G", "r_avg")
+
+    def test_parallel_matches_serial(self):
+        serial = tiny_sweep()
+        par = tiny_sweep(
+            parallel=ParallelConfig(n_workers=2, min_parallel_items=1)
+        )
+        assert serial.series("IDDE-G", "r_avg") == pytest.approx(
+            par.series("IDDE-G", "r_avg")
+        )
+
+
+class TestAdvantage:
+    def test_rate_advantage_sign(self):
+        result = tiny_sweep(reps=3)
+        adv = result.advantage_pct("r_avg")
+        # IDDE-G should beat CDP on rate on average.
+        assert adv["CDP"] > 0
+
+    def test_latency_advantage_orientation(self):
+        result = tiny_sweep(reps=3)
+        adv = result.advantage_pct("l_avg_ms")
+        # Positive = IDDE-G's latency is lower than CDP's.
+        ours = result.average("IDDE-G", "l_avg_ms")
+        theirs = result.average("CDP", "l_avg_ms")
+        expected = 100.0 * (theirs - ours) / theirs
+        assert adv["CDP"] == pytest.approx(expected)
+
+    def test_self_excluded(self):
+        result = tiny_sweep()
+        assert "IDDE-G" not in result.advantage_pct("r_avg")

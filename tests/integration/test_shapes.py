@@ -1,0 +1,62 @@
+"""Qualitative shape tests: the paper's §4.5 claims at reduced scale.
+
+These run a miniature version of the evaluation (fewer reps, smaller M)
+and assert the *orderings* the paper reports — who wins which metric —
+rather than absolute values.  The full-scale regeneration lives in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.figures import shape_checks
+from repro.experiments.settings import SweepSettings
+from repro.experiments.sweep import run_sweep
+from repro.parallel import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    """A scaled-down Set #2 (varying M) with all five approaches.
+
+    M is kept in the interference-limited regime (well above one user per
+    channel): below that, every allocator saturates the rate caps and the
+    rate ordering is pure noise.
+    """
+    settings = SweepSettings("mini-set2", "m", (150, 250))
+    return run_sweep(
+        settings,
+        reps=4,
+        seed=7,
+        ip_time_budget_s=0.4,
+        parallel=ParallelConfig(n_workers=1),
+    )
+
+
+class TestHeadlineClaims:
+    def test_idde_g_best_average_rate(self, mini_sweep):
+        assert shape_checks(mini_sweep)["idde_g_best_rate"]
+
+    def test_idde_g_best_average_latency(self, mini_sweep):
+        assert shape_checks(mini_sweep)["idde_g_best_latency"]
+
+    def test_ip_costs_most_time(self, mini_sweep):
+        assert shape_checks(mini_sweep)["ip_slowest"]
+
+    def test_rates_fall_with_more_users(self, mini_sweep):
+        """Fig. 4(a): more users => more interference => lower R_avg."""
+        for name in mini_sweep.solver_names:
+            series = mini_sweep.series(name, "r_avg")
+            assert series[-1] < series[0]
+
+    def test_saa_worst_rate(self, mini_sweep):
+        rates = {s: mini_sweep.average(s, "r_avg") for s in mini_sweep.solver_names}
+        assert min(rates, key=rates.get) == "SAA"
+
+    def test_dup_g_worst_latency(self, mini_sweep):
+        lats = {s: mini_sweep.average(s, "l_avg_ms") for s in mini_sweep.solver_names}
+        assert max(lats, key=lats.get) == "DUP-G"
+
+    def test_advantages_positive_for_idde_g(self, mini_sweep):
+        for metric in ("r_avg", "l_avg_ms"):
+            adv = mini_sweep.advantage_pct(metric)
+            assert all(v > 0 for v in adv.values()), (metric, adv)

@@ -1,0 +1,82 @@
+"""Certify heuristics against exact optima on enumerable instances."""
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import optimal_allocation, optimal_delivery
+from repro.core.delivery import greedy_delivery
+from repro.core.game import IddeUGame
+from repro.core.bounds import greedy_approximation_factor, theorem5_poa_interval
+from repro.core.instance import IDDEInstance
+from repro.core.objectives import (
+    average_data_rate,
+    average_delivery_latency_ms,
+)
+from repro.core.profiles import DeliveryProfile
+from repro.topology.graph import build_topology
+
+from ..conftest import make_scenario
+
+
+def micro_instances():
+    """A family of enumerable micro-instances with varied geometry."""
+    out = []
+    for seed in range(4):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 4))
+        m = int(rng.integers(2, 4))
+        server_xy = rng.uniform(0, 300, size=(n, 2))
+        user_xy = rng.uniform(0, 300, size=(m, 2))
+        sc = make_scenario(
+            server_xy,
+            user_xy,
+            radius=600.0,
+            channels=2,
+            storage=float(rng.uniform(40, 120)),
+            sizes=(30.0, 60.0),
+            power=rng.uniform(1, 5, m),
+        )
+        topo = build_topology(n, 2.0, seed)
+        out.append(IDDEInstance(sc, topo))
+    return out
+
+
+class TestGameVsOptimal:
+    @pytest.mark.parametrize("instance", micro_instances())
+    def test_nash_within_poa_interval_of_optimal(self, instance):
+        """Theorem 5: R_nash / R_opt ∈ [R_min/R_max, 1]."""
+        nash = IddeUGame(instance).run(rng=0)
+        r_nash = average_data_rate(instance, nash.profile)
+        _, r_opt = optimal_allocation(instance)
+        assert r_nash <= r_opt + 1e-9
+        lo, _ = theorem5_poa_interval(instance, nash.profile)
+        assert r_nash / r_opt >= lo - 1e-9
+
+
+class TestGreedyVsOptimal:
+    @pytest.mark.parametrize("instance", micro_instances())
+    def test_greedy_within_guarantee_of_optimal(self, instance):
+        """Theorems 6-7: the greedy's latency reduction achieves at least
+        the guaranteed fraction of the optimal reduction."""
+        alloc = IddeUGame(instance).run(rng=0).profile
+        empty = DeliveryProfile.empty(instance.n_servers, instance.n_data)
+        phi = average_delivery_latency_ms(instance, alloc, empty)
+        _, l_opt = optimal_delivery(instance, alloc)
+        greedy = greedy_delivery(instance, alloc)
+        l_greedy = average_delivery_latency_ms(instance, alloc, greedy.profile)
+        factor = greedy_approximation_factor(instance)
+        assert (phi - l_greedy) >= factor * (phi - l_opt) - 1e-9
+        assert l_opt <= l_greedy + 1e-9
+
+    @pytest.mark.parametrize("instance", micro_instances())
+    def test_greedy_often_near_optimal(self, instance):
+        """On these micro instances the greedy should land within 2× of
+        the optimal reduction (far better than the worst-case bound)."""
+        alloc = IddeUGame(instance).run(rng=0).profile
+        empty = DeliveryProfile.empty(instance.n_servers, instance.n_data)
+        phi = average_delivery_latency_ms(instance, alloc, empty)
+        _, l_opt = optimal_delivery(instance, alloc)
+        greedy = greedy_delivery(instance, alloc)
+        l_greedy = average_delivery_latency_ms(instance, alloc, greedy.profile)
+        if phi - l_opt > 1e-9:
+            assert (phi - l_greedy) / (phi - l_opt) >= 0.5

@@ -1,0 +1,43 @@
+"""Work partitioning tests."""
+
+import pytest
+
+from repro.parallel.partition import chunk_evenly, chunk_sized
+
+
+class TestChunkSized:
+    def test_exact_division(self):
+        assert chunk_sized([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_remainder(self):
+        assert chunk_sized([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_oversized_chunk(self):
+        assert chunk_sized([1, 2], 10) == [[1, 2]]
+
+    def test_empty(self):
+        assert chunk_sized([], 3) == []
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            chunk_sized([1], 0)
+
+
+class TestChunkEvenly:
+    def test_even(self):
+        assert chunk_evenly([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_front_loaded(self):
+        assert chunk_evenly([1, 2, 3, 4, 5], 3) == [[1, 2], [3, 4], [5]]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+
+    def test_preserves_order(self):
+        items = list(range(23))
+        flat = [x for chunk in chunk_evenly(items, 7) for x in chunk]
+        assert flat == items
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)

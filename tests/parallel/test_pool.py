@@ -1,0 +1,59 @@
+"""Process-pool map tests."""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import ParallelConfig, default_workers, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def pid_tag(x):
+    return (x, os.getpid())
+
+
+class TestSerialPath:
+    def test_results_ordered(self):
+        out = parallel_map(square, range(10), ParallelConfig(n_workers=1))
+        assert out == [x * x for x in range(10)]
+
+    def test_zero_workers_serial(self):
+        out = parallel_map(square, [3], ParallelConfig(n_workers=0))
+        assert out == [9]
+
+    def test_small_batch_stays_serial(self):
+        cfg = ParallelConfig(n_workers=4, min_parallel_items=100)
+        out = parallel_map(pid_tag, range(10), cfg)
+        assert all(pid == os.getpid() for _, pid in out)
+
+    def test_empty(self):
+        assert parallel_map(square, [], ParallelConfig(n_workers=4)) == []
+
+
+class TestParallelPath:
+    def test_results_ordered_across_processes(self):
+        cfg = ParallelConfig(n_workers=2, min_parallel_items=1)
+        out = parallel_map(square, range(20), cfg)
+        assert out == [x * x for x in range(20)]
+
+    def test_actually_uses_workers(self):
+        cfg = ParallelConfig(n_workers=2, min_parallel_items=1)
+        out = parallel_map(pid_tag, range(8), cfg)
+        pids = {pid for _, pid in out}
+        assert os.getpid() not in pids
+
+    def test_chunksize(self):
+        cfg = ParallelConfig(n_workers=2, chunksize=4, min_parallel_items=1)
+        out = parallel_map(square, range(16), cfg)
+        assert out == [x * x for x in range(16)]
+
+
+class TestDefaults:
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_none_resolves(self):
+        assert ParallelConfig().resolved_workers() >= 1

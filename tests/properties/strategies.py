@@ -1,0 +1,85 @@
+"""Shared hypothesis strategies for IDDE scenarios and instances."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.config import RadioConfig, TopologyConfig
+from repro.core.instance import IDDEInstance
+from repro.topology.graph import build_topology
+from repro.types import Scenario
+
+__all__ = ["scenarios", "instances", "allocated_engines"]
+
+
+@st.composite
+def scenarios(
+    draw,
+    max_servers: int = 5,
+    max_users: int = 10,
+    max_data: int = 4,
+    full_coverage: bool = False,
+) -> Scenario:
+    """Random small scenarios with guaranteed-covered users."""
+    n = draw(st.integers(1, max_servers))
+    m = draw(st.integers(1, max_users))
+    k = draw(st.integers(1, max_data))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    span = 200.0 if full_coverage else 800.0
+    server_xy = rng.uniform(0, span, size=(n, 2))
+    radius = (
+        np.full(n, 2000.0)
+        if full_coverage
+        else rng.uniform(250.0, 400.0, size=n)
+    )
+    # Place users inside randomly chosen discs so everyone is covered.
+    owners = rng.integers(0, n, size=m)
+    theta = rng.uniform(0, 2 * np.pi, size=m)
+    r = radius[owners] * np.sqrt(rng.random(m)) * 0.95
+    user_xy = server_xy[owners] + np.column_stack(
+        [r * np.cos(theta), r * np.sin(theta)]
+    )
+    channels = draw(st.integers(1, 3))
+    requests = np.zeros((m, k), dtype=bool)
+    for j in range(m):
+        requests[j, rng.integers(0, k)] = True
+    return Scenario(
+        server_xy=server_xy,
+        radius=radius,
+        storage=rng.uniform(0.0, 250.0, size=n),
+        channels=np.full(n, channels, dtype=np.int64),
+        user_xy=user_xy,
+        power=rng.uniform(1.0, 5.0, size=m),
+        rmax=rng.uniform(150.0, 250.0, size=m),
+        sizes=rng.choice([30.0, 60.0, 90.0], size=k),
+        requests=requests,
+    )
+
+
+@st.composite
+def instances(draw, **kwargs) -> IDDEInstance:
+    """Random small instances (scenario + topology)."""
+    scenario = draw(scenarios(**kwargs))
+    density = draw(st.floats(0.0, 3.0))
+    seed = draw(st.integers(0, 2**16))
+    topo = build_topology(scenario.n_servers, density, seed, TopologyConfig())
+    return IDDEInstance(scenario, topo, RadioConfig())
+
+
+@st.composite
+def allocated_engines(draw, **kwargs):
+    """An engine with a random feasible allocation loaded."""
+    instance = draw(instances(**kwargs))
+    engine = instance.new_engine()
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    for j in range(instance.n_users):
+        covering = instance.scenario.covering_servers[j]
+        if len(covering) == 0 or rng.random() < 0.1:
+            continue  # leave some users unallocated
+        i = int(covering[rng.integers(0, len(covering))])
+        x = int(rng.integers(0, instance.scenario.channels[i]))
+        engine.assign(j, i, x)
+    return instance, engine

@@ -1,0 +1,73 @@
+"""Property-based tests for Phase 2 greedy delivery."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.config import DeliveryConfig
+from repro.core.delivery import greedy_delivery
+from repro.core.game import IddeUGame
+from repro.core.objectives import average_delivery_latency_ms, retrieval_cost_table
+from repro.core.profiles import DeliveryProfile
+
+from .strategies import instances
+
+FAST = settings(max_examples=25, deadline=None)
+
+
+def equilibrium_alloc(instance):
+    return IddeUGame(instance).run(rng=0).profile
+
+
+class TestGreedyProperties:
+    @FAST
+    @given(instances())
+    def test_storage_never_violated(self, instance):
+        alloc = equilibrium_alloc(instance)
+        result = greedy_delivery(instance, alloc)
+        result.profile.validate(instance.scenario)
+
+    @FAST
+    @given(instances())
+    def test_latency_never_worse_than_cloud_only(self, instance):
+        alloc = equilibrium_alloc(instance)
+        result = greedy_delivery(instance, alloc)
+        empty = DeliveryProfile.empty(instance.n_servers, instance.n_data)
+        cloud_only = average_delivery_latency_ms(instance, alloc, empty)
+        achieved = average_delivery_latency_ms(instance, alloc, result.profile)
+        assert achieved <= cloud_only + 1e-9
+
+    @FAST
+    @given(instances())
+    def test_retrieval_table_respects_cloud_bound(self, instance):
+        alloc = equilibrium_alloc(instance)
+        result = greedy_delivery(instance, alloc)
+        table = retrieval_cost_table(instance, result.profile)
+        sizes = instance.scenario.sizes
+        cloud = instance.latency_model.cloud_cost
+        assert (table <= sizes[None, :] * cloud + 1e-12).all()
+
+    @FAST
+    @given(instances())
+    def test_ratio_and_absolute_both_feasible(self, instance):
+        alloc = equilibrium_alloc(instance)
+        for rule in (True, False):
+            result = greedy_delivery(instance, alloc, DeliveryConfig(ratio_rule=rule))
+            result.profile.validate(instance.scenario)
+
+    @FAST
+    @given(instances())
+    def test_every_placement_fits_when_made(self, instance):
+        """Replaying placements in order never exceeds storage."""
+        alloc = equilibrium_alloc(instance)
+        result = greedy_delivery(instance, alloc)
+        used = np.zeros(instance.n_servers)
+        for i, k in result.placements:
+            used[i] += instance.scenario.sizes[k]
+            assert used[i] <= instance.scenario.storage[i] + 1e-9
+
+    @FAST
+    @given(instances())
+    def test_iterations_account_for_placements(self, instance):
+        alloc = equilibrium_alloc(instance)
+        result = greedy_delivery(instance, alloc)
+        assert result.iterations == len(result.placements) + 1

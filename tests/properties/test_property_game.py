@@ -1,0 +1,60 @@
+"""Property-based tests for the IDDE-U game."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GameConfig
+from repro.core.game import IddeUGame
+
+from .strategies import instances
+
+FAST = settings(max_examples=25, deadline=None)
+
+
+class TestGameProperties:
+    @FAST
+    @given(instances(), st.sampled_from(["round-robin", "best-gain-winner"]))
+    def test_always_converges_to_nash(self, instance, schedule):
+        """Theorem 3/4: the dynamics terminate at a Nash equilibrium on
+        every randomly drawn instance."""
+        game = IddeUGame(instance, GameConfig(schedule=schedule))
+        result = game.run(rng=0)
+        assert result.converged
+        assert result.is_nash
+
+    @FAST
+    @given(instances())
+    def test_profile_always_feasible(self, instance):
+        result = IddeUGame(instance).run(rng=0)
+        result.profile.validate(instance.scenario)
+
+    @FAST
+    @given(instances())
+    def test_every_covered_user_allocated(self, instance):
+        """With strictly positive benefits, no covered user stays out."""
+        result = IddeUGame(instance).run(rng=0)
+        covered = instance.scenario.covered_users
+        assert (result.profile.allocated == covered).all()
+
+    @FAST
+    @given(instances())
+    def test_no_profitable_deviation_detailed(self, instance):
+        """Re-verify the Nash certificate from first principles."""
+        result = IddeUGame(instance).run(rng=0)
+        engine = instance.new_engine()
+        engine.load_profile(result.profile.server, result.profile.channel)
+        for j in range(instance.n_users):
+            view = engine.candidates(j)
+            if view.servers.size == 0:
+                continue
+            current = engine.user_benefit(j)
+            _, _, best = view.best("benefit")
+            assert best <= current * (1 + 1e-9) + 1e-30
+
+    @FAST
+    @given(instances())
+    def test_moves_bounded_by_theorem4(self, instance):
+        from repro.core.bounds import theorem4_iteration_bound
+
+        result = IddeUGame(instance).run(rng=0)
+        assert result.moves <= theorem4_iteration_bound(instance)

@@ -1,0 +1,103 @@
+"""Property-based tests for objectives, metrics and persistence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delivery import greedy_delivery
+from repro.core.game import IddeUGame
+from repro.core.objectives import (
+    average_delivery_latency_ms,
+    evaluate,
+    per_user_latencies,
+    retrieval_cost_table,
+)
+from repro.core.profiles import DeliveryProfile
+from repro.metrics import jain_index, strategy_report
+
+from .strategies import instances
+
+FAST = settings(max_examples=25, deadline=None)
+
+
+class TestObjectiveProperties:
+    @FAST
+    @given(instances())
+    def test_adding_replicas_never_hurts_latency(self, instance):
+        """L_avg is monotone non-increasing under replica addition."""
+        alloc = IddeUGame(instance).run(rng=0).profile
+        profile = DeliveryProfile.empty(instance.n_servers, instance.n_data)
+        last = average_delivery_latency_ms(instance, alloc, profile)
+        rng = np.random.default_rng(0)
+        residual = instance.scenario.storage.astype(float).copy()
+        for _ in range(6):
+            i = int(rng.integers(0, instance.n_servers))
+            k = int(rng.integers(0, instance.n_data))
+            if profile.placed[i, k] or residual[i] < instance.scenario.sizes[k]:
+                continue
+            profile.placed[i, k] = True
+            residual[i] -= instance.scenario.sizes[k]
+            cur = average_delivery_latency_ms(instance, alloc, profile)
+            assert cur <= last + 1e-9
+            last = cur
+
+    @FAST
+    @given(instances())
+    def test_retrieval_table_monotone_in_placement(self, instance):
+        alloc = IddeUGame(instance).run(rng=0).profile
+        result = greedy_delivery(instance, alloc)
+        empty = DeliveryProfile.empty(instance.n_servers, instance.n_data)
+        t_empty = retrieval_cost_table(instance, empty)
+        t_full = retrieval_cost_table(instance, result.profile)
+        assert (t_full <= t_empty + 1e-12).all()
+
+    @FAST
+    @given(instances())
+    def test_evaluation_internally_consistent(self, instance):
+        alloc = IddeUGame(instance).run(rng=0).profile
+        delivery = greedy_delivery(instance, alloc).profile
+        ev = evaluate(instance, alloc, delivery)
+        assert ev.r_avg >= 0
+        assert ev.l_avg_ms >= 0
+        assert ev.rates.shape == (instance.n_users,)
+        # Eq. 5: mean over all M users.
+        assert np.isclose(ev.r_avg, ev.rates.mean())
+        # Per-user latencies are bounded by the per-user cloud fetch.
+        lat = per_user_latencies(instance, alloc, delivery)
+        cloud = instance.latency_model.cloud_cost
+        assert (lat <= instance.scenario.sizes[None, :] * cloud + 1e-12).all()
+
+    @FAST
+    @given(instances())
+    def test_qoe_report_well_formed(self, instance):
+        alloc = IddeUGame(instance).run(rng=0).profile
+        delivery = greedy_delivery(instance, alloc).profile
+        report = strategy_report(instance, alloc, delivery)
+        assert 0 < report.rate_fairness <= 1.0 + 1e-12
+        p = report.rate_percentiles
+        assert p["min"] <= p["median"] <= p["max"]
+
+
+class TestPersistenceProperties:
+    @FAST
+    @given(instances(), st.integers(0, 2**10))
+    def test_instance_round_trip(self, instance, salt):
+        import tempfile
+        from pathlib import Path
+
+        from repro.io import load_instance, save_instance
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = save_instance(instance, Path(tmp) / f"i{salt}.npz")
+            loaded = load_instance(path)
+        assert np.array_equal(loaded.scenario.requests, instance.scenario.requests)
+        assert np.allclose(loaded.scenario.user_xy, instance.scenario.user_xy)
+        assert np.array_equal(loaded.topology.links, instance.topology.links)
+
+
+class TestJainProperties:
+    @FAST
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=40))
+    def test_bounds(self, values):
+        j = jain_index(np.array(values))
+        assert 1.0 / len(values) - 1e-9 <= j <= 1.0 + 1e-9

@@ -1,0 +1,70 @@
+"""Property-based tests for scenario generation and profiles."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiles import UNALLOCATED, AllocationProfile
+from repro.datasets.eua import sample_scenario, synthetic_eua
+
+from .strategies import scenarios
+
+FAST = settings(max_examples=30, deadline=None)
+
+
+class TestScenarioProperties:
+    @FAST
+    @given(scenarios())
+    def test_every_user_covered(self, scenario):
+        assert scenario.covered_users.all()
+
+    @FAST
+    @given(scenarios())
+    def test_coverage_consistent_with_covering_sets(self, scenario):
+        for j, servers in enumerate(scenario.covering_servers):
+            assert np.array_equal(servers, np.flatnonzero(scenario.coverage[:, j]))
+
+    @FAST
+    @given(scenarios())
+    def test_requests_one_per_user(self, scenario):
+        assert (scenario.requests.sum(axis=1) == 1).all()
+
+
+class TestSampleScenarioProperties:
+    @FAST
+    @given(
+        st.integers(2, 20),
+        st.integers(1, 60),
+        st.integers(1, 6),
+        st.integers(0, 2**10),
+    )
+    def test_dimensions_and_coverage(self, n, m, k, seed):
+        pool = synthetic_eua(0, n_servers=30, n_users=100)
+        sc = sample_scenario(pool, min(n, 30), m, k, np.random.default_rng(seed))
+        assert sc.n_users == m and sc.n_data == k
+        assert sc.covered_users.all()
+
+
+class TestProfileProperties:
+    @FAST
+    @given(scenarios(), st.integers(0, 2**16))
+    def test_random_feasible_profiles_validate(self, scenario, seed):
+        rng = np.random.default_rng(seed)
+        profile = AllocationProfile.empty(scenario.n_users)
+        for j in range(scenario.n_users):
+            servers = scenario.covering_servers[j]
+            if len(servers) == 0 or rng.random() < 0.2:
+                continue
+            i = int(servers[rng.integers(0, len(servers))])
+            profile.server[j] = i
+            profile.channel[j] = int(rng.integers(0, scenario.channels[i]))
+        profile.validate(scenario)
+        # Round-trip through copy preserves equality.
+        assert profile.copy() == profile
+
+    @FAST
+    @given(scenarios())
+    def test_unallocated_counting(self, scenario):
+        profile = AllocationProfile.empty(scenario.n_users)
+        assert profile.n_allocated == 0
+        assert (profile.server == UNALLOCATED).all()

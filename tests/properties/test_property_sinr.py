@@ -1,0 +1,98 @@
+"""Property-based tests for the SINR engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.profiles import AllocationProfile
+
+from .strategies import allocated_engines
+
+FAST = settings(max_examples=40, deadline=None)
+
+
+class TestEngineInvariants:
+    @FAST
+    @given(allocated_engines())
+    def test_power_table_matches_allocation(self, pair):
+        """The incremental channel power table equals the from-scratch sum."""
+        instance, engine = pair
+        fresh = np.zeros_like(engine.channel_power)
+        for j in range(instance.n_users):
+            i, x = engine.alloc_server[j], engine.alloc_channel[j]
+            if i >= 0:
+                fresh[i, x] += engine.power[j]
+        assert np.allclose(fresh, engine.channel_power, atol=1e-12)
+
+    @FAST
+    @given(allocated_engines())
+    def test_counts_match_allocation(self, pair):
+        instance, engine = pair
+        assert engine.channel_count.sum() == (engine.alloc_server >= 0).sum()
+
+    @FAST
+    @given(allocated_engines())
+    def test_rates_non_negative_and_capped(self, pair):
+        instance, engine = pair
+        rates = engine.rates()
+        assert (rates >= 0).all()
+        assert (rates <= instance.scenario.rmax + 1e-9).all()
+
+    @FAST
+    @given(allocated_engines())
+    def test_vectorised_rates_match_scalar(self, pair):
+        instance, engine = pair
+        rates = engine.rates()
+        for j in range(instance.n_users):
+            assert np.isclose(rates[j], engine.user_rate(j), rtol=1e-9, atol=1e-12)
+
+    @FAST
+    @given(allocated_engines())
+    def test_adding_interferer_never_raises_sinr(self, pair):
+        """Monotonicity: allocating another user to my channel cannot
+        improve my SINR."""
+        instance, engine = pair
+        allocated = np.flatnonzero(engine.alloc_server >= 0)
+        free = np.flatnonzero(engine.alloc_server < 0)
+        if len(allocated) == 0 or len(free) == 0:
+            return
+        victim = int(allocated[0])
+        i, x = int(engine.alloc_server[victim]), int(engine.alloc_channel[victim])
+        before = engine.user_sinr(victim)
+        for j in free:
+            if instance.scenario.coverage[i, j]:
+                engine.assign(int(j), i, x)
+                after = engine.user_sinr(victim)
+                assert after <= before + 1e-18
+                return
+
+    @FAST
+    @given(allocated_engines())
+    def test_load_profile_round_trip(self, pair):
+        instance, engine = pair
+        profile = AllocationProfile(engine.alloc_server, engine.alloc_channel)
+        other = instance.new_engine()
+        other.load_profile(profile.server, profile.channel)
+        assert np.allclose(other.channel_power, engine.channel_power)
+        assert np.array_equal(other.alloc_server, engine.alloc_server)
+
+    @FAST
+    @given(allocated_engines())
+    def test_benefit_in_unit_interval(self, pair):
+        instance, engine = pair
+        for j in range(instance.n_users):
+            b = engine.user_benefit(j)
+            assert 0.0 <= b <= 1.0
+
+    @FAST
+    @given(allocated_engines())
+    def test_unassign_restores_state(self, pair):
+        instance, engine = pair
+        allocated = np.flatnonzero(engine.alloc_server >= 0)
+        if len(allocated) == 0:
+            return
+        j = int(allocated[0])
+        i, x = int(engine.alloc_server[j]), int(engine.alloc_channel[j])
+        before = engine.channel_power.copy()
+        engine.unassign(j)
+        engine.assign(j, i, x)
+        assert np.allclose(engine.channel_power, before, atol=1e-12)

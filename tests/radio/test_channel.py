@@ -1,0 +1,48 @@
+"""Channel gain model tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import RadioConfig
+from repro.radio.channel import gain_from_distance, gain_matrix
+
+
+class TestGainFromDistance:
+    def test_power_law(self):
+        g = gain_from_distance(np.array([10.0, 100.0]))
+        assert g[0] / g[1] == pytest.approx(1000.0)  # (100/10)^3
+
+    def test_min_distance_clamp(self):
+        cfg = RadioConfig(min_distance=1.0)
+        g0 = gain_from_distance(np.array([0.0]), cfg)
+        g1 = gain_from_distance(np.array([1.0]), cfg)
+        assert g0 == g1
+        assert np.isfinite(g0).all()
+
+    def test_eta_scales(self):
+        g1 = gain_from_distance(np.array([50.0]), RadioConfig(eta=1.0))
+        g2 = gain_from_distance(np.array([50.0]), RadioConfig(eta=2.0))
+        assert g2 == pytest.approx(2 * g1)
+
+    def test_loss_exponent(self):
+        cfg = RadioConfig(loss_exponent=2.0)
+        g = gain_from_distance(np.array([10.0]), cfg)
+        assert g[0] == pytest.approx(0.01)
+
+
+class TestGainMatrix:
+    def test_shape_and_positive(self):
+        rng = np.random.default_rng(0)
+        g = gain_matrix(rng.random((4, 2)) * 100, rng.random((9, 2)) * 100)
+        assert g.shape == (4, 9)
+        assert (g > 0).all()
+
+    def test_closer_is_stronger(self):
+        servers = np.array([[0.0, 0.0]])
+        users = np.array([[10.0, 0.0], [50.0, 0.0]])
+        g = gain_matrix(servers, users)
+        assert g[0, 0] > g[0, 1]
+
+    def test_known_value(self):
+        g = gain_matrix(np.array([[0.0, 0.0]]), np.array([[100.0, 0.0]]))
+        assert g[0, 0] == pytest.approx(1e-6)

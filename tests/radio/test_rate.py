@@ -1,0 +1,43 @@
+"""Shannon rate tests (Eqs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.radio.rate import capped_rate, shannon_rate
+
+
+class TestShannonRate:
+    def test_unit_sinr(self):
+        assert shannon_rate(200.0, np.array(1.0)) == pytest.approx(200.0)
+
+    def test_zero_sinr(self):
+        assert shannon_rate(200.0, np.array(0.0)) == 0.0
+
+    def test_negative_clamped(self):
+        assert shannon_rate(200.0, np.array(-0.5)) == 0.0
+
+    def test_monotone_in_sinr(self):
+        sinr = np.linspace(0, 100, 50)
+        r = shannon_rate(100.0, sinr)
+        assert (np.diff(r) > 0).all()
+
+    def test_bandwidth_scales_linearly(self):
+        assert shannon_rate(400.0, np.array(3.0)) == pytest.approx(
+            2 * shannon_rate(200.0, np.array(3.0))
+        )
+
+    def test_vector_bandwidth(self):
+        out = shannon_rate(np.array([100.0, 200.0]), np.array([1.0, 1.0]))
+        assert np.allclose(out, [100.0, 200.0])
+
+
+class TestCappedRate:
+    def test_cap_binds(self):
+        assert capped_rate(200.0, np.array(1e15), 180.0) == pytest.approx(180.0)
+
+    def test_cap_loose(self):
+        assert capped_rate(200.0, np.array(1.0), 1000.0) == pytest.approx(200.0)
+
+    def test_elementwise_cap(self):
+        out = capped_rate(200.0, np.array([1e15, 0.0]), np.array([150.0, 150.0]))
+        assert np.allclose(out, [150.0, 0.0])

@@ -1,0 +1,193 @@
+"""SINR engine tests: incremental bookkeeping vs first-principles math."""
+
+import numpy as np
+import pytest
+
+from repro.config import RadioConfig
+from repro.errors import AllocationError, CoverageError
+from repro.radio.sinr import UNALLOCATED, SinrEngine
+
+from ..conftest import make_scenario
+
+
+@pytest.fixture
+def engine(tiny_scenario):
+    return SinrEngine(tiny_scenario, RadioConfig(channels_per_server=2))
+
+
+class TestMutation:
+    def test_assign_updates_power(self, engine):
+        engine.assign(0, 1, 0)
+        assert engine.channel_power[1, 0] == pytest.approx(engine.power[0])
+        assert engine.channel_count[1, 0] == 1
+        assert engine.alloc_server[0] == 1 and engine.alloc_channel[0] == 0
+
+    def test_double_assign_rejected(self, engine):
+        engine.assign(0, 1, 0)
+        with pytest.raises(AllocationError):
+            engine.assign(0, 2, 0)
+
+    def test_move(self, engine):
+        engine.assign(0, 1, 0)
+        engine.move(0, 2, 1)
+        assert engine.channel_power[1, 0] == 0.0
+        assert engine.channel_count[2, 1] == 1
+
+    def test_unassign_idempotent(self, engine):
+        engine.unassign(0)
+        engine.assign(0, 0, 0)
+        engine.unassign(0)
+        engine.unassign(0)
+        assert engine.alloc_server[0] == UNALLOCATED
+        assert engine.channel_power.sum() == 0.0
+
+    def test_coverage_enforced(self):
+        sc = make_scenario([[0.0, 0.0]], [[1.0, 1.0], [5000.0, 0.0]], radius=10.0)
+        eng = SinrEngine(sc)
+        with pytest.raises(CoverageError):
+            eng.assign(1, 0, 0)
+
+    def test_channel_range_enforced(self, engine):
+        with pytest.raises(AllocationError):
+            engine.assign(0, 1, 7)
+
+    def test_user_range_enforced(self, engine):
+        with pytest.raises(AllocationError):
+            engine.assign(99, 0, 0)
+
+    def test_reset(self, engine):
+        engine.assign(0, 0, 0)
+        engine.assign(1, 0, 1)
+        engine.reset()
+        assert (engine.alloc_server == UNALLOCATED).all()
+        assert engine.channel_power.sum() == 0.0
+
+    def test_load_profile(self, engine):
+        server = np.array([0, 1, UNALLOCATED, 2, 0, 1])
+        channel = np.array([0, 1, UNALLOCATED, 0, 1, 0])
+        engine.load_profile(server, channel)
+        assert engine.channel_count.sum() == 5
+        assert engine.alloc_server[2] == UNALLOCATED
+
+    def test_load_profile_shape_check(self, engine):
+        with pytest.raises(AllocationError):
+            engine.load_profile(np.array([0]), np.array([0]))
+
+
+class TestSinrMath:
+    def test_solo_user_noise_limited(self, engine):
+        engine.assign(0, 0, 0)
+        sinr = engine.user_sinr(0)
+        g = engine.gain[0, 0]
+        expected = g * engine.power[0] / engine.noise
+        assert sinr == pytest.approx(expected)
+
+    def test_two_users_same_channel_interfere(self, engine):
+        engine.assign(0, 0, 0)
+        engine.assign(1, 0, 0)
+        g0 = engine.gain[0, 0]
+        # user 0's interference: own-server gain times user 1's power.
+        expected = g0 * engine.power[0] / (g0 * engine.power[1] + engine.noise)
+        assert engine.user_sinr(0) == pytest.approx(expected)
+
+    def test_other_channel_no_interference(self, engine):
+        engine.assign(0, 0, 0)
+        engine.assign(1, 0, 1)
+        assert engine.user_sinr(0) == pytest.approx(
+            engine.gain[0, 0] * engine.power[0] / engine.noise
+        )
+
+    def test_cross_cell_interference(self, engine):
+        # Users on the same channel index of different covering servers
+        # interfere (the F term of Eq. 2).
+        engine.assign(0, 0, 0)
+        engine.assign(1, 1, 0)
+        g0 = engine.gain[0, 0]
+        g1_to_u0 = engine.gain[1, 0]
+        expected = g0 * engine.power[0] / (g1_to_u0 * engine.power[1] + engine.noise)
+        assert engine.user_sinr(0) == pytest.approx(expected)
+
+    def test_unallocated_rate_zero(self, engine):
+        assert engine.user_rate(0) == 0.0
+        assert engine.user_sinr(0) == 0.0
+        assert engine.user_benefit(0) == 0.0
+
+    def test_rates_vector_matches_scalar(self, engine):
+        rng = np.random.default_rng(0)
+        for j in range(engine.scenario.n_users):
+            i = int(rng.integers(0, 3))
+            x = int(rng.integers(0, 2))
+            engine.assign(j, i, x)
+        vec = engine.rates()
+        for j in range(engine.scenario.n_users):
+            assert vec[j] == pytest.approx(engine.user_rate(j), rel=1e-10)
+
+    def test_average_rate(self, engine):
+        engine.assign(0, 0, 0)
+        rates = engine.rates()
+        assert engine.average_rate() == pytest.approx(rates.sum() / 6)
+
+    def test_rate_cap_applied(self, engine):
+        engine.assign(0, 0, 0)  # solo user => astronomically high SINR
+        assert engine.user_rate(0) == pytest.approx(engine.scenario.rmax[0])
+
+    def test_uncapped_rates_exceed_cap_for_solo(self, engine):
+        engine.assign(0, 0, 0)
+        assert engine.uncapped_rates()[0] > engine.scenario.rmax[0]
+
+
+class TestCandidates:
+    def test_view_shapes(self, engine):
+        view = engine.candidates(0)
+        assert view.servers.shape == (3,)
+        assert view.sinr.shape == (3, 2)
+        assert view.valid.all()
+
+    def test_benefit_in_unit_interval(self, engine):
+        engine.assign(1, 0, 0)
+        view = engine.candidates(0)
+        assert (view.benefit > 0).all() and (view.benefit <= 1).all()
+
+    def test_best_avoids_loaded_channel(self, engine):
+        # Load channel 0 of every server; channel 1 must win.
+        for j in range(1, 6):
+            engine.assign(j, j % 3, 0)
+        _, channel, _ = engine.candidates(0).best("benefit")
+        assert channel == 1
+
+    def test_best_empty_raises(self):
+        sc = make_scenario([[0.0, 0.0]], [[9999.0, 0.0]], radius=10.0)
+        eng = SinrEngine(sc)
+        view = eng.candidates(0)
+        assert view.servers.size == 0
+        with pytest.raises(CoverageError):
+            view.best()
+
+    def test_candidate_matches_realised_rate(self, engine):
+        engine.assign(1, 0, 0)
+        engine.assign(2, 1, 1)
+        view = engine.candidates(0)
+        s_idx = 2  # allocate to server 2, channel 0
+        engine.assign(0, 2, 0)
+        assert engine.user_rate(0) == pytest.approx(float(view.rate[s_idx, 0]))
+
+    def test_heterogeneous_channel_mask(self):
+        sc = make_scenario(
+            [[0.0, 0.0], [50.0, 0.0]], [[10.0, 0.0]], channels=[1, 3], radius=500.0
+        )
+        eng = SinrEngine(sc, RadioConfig())
+        view = eng.candidates(0)
+        assert view.valid.tolist() == [[True, False, False], [True, True, True]]
+
+
+class TestInterferenceProfile:
+    def test_excludes_own_power(self, engine):
+        engine.assign(0, 0, 0)
+        _, w = engine.interference_profile(0)
+        assert w[0] == pytest.approx(0.0, abs=1e-25)
+
+    def test_includes_other_users(self, engine):
+        engine.assign(1, 0, 0)
+        _, w = engine.interference_profile(0)
+        assert w[0] == pytest.approx(engine.gain[0, 0] * engine.power[1])
+        assert w[1] == 0.0

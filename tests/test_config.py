@@ -1,0 +1,159 @@
+"""Configuration validation tests."""
+
+import pytest
+
+from repro.config import (
+    DeliveryConfig,
+    GameConfig,
+    RadioConfig,
+    ScenarioConfig,
+    TopologyConfig,
+    WorkloadConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRadioConfig:
+    def test_defaults_match_paper(self):
+        cfg = RadioConfig()
+        assert cfg.eta == 1.0
+        assert cfg.loss_exponent == 3.0
+        assert cfg.bandwidth == 200.0
+        assert cfg.noise_dbm == -174.0
+        assert cfg.channels_per_server == 3
+
+    def test_noise_watts(self):
+        assert RadioConfig().noise_watts == pytest.approx(3.981e-21, rel=1e-3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"eta": 0.0},
+            {"loss_exponent": -1.0},
+            {"bandwidth": 0.0},
+            {"channels_per_server": 0},
+            {"min_distance": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RadioConfig(**kwargs)
+
+
+class TestChannelProvisioning:
+    def test_fixed_draw(self):
+        import numpy as np
+
+        cfg = RadioConfig(channels_per_server=4)
+        out = cfg.draw_channels(5, np.random.default_rng(0))
+        assert (out == 4).all()
+
+    def test_heterogeneous_draw(self):
+        import numpy as np
+
+        cfg = RadioConfig(channel_range=(2, 5))
+        out = cfg.draw_channels(500, np.random.default_rng(0))
+        assert out.min() >= 2 and out.max() <= 5
+        assert len(np.unique(out)) > 1
+
+    def test_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            RadioConfig(channel_range=(0, 3))
+        with pytest.raises(ConfigurationError):
+            RadioConfig(channel_range=(4, 2))
+
+    def test_generator_integration(self):
+        from repro.config import ScenarioConfig
+        from repro.core.instance import IDDEInstance
+        from repro.core.idde_g import IddeG
+
+        cfg = ScenarioConfig(radio=RadioConfig(channel_range=(1, 4)))
+        instance = IDDEInstance.generate(n=10, m=30, k=3, seed=2, config=cfg)
+        channels = instance.scenario.channels
+        assert channels.min() >= 1 and channels.max() <= 4
+        # The full pipeline handles ragged channel tables.
+        strategy = IddeG().solve(instance, rng=0)
+        assert strategy.r_avg > 0
+        strategy.allocation.validate(instance.scenario)
+
+
+class TestTopologyConfig:
+    def test_defaults_match_paper(self):
+        cfg = TopologyConfig()
+        assert cfg.edge_speed_range == (2000.0, 6000.0)
+        assert cfg.cloud_speed == 600.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"edge_speed_range": (0.0, 10.0)},
+            {"edge_speed_range": (10.0, 5.0)},
+            {"cloud_speed": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(**kwargs)
+
+
+class TestWorkloadConfig:
+    def test_defaults_match_paper(self):
+        cfg = WorkloadConfig()
+        assert cfg.data_sizes == (30.0, 60.0, 90.0)
+        assert cfg.storage_range == (30.0, 300.0)
+        assert cfg.power_range == (1.0, 5.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"data_sizes": ()},
+            {"data_sizes": (0.0,)},
+            {"storage_range": (-1.0, 5.0)},
+            {"power_range": (5.0, 1.0)},
+            {"requests_per_user": 0},
+            {"zipf_exponent": -0.1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(**kwargs)
+
+
+class TestGameConfig:
+    def test_schedules(self):
+        for s in ("best-gain-winner", "random-winner", "round-robin"):
+            assert GameConfig(schedule=s).schedule == s
+
+    def test_bad_schedule(self):
+        with pytest.raises(ConfigurationError):
+            GameConfig(schedule="chaotic")
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            GameConfig(epsilon=-1e-9)
+
+    def test_bad_max_rounds(self):
+        with pytest.raises(ConfigurationError):
+            GameConfig(max_rounds=0)
+
+
+class TestDeliveryConfig:
+    def test_defaults(self):
+        assert DeliveryConfig().ratio_rule is True
+
+    def test_bad_min_gain(self):
+        with pytest.raises(ConfigurationError):
+            DeliveryConfig(min_gain=-0.5)
+
+
+class TestScenarioConfig:
+    def test_bundle_defaults(self):
+        cfg = ScenarioConfig()
+        assert isinstance(cfg.radio, RadioConfig)
+        assert isinstance(cfg.topology, TopologyConfig)
+        assert isinstance(cfg.workload, WorkloadConfig)
+
+    def test_with_overrides(self):
+        cfg = ScenarioConfig().with_overrides(radio=RadioConfig(bandwidth=100.0))
+        assert cfg.radio.bandwidth == 100.0
+        assert cfg.topology == TopologyConfig()

@@ -1,0 +1,149 @@
+"""Edge-case coverage: degenerate but legal inputs across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.config import RadioConfig
+from repro.core.delivery import greedy_delivery
+from repro.core.game import IddeUGame
+from repro.core.instance import IDDEInstance
+from repro.core.objectives import average_data_rate, average_delivery_latency_ms, evaluate
+from repro.core.profiles import AllocationProfile, DeliveryProfile
+from repro.topology.graph import EdgeTopology, build_topology
+from repro.types import Scenario
+
+from .conftest import make_scenario
+
+
+def zero_user_instance():
+    sc = Scenario(
+        server_xy=np.array([[0.0, 0.0], [500.0, 0.0]]),
+        radius=np.array([300.0, 300.0]),
+        storage=np.array([100.0, 100.0]),
+        channels=np.array([2, 2], dtype=np.int64),
+        user_xy=np.empty((0, 2)),
+        power=np.empty(0),
+        rmax=np.empty(0),
+        sizes=np.array([60.0]),
+        requests=np.zeros((0, 1), dtype=bool),
+    )
+    return IDDEInstance(sc, build_topology(2, 1.0, 0))
+
+
+class TestZeroUsers:
+    def test_scenario_valid(self):
+        instance = zero_user_instance()
+        assert instance.n_users == 0
+        assert instance.scenario.total_requests == 0
+
+    def test_game_converges_trivially(self):
+        instance = zero_user_instance()
+        result = IddeUGame(instance).run(rng=0)
+        assert result.converged and result.moves == 0
+
+    def test_objectives_are_zero(self):
+        instance = zero_user_instance()
+        alloc = AllocationProfile.empty(0)
+        delivery = DeliveryProfile.empty(2, 1)
+        assert average_data_rate(instance, alloc) == 0.0
+        assert average_delivery_latency_ms(instance, alloc, delivery) == 0.0
+
+    def test_greedy_places_nothing(self):
+        instance = zero_user_instance()
+        result = greedy_delivery(instance, AllocationProfile.empty(0))
+        assert result.profile.n_replicas == 0
+
+    def test_all_solvers_handle_it(self):
+        from repro.baselines import default_solvers
+
+        instance = zero_user_instance()
+        for solver in default_solvers(ip_time_budget=0.15):
+            strategy = solver.solve(instance, rng=0)
+            assert strategy.r_avg == 0.0
+
+
+class TestSingleEverything:
+    def test_one_server_one_user_one_item(self):
+        sc = make_scenario([[0.0, 0.0]], [[10.0, 0.0]], channels=1, sizes=(30.0,))
+        instance = IDDEInstance(sc, build_topology(1, 0.0, 0))
+        from repro.core.idde_g import IddeG
+
+        strategy = IddeG().solve(instance, rng=0)
+        assert strategy.allocation.n_allocated == 1
+        # Only one item and room for it: local hit, zero latency.
+        assert strategy.l_avg_ms == 0.0
+        assert strategy.r_avg == pytest.approx(float(sc.rmax[0]))
+
+
+class TestIsolatedUser:
+    def test_uncovered_user_cloud_path(self):
+        sc = make_scenario(
+            [[0.0, 0.0]], [[10.0, 0.0], [99_999.0, 0.0]], radius=100.0
+        )
+        instance = IDDEInstance(sc, build_topology(1, 0.0, 0))
+        result = IddeUGame(instance).run(rng=0)
+        assert result.profile.allocated.tolist() == [True, False]
+        delivery = greedy_delivery(instance, result.profile).profile
+        ev = evaluate(instance, result.profile, delivery)
+        assert ev.rates[1] == 0.0
+        # The uncovered user pays the cloud fetch for its request.
+        assert ev.latencies_ms[1] > 0
+
+
+class TestExtremeParameters:
+    def test_huge_noise_floor_kills_rates(self):
+        sc = make_scenario([[0.0, 0.0]], [[50.0, 0.0]], channels=1)
+        cfg = RadioConfig(noise_dbm=100.0)  # absurd thermal floor
+        instance = IDDEInstance(sc, build_topology(1, 0.0, 0), cfg)
+        result = IddeUGame(instance).run(rng=0)
+        rate = average_data_rate(instance, result.profile)
+        assert rate < 1.0
+
+    def test_zero_storage_everywhere(self):
+        sc = make_scenario(
+            [[0.0, 0.0]], [[10.0, 0.0]], storage=0.0, sizes=(30.0,)
+        )
+        instance = IDDEInstance(sc, build_topology(1, 0.0, 0))
+        alloc = IddeUGame(instance).run(rng=0).profile
+        result = greedy_delivery(instance, alloc)
+        assert result.profile.n_replicas == 0
+        # Everything comes from the cloud.
+        lat = average_delivery_latency_ms(instance, alloc, result.profile)
+        assert lat == pytest.approx(1000.0 * 30.0 / 600.0)
+
+    def test_single_channel_heavy_interference(self):
+        rng = np.random.default_rng(0)
+        sc = make_scenario(
+            [[0.0, 0.0]], rng.uniform(-50, 50, size=(12, 2)), channels=1
+        )
+        instance = IDDEInstance(
+            sc, build_topology(1, 0.0, 0), RadioConfig(channels_per_server=1)
+        )
+        result = IddeUGame(instance).run(rng=0)
+        assert result.converged
+        rate = average_data_rate(instance, result.profile)
+        # 12 users on one channel: rate well below the solo cap.
+        assert 0 < rate < 60.0
+
+    def test_complete_graph_min_latency(self):
+        """With a complete fast graph, one replica serves everyone at a
+        single-hop cost."""
+        rng = np.random.default_rng(1)
+        sc = make_scenario(
+            rng.uniform(0, 2000, size=(6, 2)),
+            rng.uniform(0, 2000, size=(12, 2)),
+            radius=2000.0,
+            storage=30.0,
+            sizes=(30.0,),
+        )
+        from repro.config import TopologyConfig
+
+        topo = build_topology(
+            6, 100.0, 0, TopologyConfig(edge_speed_range=(6000.0, 6000.0))
+        )
+        instance = IDDEInstance(sc, topo)
+        alloc = IddeUGame(instance).run(rng=0).profile
+        delivery = greedy_delivery(instance, alloc).profile
+        lat = average_delivery_latency_ms(instance, alloc, delivery)
+        # At worst one hop at 6000 MB/s for a 30 MB item = 5 ms.
+        assert lat <= 5.0 + 1e-6

@@ -1,0 +1,133 @@
+"""Geometry substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.geometry import (
+    Region,
+    coverage_matrix,
+    covering_sets,
+    jittered_grid,
+    pairwise_distances,
+    sample_points_in_coverage,
+    sample_points_uniform,
+)
+
+
+class TestRegion:
+    def test_dimensions(self):
+        r = Region(0, 0, 200, 100)
+        assert r.width == 200 and r.height == 100 and r.area == 20_000
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ScenarioError):
+            Region(0, 0, 0, 100)
+        with pytest.raises(ScenarioError):
+            Region(0, 5, 10, 5)
+
+    def test_contains(self):
+        r = Region(0, 0, 10, 10)
+        inside = r.contains(np.array([[5, 5], [0, 0], [10, 10], [11, 5], [-1, 2]]))
+        assert inside.tolist() == [True, True, True, False, False]
+
+    def test_contains_single_point(self):
+        r = Region(0, 0, 10, 10)
+        assert r.contains(np.array([3.0, 3.0])).tolist() == [True]
+
+
+class TestPairwiseDistances:
+    def test_known_values(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        b = np.array([[0.0, 0.0]])
+        d = pairwise_distances(a, b)
+        assert d.shape == (2, 1)
+        assert d[0, 0] == 0.0
+        assert d[1, 0] == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((6, 2)) * 100
+        d = pairwise_distances(pts, pts)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ScenarioError):
+            pairwise_distances(np.zeros((3, 3)), np.zeros((2, 2)))
+
+
+class TestCoverage:
+    def test_radius_boundary_inclusive(self):
+        cov = coverage_matrix(
+            np.array([[0.0, 0.0]]), np.array([5.0]), np.array([[5.0, 0.0], [5.01, 0.0]])
+        )
+        assert cov[0, 0] and not cov[0, 1]
+
+    def test_shape(self):
+        cov = coverage_matrix(
+            np.zeros((3, 2)), np.ones(3), np.zeros((7, 2))
+        )
+        assert cov.shape == (3, 7)
+        assert cov.all()  # all users at server sites
+
+    def test_radius_shape_mismatch(self):
+        with pytest.raises(ScenarioError):
+            coverage_matrix(np.zeros((3, 2)), np.ones(2), np.zeros((1, 2)))
+
+    def test_covering_sets(self):
+        cov = np.array([[True, False], [True, True]])
+        sets = covering_sets(cov)
+        assert sets[0].tolist() == [0, 1]
+        assert sets[1].tolist() == [1]
+
+
+class TestSampling:
+    def test_uniform_in_region(self):
+        r = Region(10, 20, 30, 40)
+        pts = sample_points_uniform(r, 500, np.random.default_rng(1))
+        assert pts.shape == (500, 2)
+        assert r.contains(pts).all()
+
+    def test_uniform_negative_raises(self):
+        with pytest.raises(ScenarioError):
+            sample_points_uniform(Region(0, 0, 1, 1), -1, np.random.default_rng(0))
+
+    def test_coverage_sampling_always_covered(self):
+        rng = np.random.default_rng(2)
+        server_xy = rng.random((5, 2)) * 1000
+        radius = rng.uniform(50, 150, 5)
+        pts = sample_points_in_coverage(server_xy, radius, 300, rng)
+        cov = coverage_matrix(server_xy, radius, pts)
+        assert cov.any(axis=0).all()
+
+    def test_coverage_sampling_rejects_bad_radius(self):
+        with pytest.raises(ScenarioError):
+            sample_points_in_coverage(
+                np.zeros((1, 2)), np.array([0.0]), 3, np.random.default_rng(0)
+            )
+
+    def test_coverage_sampling_zero_servers(self):
+        with pytest.raises(ScenarioError):
+            sample_points_in_coverage(
+                np.empty((0, 2)), np.empty(0), 3, np.random.default_rng(0)
+            )
+
+
+class TestJitteredGrid:
+    def test_in_region_and_count(self):
+        r = Region(0, 0, 1000, 600)
+        pts = jittered_grid(r, 37, np.random.default_rng(3))
+        assert pts.shape == (37, 2)
+        assert r.contains(pts).all()
+
+    def test_spread_covers_region(self):
+        r = Region(0, 0, 1000, 1000)
+        pts = jittered_grid(r, 100, np.random.default_rng(4))
+        # Points should span most of the region, not cluster in a corner.
+        assert pts[:, 0].max() - pts[:, 0].min() > 700
+        assert pts[:, 1].max() - pts[:, 1].min() > 700
+
+    def test_zero_raises(self):
+        with pytest.raises(ScenarioError):
+            jittered_grid(Region(0, 0, 1, 1), 0, np.random.default_rng(0))

@@ -1,0 +1,85 @@
+"""Persistence round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.idde_g import IddeG
+from repro.core.instance import IDDEInstance
+from repro.errors import DatasetError
+from repro.io import load_instance, load_strategy, save_instance, save_strategy
+from repro.radio.fading import lognormal_shadowing
+
+
+class TestInstanceRoundTrip:
+    def test_arrays_bit_exact(self, small_instance, tmp_path):
+        path = save_instance(small_instance, tmp_path / "inst.npz")
+        loaded = load_instance(path)
+        sc0, sc1 = small_instance.scenario, loaded.scenario
+        assert np.array_equal(sc0.server_xy, sc1.server_xy)
+        assert np.array_equal(sc0.user_xy, sc1.user_xy)
+        assert np.array_equal(sc0.requests, sc1.requests)
+        assert np.array_equal(sc0.storage, sc1.storage)
+        assert np.array_equal(
+            small_instance.topology.links, loaded.topology.links
+        )
+        assert np.array_equal(
+            small_instance.topology.speeds, loaded.topology.speeds
+        )
+        assert loaded.topology.cloud_speed == small_instance.topology.cloud_speed
+        assert loaded.radio == small_instance.radio
+
+    def test_solver_agrees_after_reload(self, small_instance, tmp_path):
+        path = save_instance(small_instance, tmp_path / "inst.npz")
+        loaded = load_instance(path)
+        a = IddeG().solve(small_instance, rng=0)
+        b = IddeG().solve(loaded, rng=0)
+        assert a.r_avg == pytest.approx(b.r_avg)
+        assert a.l_avg_ms == pytest.approx(b.l_avg_ms)
+
+    def test_gain_override_persisted(self, tmp_path):
+        base = IDDEInstance.generate(n=6, m=15, k=2, seed=3)
+        gain = lognormal_shadowing(
+            base.scenario.server_xy, base.scenario.user_xy, rng=1
+        )
+        instance = IDDEInstance(
+            base.scenario, base.topology, base.radio, gain_override=gain
+        )
+        path = save_instance(instance, tmp_path / "shadowed.npz")
+        loaded = load_instance(path)
+        assert loaded.gain_override is not None
+        assert np.allclose(loaded.gain_override, gain)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_instance(tmp_path / "nope.npz")
+
+    def test_wrong_kind_rejected(self, small_instance, tmp_path):
+        strategy = IddeG().solve(small_instance, rng=0)
+        path = save_strategy(strategy, tmp_path / "strategy.npz")
+        with pytest.raises(DatasetError):
+            load_instance(path)
+
+
+class TestStrategyRoundTrip:
+    def test_profiles_bit_exact(self, small_instance, tmp_path):
+        strategy = IddeG().solve(small_instance, rng=0)
+        path = save_strategy(strategy, tmp_path / "s.npz")
+        loaded = load_strategy(path)
+        assert loaded.solver == "IDDE-G"
+        assert loaded.allocation == strategy.allocation
+        assert loaded.delivery == strategy.delivery
+        assert loaded.r_avg == pytest.approx(strategy.r_avg)
+        assert loaded.l_avg_ms == pytest.approx(strategy.l_avg_ms)
+        assert loaded.extras == {}
+
+    def test_loaded_profiles_still_valid(self, small_instance, tmp_path):
+        strategy = IddeG().solve(small_instance, rng=0)
+        path = save_strategy(strategy, tmp_path / "s.npz")
+        loaded = load_strategy(path)
+        loaded.allocation.validate(small_instance.scenario)
+        loaded.delivery.validate(small_instance.scenario)
+
+    def test_wrong_kind_rejected(self, small_instance, tmp_path):
+        path = save_instance(small_instance, tmp_path / "inst.npz")
+        with pytest.raises(DatasetError):
+            load_strategy(path)

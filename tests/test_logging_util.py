@@ -1,0 +1,37 @@
+"""Logging plumbing tests."""
+
+import logging
+
+from repro.logging_util import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core.game").name == "repro.core.game"
+        assert get_logger("repro.radio").name == "repro.radio"
+
+    def test_child_propagates_to_package_logger(self):
+        child = get_logger("x.y")
+        assert child.parent is not None
+        assert child.name.startswith("repro.")
+
+
+class TestConfigureLogging:
+    def test_levels(self):
+        assert configure_logging(0).level == logging.WARNING
+        assert configure_logging(1).level == logging.INFO
+        assert configure_logging(2).level == logging.DEBUG
+        assert configure_logging(9).level == logging.DEBUG
+
+    def test_idempotent_handlers(self):
+        before = configure_logging(1)
+        n = len(before.handlers)
+        after = configure_logging(2)
+        assert len(after.handlers) == n
+
+    def test_debug_messages_emitted(self, caplog):
+        configure_logging(2)
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            get_logger("test").debug("hello from test")
+        assert any("hello from test" in r.message for r in caplog.records)

@@ -1,0 +1,93 @@
+"""QoE metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.idde_g import IddeG
+from repro.metrics import (
+    coverage_ratio,
+    jain_index,
+    percentile_summary,
+    strategy_report,
+)
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_index(np.full(10, 3.7)) == pytest.approx(1.0)
+
+    def test_single_taker_is_one_over_n(self):
+        x = np.zeros(8)
+        x[0] = 5.0
+        assert jain_index(x) == pytest.approx(1 / 8)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.random(15) * 100
+            j = jain_index(x)
+            assert 1 / 15 - 1e-12 <= j <= 1.0 + 1e-12
+
+    def test_empty_and_zero(self):
+        assert jain_index(np.array([])) == 1.0
+        assert jain_index(np.zeros(5)) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index(np.array([1.0, -1.0]))
+
+    def test_scale_invariant(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert jain_index(x) == pytest.approx(jain_index(10 * x))
+
+
+class TestPercentileSummary:
+    def test_keys_and_ordering(self):
+        s = percentile_summary(np.arange(101, dtype=float))
+        assert s["min"] <= s["p10"] <= s["median"] <= s["p90"] <= s["max"]
+        assert s["min"] == 0.0 and s["max"] == 100.0
+        assert s["median"] == 50.0
+
+    def test_empty(self):
+        s = percentile_summary(np.array([]))
+        assert all(v == 0.0 for v in s.values())
+
+
+class TestCoverageRatio:
+    def test_full(self, tiny_instance):
+        from repro.core.game import IddeUGame
+
+        profile = IddeUGame(tiny_instance).run(rng=0).profile
+        assert coverage_ratio(profile) == 1.0
+
+    def test_empty(self):
+        from repro.core.profiles import AllocationProfile
+
+        assert coverage_ratio(AllocationProfile.empty(4)) == 0.0
+        assert coverage_ratio(AllocationProfile.empty(0)) == 1.0
+
+
+class TestStrategyReport:
+    def test_bundle(self, small_instance):
+        s = IddeG().solve(small_instance, rng=0)
+        report = strategy_report(small_instance, s.allocation, s.delivery)
+        assert report.r_avg == pytest.approx(s.r_avg)
+        assert report.l_avg_ms == pytest.approx(s.l_avg_ms)
+        assert 0 < report.rate_fairness <= 1.0
+        assert report.allocated_ratio == 1.0
+        assert report.rate_percentiles["max"] >= report.rate_percentiles["min"]
+
+    def test_game_fairer_than_random(self, medium_instance):
+        """The equilibrium's rate distribution is fairer than a random
+        allocation's (the interference_study example's claim)."""
+        from repro.baselines.naive import RandomSolver
+
+        game = IddeG().solve(medium_instance, rng=0)
+        rand = RandomSolver().solve(medium_instance, rng=0)
+        fair_game = strategy_report(
+            medium_instance, game.allocation, game.delivery
+        ).rate_fairness
+        fair_rand = strategy_report(
+            medium_instance, rand.allocation, rand.delivery
+        ).rate_fairness
+        assert fair_game > fair_rand

@@ -1,0 +1,129 @@
+"""Scenario container tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.types import DataItem, EdgeServer, Scenario, User
+
+from .conftest import make_scenario
+
+
+class TestScenarioConstruction:
+    def test_shapes(self, tiny_scenario):
+        assert tiny_scenario.n_servers == 3
+        assert tiny_scenario.n_users == 6
+        assert tiny_scenario.n_data == 2
+
+    def test_arrays_frozen(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            tiny_scenario.storage[0] = 99.0
+        with pytest.raises(ValueError):
+            tiny_scenario.requests[0, 0] = True
+
+    def test_inputs_copied(self):
+        storage = np.array([100.0])
+        sc = make_scenario([[0.0, 0.0]], [[1.0, 1.0]], storage=100.0)
+        storage[0] = -1  # must not affect the scenario
+        assert sc.storage[0] == 100.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("radius", 0.0),
+            ("storage", -5.0),
+            ("channels", 0),
+            ("power", 0.0),
+            ("rmax", 0.0),
+        ],
+    )
+    def test_rejects_bad_scalars(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(ScenarioError):
+            make_scenario([[0.0, 0.0]], [[1.0, 1.0]], **kwargs)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ScenarioError):
+            make_scenario([[0.0, 0.0]], [[1.0, 1.0]], sizes=(0.0,))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ScenarioError):
+            Scenario(
+                server_xy=np.zeros((2, 2)),
+                radius=np.ones(3),  # wrong
+                storage=np.ones(2),
+                channels=np.ones(2, dtype=np.int64),
+                user_xy=np.zeros((1, 2)),
+                power=np.ones(1),
+                rmax=np.ones(1),
+                sizes=np.ones(1),
+                requests=np.zeros((1, 1), dtype=bool),
+            )
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ScenarioError):
+            make_scenario(np.empty((0, 2)), [[0.0, 0.0]])
+
+
+class TestDerived:
+    def test_coverage_full_overlap(self, tiny_scenario):
+        assert tiny_scenario.coverage.all()
+        assert all(len(v) == 3 for v in tiny_scenario.covering_servers)
+
+    def test_channel_mask(self, tiny_scenario):
+        assert tiny_scenario.channel_mask.shape == (3, 2)
+        assert tiny_scenario.channel_mask.all()
+
+    def test_heterogeneous_channels_mask(self):
+        sc = make_scenario(
+            [[0.0, 0.0], [10.0, 0.0]], [[1.0, 1.0]], channels=[1, 3]
+        )
+        assert sc.max_channels == 3
+        assert sc.channel_mask.tolist() == [[True, False, False], [True, True, True]]
+
+    def test_covered_users(self):
+        sc = make_scenario([[0.0, 0.0]], [[1.0, 1.0], [9999.0, 0.0]], radius=10.0)
+        assert sc.covered_users.tolist() == [True, False]
+
+    def test_totals(self, tiny_scenario):
+        assert tiny_scenario.total_storage == pytest.approx(600.0)
+        assert tiny_scenario.total_requests == 6
+
+
+class TestEntityViews:
+    def test_server_view(self, tiny_scenario):
+        s = tiny_scenario.server(1)
+        assert isinstance(s, EdgeServer)
+        assert s.index == 1 and s.xy == (200.0, 0.0)
+        assert s.n_channels == 2
+
+    def test_user_view(self, tiny_scenario):
+        u = tiny_scenario.user(0)
+        assert isinstance(u, User)
+        assert u.power == 2.0 and u.rmax == 200.0
+
+    def test_data_view(self, tiny_scenario):
+        d = tiny_scenario.data_item(1)
+        assert isinstance(d, DataItem)
+        assert d.size == 60.0
+
+    def test_iterators(self, tiny_scenario):
+        assert len(list(tiny_scenario.servers())) == 3
+        assert len(list(tiny_scenario.users())) == 6
+        assert len(list(tiny_scenario.data_items())) == 2
+
+    def test_repr(self, tiny_scenario):
+        assert "Scenario(N=3, M=6, K=2" in repr(tiny_scenario)
+
+
+class TestFromEntities:
+    def test_round_trip(self, tiny_scenario):
+        rebuilt = Scenario.from_entities(
+            list(tiny_scenario.servers()),
+            list(tiny_scenario.users()),
+            list(tiny_scenario.data_items()),
+            tiny_scenario.requests,
+        )
+        assert np.allclose(rebuilt.server_xy, tiny_scenario.server_xy)
+        assert np.allclose(rebuilt.power, tiny_scenario.power)
+        assert np.array_equal(rebuilt.requests, tiny_scenario.requests)

@@ -1,0 +1,47 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestDbmWatts:
+    def test_noise_floor(self):
+        # The paper's −174 dBm noise floor ≈ 3.98e−21 W.
+        assert units.dbm_to_watts(-174.0) == pytest.approx(3.981e-21, rel=1e-3)
+
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_round_trip(self):
+        for dbm in (-174.0, -30.0, 0.0, 10.0, 46.0):
+            assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(-1.0)
+
+
+class TestTimeAndSize:
+    def test_seconds_ms_round_trip(self):
+        assert units.ms_to_seconds(units.seconds_to_ms(0.123)) == pytest.approx(0.123)
+
+    def test_seconds_to_ms(self):
+        assert units.seconds_to_ms(1.5) == 1500.0
+
+    def test_mb_bytes_round_trip(self):
+        assert units.bytes_to_mb(units.mb_to_bytes(42.5)) == pytest.approx(42.5)
+
+    def test_mb_is_decimal(self):
+        assert units.mb_to_bytes(1) == 1_000_000
+
+    def test_constants(self):
+        assert units.MB == 10**6
+        assert math.isclose(units.MS_PER_S, 1000.0)

@@ -1,0 +1,69 @@
+"""Terminal visualisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.game import IddeUGame
+from repro.viz import scenario_map, series_panel, sparkline
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_heights(self):
+        bars = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert bars == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0, float("inf")])
+
+
+class TestSeriesPanel:
+    def test_contains_labels_and_ranges(self):
+        panel = series_panel({"IDDE-G": [1.0, 2.0], "CDP": [3.0, 1.0]})
+        assert "IDDE-G" in panel and "CDP" in panel
+        assert "[1.0 … 2.0]" in panel
+
+    def test_skips_empty_series(self):
+        panel = series_panel({"a": [], "b": [1.0]})
+        assert "a" not in panel.split("\n")[0] or "b" in panel
+
+
+class TestScenarioMap:
+    def test_contains_servers_and_users(self, tiny_scenario):
+        art = scenario_map(tiny_scenario)
+        assert art.count("#") >= 1
+        assert "o" in art
+        assert "." in art  # coverage shading
+
+    def test_allocation_glyphs(self, tiny_instance):
+        profile = IddeUGame(tiny_instance).run(rng=0).profile
+        art = scenario_map(tiny_instance.scenario, profile)
+        # All users allocated => no '?' and digit glyphs present.
+        assert "?" not in art
+        assert any(g in art for g in "012")
+
+    def test_unallocated_marker(self, tiny_scenario):
+        from repro.core.profiles import AllocationProfile
+
+        profile = AllocationProfile.empty(tiny_scenario.n_users)
+        art = scenario_map(tiny_scenario, profile)
+        assert "?" in art
+
+    def test_dimensions(self, tiny_scenario):
+        art = scenario_map(tiny_scenario, width=40, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_too_small_rejected(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            scenario_map(tiny_scenario, width=4, height=2)

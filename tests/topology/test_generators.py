@@ -1,0 +1,126 @@
+"""Structured topology family tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.generators import (
+    geometric_topology,
+    grid_topology,
+    ring_topology,
+    scale_free_topology,
+    star_topology,
+)
+
+
+class TestRing:
+    def test_cycle_structure(self):
+        topo = ring_topology(8, rng=0)
+        assert topo.n_links == 8
+        assert (topo.degree == 2).all()
+        assert topo.is_connected()
+
+    def test_two_nodes_path(self):
+        topo = ring_topology(2, rng=0)
+        assert topo.n_links == 1
+
+    def test_single_node(self):
+        topo = ring_topology(1, rng=0)
+        assert topo.n_links == 0
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            ring_topology(0)
+
+
+class TestGrid:
+    def test_square_grid(self):
+        topo = grid_topology(9, rng=0)  # 3x3
+        assert topo.n_links == 12
+        assert topo.is_connected()
+
+    def test_partial_last_row(self):
+        topo = grid_topology(7, rng=0)  # 3 cols, rows of 3/3/1
+        assert topo.is_connected()
+        assert topo.n_links >= 6
+
+    def test_degrees_bounded_by_four(self):
+        topo = grid_topology(25, rng=0)
+        assert topo.degree.max() <= 4
+
+
+class TestStar:
+    def test_hub_degree(self):
+        topo = star_topology(10, rng=0)
+        assert topo.degree[0] == 9
+        assert (topo.degree[1:] == 1).all()
+        assert topo.is_connected()
+
+    def test_custom_hub(self):
+        topo = star_topology(5, rng=0, hub=2)
+        assert topo.degree[2] == 4
+
+    def test_bad_hub(self):
+        with pytest.raises(TopologyError):
+            star_topology(3, hub=7)
+
+
+class TestScaleFree:
+    def test_connected_and_hubby(self):
+        topo = scale_free_topology(40, rng=0, m_attach=2)
+        assert topo.is_connected()
+        # Preferential attachment: degree distribution is skewed.
+        assert topo.degree.max() >= 3 * np.median(topo.degree)
+
+    def test_link_budget(self):
+        topo = scale_free_topology(30, rng=1, m_attach=2)
+        # seed clique 3 links + 2 per additional node, minus dedup slack.
+        assert 2 * 27 * 0.7 <= topo.n_links <= 3 + 2 * 27
+
+    def test_bad_attach(self):
+        with pytest.raises(TopologyError):
+            scale_free_topology(5, m_attach=0)
+
+    def test_deterministic(self):
+        a = scale_free_topology(20, rng=5)
+        b = scale_free_topology(20, rng=5)
+        assert np.array_equal(a.links, b.links)
+
+
+class TestGeometric:
+    def test_radius_links(self):
+        xy = np.array([[0.0, 0.0], [50.0, 0.0], [500.0, 0.0]])
+        topo = geometric_topology(xy, 100.0, rng=0)
+        assert topo.n_links == 1
+        assert topo.links.tolist() == [[0, 1]]
+
+    def test_large_radius_complete(self):
+        rng = np.random.default_rng(0)
+        xy = rng.uniform(0, 100, size=(6, 2))
+        topo = geometric_topology(xy, 1e6, rng=0)
+        assert topo.n_links == 15
+
+    def test_bad_radius(self):
+        with pytest.raises(TopologyError):
+            geometric_topology(np.zeros((2, 2)), 0.0)
+
+
+class TestIntegrationWithSolver:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda n: ring_topology(n, rng=0),
+            lambda n: grid_topology(n, rng=0),
+            lambda n: star_topology(n, rng=0),
+            lambda n: scale_free_topology(n, rng=0),
+        ],
+        ids=["ring", "grid", "star", "scale-free"],
+    )
+    def test_idde_g_runs_on_every_family(self, factory, small_instance):
+        from repro.core.idde_g import IddeG
+        from repro.core.instance import IDDEInstance
+
+        topo = factory(small_instance.n_servers)
+        instance = IDDEInstance(small_instance.scenario, topo)
+        strategy = IddeG().solve(instance, rng=0)
+        assert strategy.r_avg > 0

@@ -1,0 +1,125 @@
+"""Edge-graph construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import TopologyConfig
+from repro.errors import TopologyError
+from repro.topology.graph import EdgeTopology, build_topology, _unrank_pairs
+
+
+class TestEdgeTopology:
+    def test_basic(self):
+        topo = EdgeTopology(
+            n=3,
+            links=np.array([[0, 1], [1, 2]]),
+            speeds=np.array([3000.0, 4000.0]),
+        )
+        assert topo.n_links == 2
+        assert topo.is_connected()
+
+    def test_adjacency_cost(self):
+        topo = EdgeTopology(n=3, links=np.array([[0, 1]]), speeds=np.array([2000.0]))
+        cost = topo.adjacency_cost
+        assert cost[0, 1] == pytest.approx(1 / 2000.0)
+        assert cost[1, 0] == cost[0, 1]
+        assert np.isinf(cost[0, 2])
+        assert cost[0, 0] == 0.0
+
+    def test_degree_and_neighbors(self):
+        topo = EdgeTopology(
+            n=4, links=np.array([[0, 1], [0, 2]]), speeds=np.array([1.0, 1.0])
+        )
+        assert topo.degree.tolist() == [2, 1, 1, 0]
+        assert sorted(topo.neighbors(0).tolist()) == [1, 2]
+        assert topo.neighbors(3).tolist() == []
+
+    def test_neighbors_out_of_range(self):
+        topo = EdgeTopology(n=2, links=np.empty((0, 2)), speeds=np.empty(0))
+        with pytest.raises(TopologyError):
+            topo.neighbors(5)
+
+    def test_disconnected(self):
+        topo = EdgeTopology(n=3, links=np.array([[0, 1]]), speeds=np.array([1.0]))
+        assert not topo.is_connected()
+
+    def test_single_node_connected(self):
+        topo = EdgeTopology(n=1, links=np.empty((0, 2)), speeds=np.empty(0))
+        assert topo.is_connected()
+
+    @pytest.mark.parametrize(
+        "links,speeds,err",
+        [
+            (np.array([[0, 0]]), np.array([1.0]), "self-loop"),
+            (np.array([[0, 5]]), np.array([1.0]), "out of range"),
+            (np.array([[0, 1], [1, 0]]), np.array([1.0, 1.0]), "parallel"),
+            (np.array([[0, 1]]), np.array([0.0]), "positive"),
+            (np.array([[0, 1]]), np.array([1.0, 2.0]), "speeds"),
+        ],
+    )
+    def test_validation(self, links, speeds, err):
+        with pytest.raises(TopologyError):
+            EdgeTopology(n=3, links=links, speeds=speeds)
+
+    def test_bad_cloud_speed(self):
+        with pytest.raises(TopologyError):
+            EdgeTopology(
+                n=2, links=np.empty((0, 2)), speeds=np.empty(0), cloud_speed=0.0
+            )
+
+
+class TestBuildTopology:
+    def test_link_count_matches_density(self):
+        topo = build_topology(30, 1.0, 0)
+        assert topo.n_links == 30
+
+    def test_density_caps_at_complete_graph(self):
+        topo = build_topology(5, 100.0, 0)
+        assert topo.n_links == 10  # C(5,2)
+
+    def test_zero_density(self):
+        topo = build_topology(10, 0.0, 0)
+        assert topo.n_links == 0
+
+    def test_speeds_in_range(self):
+        topo = build_topology(40, 2.0, 1)
+        assert (topo.speeds >= 2000.0).all() and (topo.speeds <= 6000.0).all()
+
+    def test_no_duplicate_links(self):
+        topo = build_topology(20, 3.0, 2)
+        canon = np.sort(topo.links, axis=1)
+        assert len(np.unique(canon, axis=0)) == topo.n_links
+
+    def test_deterministic(self):
+        a = build_topology(25, 1.5, 7)
+        b = build_topology(25, 1.5, 7)
+        assert np.array_equal(a.links, b.links)
+        assert np.allclose(a.speeds, b.speeds)
+
+    def test_custom_config(self):
+        cfg = TopologyConfig(edge_speed_range=(10.0, 10.0), cloud_speed=50.0)
+        topo = build_topology(6, 1.0, 3, cfg)
+        assert np.allclose(topo.speeds, 10.0)
+        assert topo.cloud_speed == 50.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            build_topology(0, 1.0, 0)
+        with pytest.raises(TopologyError):
+            build_topology(5, -1.0, 0)
+
+
+class TestUnrankPairs:
+    def test_enumerates_all_pairs(self):
+        n = 9
+        n_pairs = n * (n - 1) // 2
+        pairs = _unrank_pairs(np.arange(n_pairs), n)
+        assert len(np.unique(pairs, axis=0)) == n_pairs
+        assert (pairs[:, 0] < pairs[:, 1]).all()
+        assert pairs.min() >= 0 and pairs.max() < n
+
+    def test_first_and_last(self):
+        n = 5
+        pairs = _unrank_pairs(np.array([0, n * (n - 1) // 2 - 1]), n)
+        assert pairs[0].tolist() == [0, 1]
+        assert pairs[1].tolist() == [3, 4]
