@@ -48,7 +48,7 @@ from .solvers import optimal_delivery_milp
 from .topology import EdgeTopology, build_topology
 from .types import DataItem, EdgeServer, Scenario, User
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,55 @@
+"""IDDE-Lint: a rule-based AST invariant checker for this repository.
+
+The reproduction's correctness rests on conventions the test suite cannot
+see: RNG discipline (every stochastic draw flows through :mod:`repro.rng`
+so trials are reproducible across worker processes), unit honesty (the
+conventions documented in :mod:`repro.units`), immutability of frozen
+profile/value types, and determinism of the potential-game core.  This
+subpackage enforces those conventions statically so refactoring PRs cannot
+silently break them.
+
+Usage
+-----
+Command line::
+
+    idde lint src/            # human-readable report, exit 1 on findings
+    idde lint src/ --format json
+
+Programmatic::
+
+    from repro.analysis import lint_paths
+    findings = lint_paths(["src/repro"])
+
+Each finding carries a stable rule code (``IDDE001``...).  Findings can be
+suppressed per line with ``# idde: noqa[IDDE001]`` (or a bare
+``# idde: noqa`` for all codes) and grandfathered via a JSON baseline file
+(see :mod:`repro.analysis.baseline`).  Rule documentation lives in
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .engine import FileContext, iter_python_files, lint_paths, lint_source
+from .findings import Finding
+from .registry import RULES, all_codes, rule
+from .report import render_json, render_text
+
+# Importing the rules package registers every built-in rule.
+from . import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "RULES",
+    "all_codes",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule",
+    "write_baseline",
+]

@@ -1,0 +1,85 @@
+"""Baseline files: grandfather existing findings without silencing new ones.
+
+A baseline is a JSON document mapping finding fingerprints (path + code +
+stripped source line, see :attr:`repro.analysis.findings.Finding.fingerprint`)
+to occurrence counts.  ``idde lint --write-baseline`` snapshots the current
+tree; subsequent runs subtract baselined occurrences so only *new* findings
+fail the build.  Policy: the baseline may only ever shrink — new code must
+lint clean (see ``docs/STATIC_ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME", "load_baseline", "write_baseline"]
+
+DEFAULT_BASELINE_NAME = ".idde-lint-baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Count-aware set of grandfathered finding fingerprints."""
+
+    counts: Counter[str] = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(counts=Counter(f.fingerprint for f in findings))
+
+    def filter(self, findings: Iterable[Finding]) -> list[Finding]:
+        """Drop findings covered by the baseline.
+
+        Each baselined fingerprint absorbs up to its recorded count, so
+        *adding* a second copy of a grandfathered violation still fails.
+        """
+        budget = Counter(self.counts)
+        kept: list[Finding] = []
+        for f in sorted(findings):
+            if budget[f.fingerprint] > 0:
+                budget[f.fingerprint] -= 1
+            else:
+                kept.append(f)
+        return kept
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        entries = [
+            {"fingerprint": fp, "count": n}
+            for fp, n in sorted(self.counts.items())
+            if n > 0
+        ]
+        return json.dumps({"version": _VERSION, "entries": entries}, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        doc = json.loads(text)
+        if not isinstance(doc, dict) or doc.get("version") != _VERSION:
+            raise ValueError(f"unsupported baseline document: {text[:80]!r}")
+        counts: Counter[str] = Counter()
+        for entry in doc.get("entries", []):
+            counts[str(entry["fingerprint"])] += int(entry.get("count", 1))
+        return cls(counts=counts)
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    return Baseline.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> Baseline:
+    baseline = Baseline.from_findings(findings)
+    Path(path).write_text(baseline.to_json(), encoding="utf-8")
+    return baseline

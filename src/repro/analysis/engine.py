@@ -1,0 +1,203 @@
+"""Lint engine: file discovery, parsing, suppression, baseline filtering.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so it can
+run in CI images that install nothing beyond the package itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .baseline import Baseline
+from .findings import Finding
+from .registry import RULES
+
+__all__ = ["FileContext", "iter_python_files", "lint_paths", "lint_source"]
+
+#: ``# idde: noqa`` or ``# idde: noqa[IDDE001, IDDE002]``
+_NOQA_RE = re.compile(r"#\s*idde:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?")
+
+#: Suppress-everything sentinel stored in the per-line noqa map.
+_ALL = "*"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    # ------------------------------------------------------------------
+    # location within the repro package
+    # ------------------------------------------------------------------
+    @property
+    def repro_parts(self) -> tuple[str, ...]:
+        """Path parts after the last ``repro`` anchor, e.g. ``("core",
+        "game.py")``; empty when the file is not under a ``repro`` dir."""
+        parts = Path(self.path).parts
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == "repro":
+                return tuple(parts[i + 1 :])
+        return ()
+
+    @property
+    def layer(self) -> str | None:
+        """First repro-relative segment: ``core``, ``radio``, ``viz``...
+
+        For top-level modules (``repro/viz.py``) the segment is the module
+        name without extension.  ``None`` outside the package.
+        """
+        parts = self.repro_parts
+        if not parts:
+            return None
+        head = parts[0]
+        return head[:-3] if head.endswith(".py") and len(parts) == 1 else head
+
+    @property
+    def module_parts(self) -> tuple[str, ...]:
+        """Dotted-module parts relative to ``repro`` (no extension), with
+        ``__init__`` dropped — ``repro/core/game.py`` -> ``("core", "game")``."""
+        parts = [p[:-3] if p.endswith(".py") else p for p in self.repro_parts]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return tuple(parts)
+
+    def in_layer(self, *layers: str) -> bool:
+        return self.layer in layers
+
+    # ------------------------------------------------------------------
+    # findings
+    # ------------------------------------------------------------------
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Finding(
+            path=self.path, line=line, col=col, code=code, message=message, snippet=snippet
+        )
+
+
+def parse_noqa(lines: Sequence[str]) -> dict[int, set[str]]:
+    """Per-line suppression map: line number -> codes (or ``{"*"}``)."""
+    out: dict[int, set[str]] = {}
+    for i, text in enumerate(lines, start=1):
+        if "idde" not in text:  # cheap pre-filter
+            continue
+        m = _NOQA_RE.search(text)
+        if not m:
+            continue
+        raw = m.group("codes")
+        if raw is None:
+            out[i] = {_ALL}
+        else:
+            out[i] = {c.strip().upper() for c in raw.split(",") if c.strip()}
+    return out
+
+
+def _suppressed(finding: Finding, noqa: dict[int, set[str]]) -> bool:
+    codes = noqa.get(finding.line)
+    if not codes:
+        return False
+    return _ALL in codes or finding.code in codes
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    *,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string; ``path`` drives layer-scoped rules.
+
+    ``rules`` optionally restricts the run to the named rules.  Syntax
+    errors are reported as an ``IDDE000`` finding rather than raised, so a
+    broken file cannot crash a whole-tree lint.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                code="IDDE000",
+                message=f"syntax error prevents analysis: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree)
+    selected = RULES.values() if rules is None else [RULES[name] for name in rules]
+    noqa = parse_noqa(ctx.lines)
+    found: list[Finding] = []
+    for r in selected:
+        for f in r.func(ctx):
+            if not _suppressed(f, noqa):
+                found.append(f)
+    return sorted(found)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files pass through, dirs recurse).
+
+    Hidden directories and ``__pycache__`` are skipped; each file is
+    yielded once even when given paths overlap; order is sorted per root
+    for reproducible reports.
+    """
+    seen: set[Path] = set()
+    for root in paths:
+        root = Path(root)
+        if root.is_file():
+            if root.suffix == ".py" and root.resolve() not in seen:
+                seen.add(root.resolve())
+                yield root
+            continue
+        if not root.exists():
+            raise FileNotFoundError(f"lint path does not exist: {root}")
+        for p in sorted(root.rglob("*.py")):
+            rel = p.relative_to(root)
+            if any(part.startswith(".") or part == "__pycache__" for part in rel.parts):
+                continue
+            if p.resolve() in seen:
+                continue
+            seen.add(p.resolve())
+            yield p
+
+
+def _display_path(p: Path) -> str:
+    """Repo-relative posix path when possible (stable baseline keys)."""
+    try:
+        rel = p.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    baseline: Baseline | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths``, returning new findings.
+
+    Findings matching ``baseline`` (by fingerprint, count-aware) are
+    filtered out; the remainder is sorted by location.
+    """
+    found: list[Finding] = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        found.extend(lint_source(source, path=_display_path(file), rules=rules))
+    if baseline is not None:
+        found = baseline.filter(found)
+    return sorted(found)

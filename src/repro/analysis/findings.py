@@ -1,0 +1,43 @@
+"""The :class:`Finding` record emitted by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Findings sort by ``(path, line, col, code)`` so reports are stable
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching.
+
+        Uses the stripped source line rather than the line number so a
+        grandfathered finding survives unrelated edits above it.
+        """
+        return f"{self.path}::{self.code}::{self.snippet}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,55 @@
+"""Rule registry: every lint rule registers itself via the :func:`rule`
+decorator so the engine, the CLI ``--list-rules`` output and the docs test
+all see one authoritative table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import FileContext
+    from .findings import Finding
+
+RuleFunc = Callable[["FileContext"], Iterator["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: a check function plus the codes it may emit."""
+
+    name: str
+    codes: tuple[str, ...]
+    summary: str
+    func: RuleFunc = field(repr=False)
+
+
+#: Registry of all rules, keyed by rule name, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def rule(name: str, codes: Iterable[str], summary: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a rule function under ``name`` emitting ``codes``.
+
+    Codes must be globally unique across rules (``IDDE001``-style) — the
+    suppression and baseline machinery is code-keyed.
+    """
+
+    def decorate(func: RuleFunc) -> RuleFunc:
+        codes_t = tuple(codes)
+        if name in RULES:
+            raise ValueError(f"duplicate rule name {name!r}")
+        taken = {c for r in RULES.values() for c in r.codes}
+        dup = taken.intersection(codes_t)
+        if dup:
+            raise ValueError(f"rule {name!r} reuses codes {sorted(dup)}")
+        RULES[name] = Rule(name=name, codes=codes_t, summary=summary, func=func)
+        return func
+
+    return decorate
+
+
+def all_codes() -> list[str]:
+    """Every registered rule code, sorted."""
+    return sorted(c for r in RULES.values() for c in r.codes)

@@ -1,0 +1,51 @@
+"""Render lint findings as a human-readable report or JSON document."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, Sequence
+
+from .findings import Finding
+from .registry import RULES
+
+__all__ = ["render_text", "render_json", "render_rule_table"]
+
+
+def render_text(findings: Sequence[Finding], *, baselined: int = 0) -> str:
+    """One line per finding plus a per-code summary footer."""
+    lines = [f.render() for f in findings]
+    by_code = Counter(f.code for f in findings)
+    if findings:
+        summary = ", ".join(f"{code}: {n}" for code, n in sorted(by_code.items()))
+        lines.append(f"found {len(findings)} finding(s) ({summary})")
+    else:
+        lines.append("no findings")
+    if baselined:
+        lines.append(f"({baselined} baselined finding(s) suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *, baselined: int = 0) -> str:
+    """Stable JSON schema for tooling::
+
+        {"version": 1,
+         "summary": {"total": int, "baselined": int, "by_code": {code: int}},
+         "findings": [{"path", "line", "col", "code", "message", "snippet"}]}
+    """
+    doc = {
+        "version": 1,
+        "summary": {
+            "total": len(findings),
+            "baselined": baselined,
+            "by_code": dict(sorted(Counter(f.code for f in findings).items())),
+        },
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def render_rule_table(names: Iterable[str] | None = None) -> str:
+    """``--list-rules`` output: one line per registered rule."""
+    rules = RULES.values() if names is None else [RULES[n] for n in names]
+    return "\n".join(f"{', '.join(r.codes):<18} {r.name:<20} {r.summary}" for r in rules)

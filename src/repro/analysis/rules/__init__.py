@@ -1,0 +1,24 @@
+"""Built-in lint rules.  Importing this package registers every rule with
+:mod:`repro.analysis.registry`; add new rule modules to the import list
+below and document their codes in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    determinism,
+    float_equality,
+    frozen_mutation,
+    layering,
+    rng_discipline,
+    unit_honesty,
+)
+
+__all__ = [
+    "determinism",
+    "float_equality",
+    "frozen_mutation",
+    "layering",
+    "rng_discipline",
+    "unit_honesty",
+]

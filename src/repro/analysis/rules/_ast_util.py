@@ -1,0 +1,72 @@
+"""Shared AST helpers for the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "dotted_name",
+    "iter_function_defs",
+    "numpy_aliases",
+    "module_aliases",
+    "imported_names",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_function_defs(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def module_aliases(tree: ast.AST, module: str) -> set[str]:
+    """Local names bound to ``import module`` / ``import module as x``."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    out.add(alias.asname or module.split(".")[0])
+    return out
+
+
+def numpy_aliases(tree: ast.AST) -> set[str]:
+    """Names that refer to the numpy top-level module (``np``, ``numpy``)."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    out.add(alias.asname or "numpy")
+                elif alias.name.startswith("numpy.") and alias.asname is None:
+                    out.add("numpy")
+    return out
+
+
+def imported_names(tree: ast.AST, module_suffix: str) -> dict[str, str]:
+    """Local name -> original name for ``from <...module_suffix> import x``.
+
+    ``module_suffix`` matches the end of the dotted module path so both
+    absolute (``repro.rng``) and relative (``..rng``) imports resolve.
+    """
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            mod = node.module
+            if mod == module_suffix or mod.endswith("." + module_suffix):
+                for alias in node.names:
+                    out[alias.asname or alias.name] = alias.name
+    return out

@@ -1,0 +1,91 @@
+"""IDDE007/IDDE008 — determinism hazards in algorithm bodies.
+
+Nash-equilibrium convergence results are only comparable across runs when
+the dynamics in ``core/`` and ``baselines/`` are bit-deterministic given
+``(instance, seed)``:
+
+* **IDDE007** — iteration over a freshly-built ``set`` (set literal, set
+  comprehension, ``set(...)`` call, including via ``list``/``tuple``/
+  ``enumerate`` wrappers).  Python set iteration order depends on insertion
+  history and hash salting of contained objects; wrap in ``sorted(...)``.
+* **IDDE008** — wall-clock reads (``time.time``, ``datetime.now``, ...)
+  inside algorithm modules.  ``time.perf_counter`` is allowed: it only
+  feeds the reported ``wall_time_s``, never a decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext
+from ..findings import Finding
+from ..registry import rule
+from ._ast_util import dotted_name
+
+_LAYERS = ("core", "baselines")
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.today",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "date.today",
+    "datetime.date.today",
+}
+
+#: Wrappers through which unordered set iteration still leaks.
+_ORDER_LEAKING_WRAPPERS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name == "set" or name == "frozenset":
+            return True
+        if name in _ORDER_LEAKING_WRAPPERS and node.args:
+            return _is_set_expr(node.args[0])
+    return False
+
+
+@rule(
+    "determinism",
+    ["IDDE007", "IDDE008"],
+    "no unordered set iteration or wall-clock reads in core/, baselines/",
+)
+def check_determinism(ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.in_layer(*_LAYERS):
+        return
+
+    for node in ast.walk(ctx.tree):
+        # --- IDDE007: iteration order over sets -------------------------
+        iters: list[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_set_expr(it):
+                yield ctx.finding(
+                    it,
+                    "IDDE007",
+                    "iteration over a set has salted, insertion-dependent order; "
+                    "wrap in sorted(...) to keep the dynamics deterministic",
+                )
+
+        # --- IDDE008: wall-clock reads ----------------------------------
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _CLOCK_CALLS:
+                yield ctx.finding(
+                    node,
+                    "IDDE008",
+                    f"wall-clock call {name}() in an algorithm module; inject "
+                    "timestamps, or use time.perf_counter for reporting only",
+                )

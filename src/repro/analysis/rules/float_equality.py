@@ -1,0 +1,65 @@
+"""IDDE006 — float equality in the numeric layers.
+
+In ``core/``, ``radio/`` and ``solvers/`` an ``==`` / ``!=`` against a
+float-typed expression is almost always a latent nondeterminism bug: the
+potential-game convergence certificates compare benefits that differ by
+ULPs across BLAS builds.  Use ``math.isclose`` / ``numpy.isclose`` with an
+explicit tolerance, or restructure around integer/boolean state.
+
+Detection is conservative: a comparison is flagged only when one side is
+an explicit float literal (``0.0``, ``1.5``), a ``float(...)`` call, a
+``math.*`` call, or a division — expressions whose float-ness is certain
+without type inference.  Integer sentinels (``x == -1``) never trip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext
+from ..findings import Finding
+from ..registry import rule
+from ._ast_util import dotted_name
+
+_LAYERS = ("core", "radio", "solvers")
+
+
+def _certainly_float(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name == "float" or (name or "").startswith("math.")
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _certainly_float(node.left) or _certainly_float(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _certainly_float(node.operand)
+    return False
+
+
+@rule(
+    "float-equality",
+    ["IDDE006"],
+    "no ==/!= against float expressions in core/, radio/, solvers/",
+)
+def check_float_equality(ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.in_layer(*_LAYERS):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _certainly_float(left) or _certainly_float(right):
+                yield ctx.finding(
+                    node,
+                    "IDDE006",
+                    "float equality comparison is build-dependent; use "
+                    "math.isclose/np.isclose with an explicit tolerance",
+                )
+                break

@@ -1,0 +1,110 @@
+"""IDDE005 — mutation of frozen value types.
+
+The per-entity views in :mod:`repro.types` (``EdgeServer``, ``User``,
+``DataItem``) and the frozen result/config dataclasses throughout the
+package are value objects: mutating one (via ``object.__setattr__`` or a
+tracked instance attribute assignment) silently desynchronises it from the
+arrays-first :class:`~repro.types.Scenario` state.  The blessed escape
+hatches are ``dataclasses.replace`` and ``__post_init__``.
+
+Detection is intentionally conservative (no type inference): flagged are
+
+* ``object.__setattr__(...)`` anywhere outside a ``__post_init__`` body;
+* attribute assignment on a local variable that was bound from a call to a
+  known frozen class — classes defined frozen in the linted file itself,
+  or imported from :mod:`repro.types`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext
+from ..findings import Finding
+from ..registry import rule
+from ._ast_util import dotted_name, imported_names, iter_function_defs
+
+#: Frozen dataclasses living in repro.types (the per-entity views).
+_TYPES_FROZEN = {"EdgeServer", "User", "DataItem"}
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Call) and (dotted_name(dec.func) or "").endswith(
+            "dataclass"
+        ):
+            for kw in dec.keywords:
+                if (
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
+def _local_frozen_classes(tree: ast.AST) -> set[str]:
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef) and _is_frozen_dataclass(node)
+    }
+
+
+@rule(
+    "frozen-mutation",
+    ["IDDE005"],
+    "no attribute assignment on frozen value types outside __post_init__/replace",
+)
+def check_frozen_mutation(ctx: FileContext) -> Iterator[Finding]:
+    frozen = set(_local_frozen_classes(ctx.tree))
+    imported = imported_names(ctx.tree, "types")
+    frozen.update(
+        local for local, orig in imported.items() if orig in _TYPES_FROZEN
+    )
+
+    # --- object.__setattr__ outside __post_init__ -----------------------
+    post_init_nodes: set[int] = set()
+    for fn in iter_function_defs(ctx.tree):
+        if fn.name == "__post_init__":
+            post_init_nodes.update(id(n) for n in ast.walk(fn))
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or id(node) in post_init_nodes:
+            continue
+        if dotted_name(node.func) == "object.__setattr__":
+            yield ctx.finding(
+                node,
+                "IDDE005",
+                "object.__setattr__ outside __post_init__ mutates a frozen "
+                "instance; build a new one with dataclasses.replace",
+            )
+
+    # --- attribute assignment on tracked frozen instances ---------------
+    for fn in iter_function_defs(ctx.tree):
+        bound: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if (
+                    isinstance(value, ast.Call)
+                    and (dotted_name(value.func) or "").split(".")[-1] in frozen
+                ):
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            bound.add(t.id)
+                    continue
+                for t in node.targets:
+                    if (
+                        isinstance(t, ast.Attribute)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id in bound
+                    ):
+                        yield ctx.finding(
+                            node,
+                            "IDDE005",
+                            f"attribute assignment on frozen instance "
+                            f"'{t.value.id}.{t.attr}'; use dataclasses.replace",
+                        )
+                    elif isinstance(t, ast.Name) and t.id in bound:
+                        bound.discard(t.id)  # rebound to something else

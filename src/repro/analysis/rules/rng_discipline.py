@@ -1,0 +1,149 @@
+"""IDDE001/IDDE002 — RNG discipline.
+
+Every stochastic draw must flow through :mod:`repro.rng` seed-spawning so
+trials are reproducible across worker processes:
+
+* **IDDE001** — direct use of the stdlib ``random`` module or of
+  ``numpy.random`` factories/samplers (``default_rng``, ``seed``, legacy
+  ``np.random.uniform``...) anywhere outside ``repro/rng.py``.  Call sites
+  must take a :class:`numpy.random.Generator` (annotations referencing
+  ``np.random.Generator`` are fine — only *calls* are flagged).
+* **IDDE002** — a function that *consumes* the :mod:`repro.rng` helpers
+  (``ensure_rng``/``spawn_rng``/...) without accepting an explicit
+  ``rng``/``seed`` parameter: such a function is a stochastic entry point
+  whose caller cannot control the stream.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext
+from ..findings import Finding
+from ..registry import rule
+from ._ast_util import dotted_name, imported_names, iter_function_defs, numpy_aliases
+
+#: Helpers whose presence marks a function as a stochastic entry point.
+_RNG_HELPERS = {"ensure_rng", "spawn_rng", "split_rngs", "spawn_seedsequence", "seeds_for"}
+
+#: Parameter names (or suffixes) that satisfy IDDE002.
+_RNG_PARAMS = ("rng", "seed")
+
+
+def _params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    a = fn.args
+    return [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+
+
+def _accepts_rng(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for name in _params(fn):
+        if name in _RNG_PARAMS or name.endswith(("_rng", "_seed")):
+            return True
+    return False
+
+
+def _has_seed_provenance(call: ast.Call) -> bool:
+    """True when the helper call's arguments carry an explicit seed/rng —
+    e.g. ``spawn_rng(spec.seed, ...)`` where the seed rides a picklable
+    spec object rather than a bare parameter."""
+    for arg in call.args:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Attribute) and (
+                node.attr in _RNG_PARAMS or node.attr.endswith(("_rng", "_seed"))
+            ):
+                return True
+    return False
+
+
+def _walk_own_body(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk ``fn``'s body without descending into nested function defs,
+    so a closure's rng handling is attributed to the closure, not ``fn``."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@rule(
+    "rng-discipline",
+    ["IDDE001", "IDDE002"],
+    "stochastic draws must flow through repro.rng with explicit rng/seed params",
+)
+def check_rng_discipline(ctx: FileContext) -> Iterator[Finding]:
+    if ctx.module_parts == ("rng",):
+        return  # repro/rng.py is the one place allowed to touch numpy.random
+
+    np_names = numpy_aliases(ctx.tree)
+
+    # --- IDDE001: imports of the stdlib random module -------------------
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield ctx.finding(
+                        node,
+                        "IDDE001",
+                        "stdlib 'random' is seedless across processes; "
+                        "use repro.rng.spawn_rng/ensure_rng instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if node.level == 0 and (mod == "random" or mod.startswith("random.")):
+                yield ctx.finding(
+                    node,
+                    "IDDE001",
+                    "import from stdlib 'random'; use repro.rng helpers instead",
+                )
+            if node.level == 0 and (mod == "numpy.random" or mod.startswith("numpy.random.")):
+                yield ctx.finding(
+                    node,
+                    "IDDE001",
+                    "import from numpy.random outside repro/rng.py; "
+                    "accept a Generator or use repro.rng helpers",
+                )
+
+    # --- IDDE001: calls into numpy.random.* -----------------------------
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        parts = name.split(".")
+        if len(parts) >= 3 and parts[0] in np_names and parts[1] == "random":
+            yield ctx.finding(
+                node,
+                "IDDE001",
+                f"direct call to {name}() outside repro/rng.py breaks seed-spawning "
+                "reproducibility; use repro.rng.ensure_rng/spawn_rng",
+            )
+
+    # --- IDDE002: stochastic entry points must take rng/seed ------------
+    rng_imports = set(imported_names(ctx.tree, "rng")) | set(
+        imported_names(ctx.tree, "repro.rng")
+    )
+    helper_names = rng_imports & _RNG_HELPERS
+    for fn in iter_function_defs(ctx.tree):
+        if _accepts_rng(fn):
+            continue
+        for node in _walk_own_body(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            base = name.split(".")[-1] if name else None
+            if (
+                base in _RNG_HELPERS
+                and (base in helper_names or "." in (name or ""))
+                and not _has_seed_provenance(node)
+            ):
+                yield ctx.finding(
+                    node,
+                    "IDDE002",
+                    f"function '{fn.name}' draws randomness via {base}() but has no "
+                    "explicit rng/seed parameter; callers cannot control the stream",
+                )
+                break  # one finding per function is enough

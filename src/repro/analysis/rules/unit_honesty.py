@@ -1,0 +1,114 @@
+"""IDDE003/IDDE004 — unit honesty.
+
+The conventions of :mod:`repro.units` (metres, MB, MB/s, ms only at the
+reporting boundary) are enforced two ways:
+
+* **IDDE003** — magic conversion literals in arithmetic: ``x * 1e6`` /
+  ``1_000_000`` where ``units.MB`` belongs, ``x * 1000.0`` / ``1e3`` where
+  ``units.MS_PER_S`` / ``seconds_to_ms`` belongs.  Integer ``1000`` alone is
+  *not* flagged (it is a common count); only float-typed ``1000.0`` and any
+  spelling of one million in a multiply/divide are.
+* **IDDE004** — mismatched unit-suffix assignments: a ``*_ms`` name bound
+  from an expression mentioning ``*_s`` names without ``seconds_to_ms``
+  (and the ``*_s`` from ``*_ms`` converse without ``ms_to_seconds``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext
+from ..findings import Finding
+from ..registry import rule
+from ._ast_util import dotted_name
+
+_MILLION = 1_000_000.0
+_THOUSAND = 1000.0
+
+
+def _is_seconds_name(name: str) -> bool:
+    return name.endswith("_s") and not name.endswith("_ms")
+
+
+def _names_and_calls(expr: ast.AST) -> tuple[set[str], set[str]]:
+    """All identifier leaves and called-function base names in ``expr``."""
+    names: set[str] = set()
+    calls: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Call):
+            dn = dotted_name(node.func)
+            if dn:
+                calls.add(dn.split(".")[-1])
+    return names, calls
+
+
+@rule(
+    "unit-honesty",
+    ["IDDE003", "IDDE004"],
+    "use repro.units constants/converters; no magic factors or suffix mismatches",
+)
+def check_unit_honesty(ctx: FileContext) -> Iterator[Finding]:
+    if ctx.module_parts == ("units",):
+        return  # the one module allowed to define the conversion constants
+
+    # --- IDDE003: magic conversion literals in arithmetic ---------------
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.BinOp) or not isinstance(
+            node.op, (ast.Mult, ast.Div)
+        ):
+            continue
+        for side in (node.left, node.right):
+            if not isinstance(side, ast.Constant):
+                continue
+            v = side.value
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                continue
+            if float(v) == _MILLION:
+                yield ctx.finding(
+                    side,
+                    "IDDE003",
+                    "magic literal 1e6 in arithmetic; use units.MB / "
+                    "units.mb_to_bytes for MB<->bytes conversions",
+                )
+            elif isinstance(v, float) and v == _THOUSAND:
+                yield ctx.finding(
+                    side,
+                    "IDDE003",
+                    "magic literal 1000.0 in arithmetic; use units.MS_PER_S / "
+                    "units.seconds_to_ms at the reporting boundary",
+                )
+
+    # --- IDDE004: suffix-mismatched assignments -------------------------
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        names, calls = _names_and_calls(value)
+        if target.id.endswith("_ms"):
+            seconds = sorted(n for n in names if _is_seconds_name(n))
+            if seconds and "seconds_to_ms" not in calls:
+                yield ctx.finding(
+                    node,
+                    "IDDE004",
+                    f"'{target.id}' assigned from seconds-suffixed {seconds} "
+                    "without units.seconds_to_ms",
+                )
+        elif _is_seconds_name(target.id):
+            millis = sorted(n for n in names if n.endswith("_ms"))
+            if millis and "ms_to_seconds" not in calls:
+                yield ctx.finding(
+                    node,
+                    "IDDE004",
+                    f"'{target.id}' assigned from ms-suffixed {millis} "
+                    "without units.ms_to_seconds",
+                )

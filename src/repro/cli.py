@@ -12,6 +12,9 @@ Subcommands
                policies over moving users.
 ``gap``        Measure the Phase 2 greedy's optimality gap against the
                exact MILP delivery oracle.
+``lint``       Run IDDE-Lint, the AST invariant checker guarding RNG
+               discipline, unit honesty, determinism and layering
+               (see docs/STATIC_ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -91,6 +94,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_gap = sub.add_parser("gap", help="greedy vs exact MILP delivery gap")
     _add_instance_args(p_gap)
     p_gap.add_argument("--trials", type=int, default=5)
+
+    p_lint = sub.add_parser(
+        "lint", help="run IDDE-Lint, the repo's AST invariant checker"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON path (default: .idde-lint-baseline.json if present)",
+    )
+    p_lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
     return parser
 
 
@@ -253,6 +282,48 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+    from .analysis.baseline import DEFAULT_BASELINE_NAME
+    from .analysis.report import render_rule_table
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+
+    try:
+        findings = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"idde lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        written = write_baseline(baseline_path, findings)
+        print(f"wrote {len(written)} finding(s) to {baseline_path}")
+        return 0
+
+    baselined = 0
+    if baseline is not None:
+        kept = baseline.filter(findings)
+        baselined = len(findings) - len(kept)
+        findings = kept
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, baselined=baselined))
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "sweep": _cmd_sweep,
@@ -261,6 +332,7 @@ _COMMANDS = {
     "theory": _cmd_theory,
     "dynamics": _cmd_dynamics,
     "gap": _cmd_gap,
+    "lint": _cmd_lint,
 }
 
 

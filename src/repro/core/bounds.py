@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..units import seconds_to_ms
 from .instance import IDDEInstance
 
 __all__ = [
@@ -127,7 +128,7 @@ def cloud_only_latency_ms(instance: IDDEInstance) -> float:
     sizes = instance.scenario.sizes
     cloud = instance.latency_model.cloud_cost
     per_request = (zeta * (sizes[None, :] * cloud)).sum() / total
-    return float(per_request * 1000.0)
+    return float(seconds_to_ms(per_request))
 
 
 def theorem7_latency_upper_bound_ms(

@@ -92,7 +92,7 @@ def synthetic_eua(
     CBD-like region with radii in 100–150 m; users are placed inside the
     coverage union, as in the real dataset.
     """
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     server_xy, radius = place_servers(
         CBD_REGION, n_servers, rng, placement=placement, radius_range=COVERAGE_RADIUS_RANGE
     )
@@ -122,7 +122,7 @@ def load_eua_csv(
     anchor = server_ll.mean(axis=0)
     server_xy = _project(server_ll, anchor)
     user_xy = _project(user_ll, anchor)
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     radius = rng.uniform(radius_range[0], radius_range[1], size=len(server_xy))
     return EuaPool(
         server_xy=server_xy,

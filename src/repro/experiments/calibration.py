@@ -28,7 +28,7 @@ from ..datasets.eua import sample_scenario, synthetic_eua
 from ..datasets.melbourne import CBD_REGION
 from ..datasets.synthetic import place_servers, place_users
 from ..datasets.eua import EuaPool
-from ..rng import spawn_rng
+from ..rng import ensure_rng, spawn_rng
 from ..topology.graph import build_topology
 
 __all__ = [
@@ -109,7 +109,7 @@ def parameter_sensitivity(
 
 
 def _pool_with_radius(radius_range: tuple[float, float], seed: int) -> EuaPool:
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     server_xy, radius = place_servers(
         CBD_REGION, 125, rng, radius_range=radius_range
     )

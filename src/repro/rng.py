@@ -25,13 +25,22 @@ __all__ = ["ensure_rng", "spawn_rng", "key_to_int", "spawn_seedsequence"]
 def key_to_int(key: object) -> int:
     """Map an arbitrary hashable-ish key to a stable non-negative integer.
 
-    Integers map to themselves (made non-negative); any other object is
-    rendered with ``repr`` and CRC32-hashed.  ``repr`` is stable across
+    Non-negative integers map to themselves under the documented
+    ``& 0xFFFFFFFF`` mask.  Negative integers keep the same mask but carry
+    a tag bit above it, so ``-1`` can never collide with ``2**32 - 1``
+    (:class:`numpy.random.SeedSequence` spawn keys accept integers wider
+    than 32 bits).  Booleans — including ``numpy.bool_`` — are normalised
+    to ``repr(bool(key))`` before hashing so the mapping is stable across
+    numpy versions and distinct from the integers 0/1.  Any other object
+    is rendered with ``repr`` and CRC32-hashed; ``repr`` is stable across
     processes for the primitive types used as keys in this package (str,
     int, float, tuples thereof), unlike ``hash()`` which is salted for str.
     """
-    if isinstance(key, (int, np.integer)) and not isinstance(key, bool):
-        return int(key) & 0xFFFFFFFF
+    if isinstance(key, (bool, np.bool_)):
+        return zlib.crc32(repr(bool(key)).encode("utf-8"))
+    if isinstance(key, (int, np.integer)):
+        masked = int(key) & 0xFFFFFFFF
+        return masked if int(key) >= 0 else masked | (1 << 32)
     return zlib.crc32(repr(key).encode("utf-8"))
 
 

@@ -140,7 +140,8 @@ def scale_free_topology(
                 targets.add(int(endpoints[rng.integers(0, len(endpoints))]))
             else:
                 targets.add(int(rng.integers(0, v)))
-        for t in targets:
+        # Sorted so link order is independent of set-iteration internals.
+        for t in sorted(targets):
             links.append((v, t))
             endpoints.extend((v, t))
     return _build(n, links, rng, cfg)

@@ -1,0 +1,14 @@
+"""Lint fixture: seeded IDDE007/IDDE008 violations.  Never imported."""
+
+import time
+
+
+def tie_break(candidates: list[int]) -> list[int]:
+    order = [c for c in set(candidates)]  # expect IDDE007
+    for extra in {1, 2, 3}:  # expect IDDE007
+        order.append(extra)
+    return order
+
+
+def stamp_run() -> float:
+    return time.time()  # expect IDDE008

@@ -1,0 +1,9 @@
+"""Lint fixture: seeded IDDE006 violations.  Never imported."""
+
+
+def converged(benefit: float) -> bool:
+    return benefit == 0.0  # expect IDDE006
+
+
+def same_gain(a: float, b: float, scale: float) -> bool:
+    return a / scale != float(b)  # expect IDDE006

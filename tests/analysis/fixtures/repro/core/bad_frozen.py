@@ -1,0 +1,25 @@
+"""Lint fixture: seeded IDDE005 violations.  Never imported."""
+
+from dataclasses import dataclass
+
+from repro.types import User
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    value: float
+
+
+def clobber() -> Snapshot:
+    snap = Snapshot(value=1.0)
+    snap.value = 2.0  # expect IDDE005
+    return snap
+
+
+def relocate() -> None:
+    u = User(index=0, x=0.0, y=0.0, power=0.1, rmax=10.0)
+    u.x = 5.0  # expect IDDE005
+
+
+def backdoor(u: User) -> None:
+    object.__setattr__(u, "x", 0.0)  # expect IDDE005

@@ -1,0 +1,15 @@
+"""Lint fixture: seeded IDDE003/IDDE004 violations.  Never imported."""
+
+
+def to_bytes(size_mb: float) -> float:
+    return size_mb * 1e6  # expect IDDE003 (units.MB)
+
+
+def report(latency_s: float) -> float:
+    latency_ms = latency_s * 1000.0  # expect IDDE003 + IDDE004
+    return latency_ms
+
+
+def widen(window_ms: float) -> float:
+    window_s = window_ms + 5.0  # expect IDDE004 (missing ms_to_seconds)
+    return window_s

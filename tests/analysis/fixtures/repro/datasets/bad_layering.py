@@ -1,0 +1,7 @@
+"""Lint fixture: seeded IDDE009 violations.  Never imported."""
+
+from repro.baselines import naive  # expect IDDE009
+
+from ..solvers import milp_delivery  # expect IDDE009
+
+__all__ = ["naive", "milp_delivery"]

@@ -1,0 +1,17 @@
+"""Lint fixture: seeded IDDE001/IDDE002 violations.  Never imported."""
+
+import random  # expect IDDE001
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+
+def draw_jitter() -> float:
+    rng = np.random.default_rng(123)  # expect IDDE001
+    return float(rng.random()) + random.random()
+
+
+def hidden_stream() -> float:
+    rng = ensure_rng(None)  # expect IDDE002: no rng/seed parameter
+    return float(rng.random())

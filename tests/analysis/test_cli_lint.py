@@ -1,0 +1,52 @@
+"""``idde lint`` CLI behaviour: exit codes, JSON output, baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert main(["lint", str(SRC)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_violation_fixtures_exit_nonzero(capsys):
+    assert main(["lint", str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "IDDE001" in out and "IDDE009" in out
+
+
+def test_json_format(capsys):
+    assert main(["lint", str(FIXTURES), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 1
+    assert doc["summary"]["total"] == len(doc["findings"]) > 0
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "rng-discipline" in out and "IDDE001" in out
+
+
+def test_write_then_use_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(FIXTURES), "--write-baseline", "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    # With every finding grandfathered the same tree now passes...
+    assert main(["lint", str(FIXTURES), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+    # ...unless the baseline is ignored.
+    assert main(["lint", str(FIXTURES), "--baseline", str(baseline), "--no-baseline"]) == 1
+
+
+def test_single_file_target(capsys):
+    bad = FIXTURES / "repro" / "core" / "bad_units.py"
+    assert main(["lint", str(bad)]) == 1
+    assert "IDDE003" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Engine behaviour: suppression comments, baseline round-trip, JSON
+schema, file discovery, and syntax-error resilience."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    all_codes,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.analysis.engine import parse_noqa
+from repro.analysis.registry import RULES
+
+BAD_UNITS = "def f(size_mb):\n    return size_mb * 1e6\n"
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses_all(self):
+        src = "def f(size_mb):\n    return size_mb * 1e6  # idde: noqa\n"
+        assert lint_source(src, path="src/repro/core/x.py") == []
+
+    def test_coded_noqa_suppresses_only_that_code(self):
+        src = "def f(size_mb):\n    return size_mb * 1e6  # idde: noqa[IDDE003]\n"
+        assert lint_source(src, path="src/repro/core/x.py") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "def f(size_mb):\n    return size_mb * 1e6  # idde: noqa[IDDE001]\n"
+        found = lint_source(src, path="src/repro/core/x.py")
+        assert [f.code for f in found] == ["IDDE003"]
+
+    def test_noqa_on_other_line_does_not_suppress(self):
+        src = "# idde: noqa\ndef f(size_mb):\n    return size_mb * 1e6\n"
+        found = lint_source(src, path="src/repro/core/x.py")
+        assert [f.code for f in found] == ["IDDE003"]
+
+    def test_parse_noqa_multiple_codes(self):
+        noqa = parse_noqa(["x = 1  # idde: noqa[IDDE001, IDDE003]"])
+        assert noqa == {1: {"IDDE001", "IDDE003"}}
+
+    def test_plain_flake8_noqa_is_not_ours(self):
+        assert parse_noqa(["x = 1  # noqa"]) == {}
+
+
+class TestBaseline:
+    def _findings(self):
+        return lint_source(BAD_UNITS, path="src/repro/core/x.py")
+
+    def test_round_trip(self, tmp_path):
+        found = self._findings()
+        path = tmp_path / "baseline.json"
+        write_baseline(path, found)
+        loaded = load_baseline(path)
+        assert len(loaded) == len(found)
+        assert loaded.filter(found) == []
+
+    def test_new_finding_survives_baseline(self):
+        found = self._findings()
+        baseline = Baseline.from_findings(found)
+        extra = lint_source(
+            "def g(wall_s):\n    wall_ms = wall_s * 2\n    return wall_ms\n",
+            path="src/repro/core/y.py",
+        )
+        assert baseline.filter(found + extra) == extra
+
+    def test_count_aware(self):
+        found = self._findings()
+        baseline = Baseline.from_findings(found)
+        # A second identical occurrence (same fingerprint) must NOT be absorbed.
+        assert baseline.filter(found + found) == found
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            Baseline.from_json(json.dumps({"version": 99}))
+
+    def test_fingerprint_is_line_number_independent(self):
+        a = lint_source(BAD_UNITS, path="src/repro/core/x.py")
+        b = lint_source("# moved down a line\n" + BAD_UNITS, path="src/repro/core/x.py")
+        assert [f.fingerprint for f in a] == [f.fingerprint for f in b]
+        assert a[0].line != b[0].line
+
+
+class TestReports:
+    def test_json_schema(self):
+        found = lint_source(BAD_UNITS, path="src/repro/core/x.py")
+        doc = json.loads(render_json(found, baselined=2))
+        assert doc["version"] == 1
+        assert doc["summary"] == {
+            "total": 1,
+            "baselined": 2,
+            "by_code": {"IDDE003": 1},
+        }
+        (entry,) = doc["findings"]
+        assert set(entry) == {"path", "line", "col", "code", "message", "snippet"}
+        assert entry["code"] == "IDDE003"
+        assert entry["line"] == 2
+
+    def test_text_report_mentions_counts(self):
+        found = lint_source(BAD_UNITS, path="src/repro/core/x.py")
+        text = render_text(found)
+        assert "IDDE003" in text and "1 finding" in text
+        assert render_text([]) == "no findings"
+
+
+class TestEngine:
+    def test_syntax_error_becomes_idde000(self):
+        found = lint_source("def broken(:\n", path="src/repro/core/x.py")
+        assert [f.code for f in found] == ["IDDE000"]
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("x = 1\n")
+        assert [p.name for p in iter_python_files([tmp_path])] == ["a.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([tmp_path / "nope"]))
+
+    def test_lint_paths_sorted_and_stable(self, tmp_path):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "core").mkdir()
+        f = tmp_path / "repro" / "core" / "m.py"
+        f.write_text(BAD_UNITS)
+        first = lint_paths([tmp_path])
+        second = lint_paths([tmp_path])
+        assert first == second
+        assert [x.code for x in first] == ["IDDE003"]
+
+    def test_rule_codes_unique_and_complete(self):
+        assert all_codes() == [f"IDDE00{i}" for i in range(1, 10)]
+        assert len(RULES) == 6

@@ -1,0 +1,45 @@
+"""The tier-1 self-lint invariant: ``src/repro`` must produce zero
+non-baselined findings, fast.  This is the guardrail every later
+refactoring PR leans on — do not delete it; fix (or explicitly baseline /
+``# idde: noqa``) the violation instead.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import all_codes, lint_paths, load_baseline
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+BASELINE = REPO / ".idde-lint-baseline.json"
+DOCS = REPO / "docs" / "STATIC_ANALYSIS.md"
+
+
+def test_source_tree_lints_clean():
+    baseline = load_baseline(BASELINE) if BASELINE.exists() else None
+    findings = lint_paths([SRC], baseline=baseline)
+    report = "\n".join(f.render() for f in findings)
+    assert findings == [], f"new lint findings in src/repro:\n{report}"
+
+
+def test_self_lint_is_fast():
+    t0 = time.perf_counter()
+    lint_paths([SRC])
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 10.0, f"self-lint took {elapsed:.1f}s (budget 10s)"
+
+
+def test_every_rule_code_is_documented():
+    text = DOCS.read_text(encoding="utf-8")
+    missing = [code for code in all_codes() if code not in text]
+    assert not missing, f"undocumented rule codes: {missing}"
+
+
+def test_baseline_only_shrinks():
+    # Policy: the shipped baseline starts (and should stay) empty — new
+    # code lints clean.  If a future PR must grandfather a finding, it
+    # also has to relax this test, making the decision reviewable.
+    if BASELINE.exists():
+        assert len(load_baseline(BASELINE)) == 0

@@ -46,6 +46,25 @@ class TestKeyToInt:
         for key in (-17, "x", (1, 2), 3.5):
             assert key_to_int(key) >= 0
 
+    def test_negative_ints_do_not_collide_with_masked_positives(self):
+        # -1 & 0xFFFFFFFF == 2**32 - 1: the tag bit keeps them apart.
+        assert key_to_int(-1) != key_to_int(2**32 - 1)
+        assert key_to_int(-17) != key_to_int((-17) & 0xFFFFFFFF)
+
+    def test_negative_ints_deterministic_and_spawnable(self):
+        assert key_to_int(-5) == key_to_int(-5)
+        a = spawn_rng(3, -1).random(4)
+        b = spawn_rng(3, -1).random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, spawn_rng(3, 2**32 - 1).random(4))
+
+    def test_bool_keys_normalised_and_distinct_from_ints(self):
+        assert key_to_int(True) == key_to_int(np.True_)
+        assert key_to_int(False) == key_to_int(np.False_)
+        assert key_to_int(True) != key_to_int(1)
+        assert key_to_int(False) != key_to_int(0)
+        assert key_to_int(True) != key_to_int(False)
+
 
 class TestEnsure:
     def test_none_gives_generator(self):
