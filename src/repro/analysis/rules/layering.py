@@ -7,7 +7,10 @@ solution methods:
 * ``core/`` and ``radio/`` must not import ``experiments``, ``viz``, ``cli``
   (model code never reaches up into the harness);
 * ``datasets/`` and ``topology/`` must not import ``solvers``, ``baselines``
-  (instance generation is solver-agnostic so new solvers cannot bias it).
+  (instance generation is solver-agnostic so new solvers cannot bias it);
+* ``bench/`` must not import ``experiments``, ``viz``, ``cli`` (the
+  measurement substrate times kernels, never the reporting harness that
+  wraps them).
 
 Both absolute (``repro.experiments``) and relative (``..experiments``)
 imports are resolved before checking.
@@ -28,6 +31,7 @@ FORBIDDEN: dict[str, frozenset[str]] = {
     "radio": frozenset({"experiments", "viz", "cli"}),
     "datasets": frozenset({"solvers", "baselines"}),
     "topology": frozenset({"solvers", "baselines"}),
+    "bench": frozenset({"experiments", "viz", "cli"}),
 }
 
 

@@ -1,0 +1,155 @@
+"""Noise-aware comparison of two benchmark documents: the regression gate.
+
+Classification per benchmark, given a ratio ``threshold`` (the CI gate
+uses a generous 2×, catching order-of-magnitude blowups, not scheduler
+jitter):
+
+* **regression** — the new median exceeds ``threshold ×`` the old median
+  *and* the new minimum exceeds ``threshold ×`` the old minimum.  The
+  double condition is the noise awareness: the median can be dragged by
+  one-sided scheduling noise, but the minimum is the low-noise estimate
+  of true kernel cost, so both statistics must agree before the gate
+  trips.
+* **improvement** — the symmetric condition in the other direction.
+* **neutral** — everything else, including benchmarks whose old *and*
+  new medians sit below ``noise_floor_s`` (at that magnitude the clock
+  cannot distinguish real change from resolution error — the zero-median
+  degenerate case lands here).
+* **added** / **removed** — present on only one side; never gates.
+
+All denominators are clamped to ``noise_floor_s`` so a zero median (a
+kernel faster than the clock tick) cannot manufacture infinite ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import seconds_to_ms
+from .document import document_stats
+from .timer import BenchStats
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_NOISE_FLOOR_S",
+    "BenchDelta",
+    "CompareResult",
+    "classify",
+    "compare_documents",
+    "render_compare_text",
+]
+
+DEFAULT_THRESHOLD = 2.0
+DEFAULT_NOISE_FLOOR_S = 1e-4
+
+_GATING = ("regression",)
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One benchmark's classified old→new delta."""
+
+    name: str
+    status: str  # regression | improvement | neutral | added | removed
+    ratio: float | None
+    old_median_s: float | None
+    new_median_s: float | None
+
+
+@dataclass(frozen=True)
+class CompareResult:
+    """The full classified comparison between two documents."""
+
+    deltas: tuple[BenchDelta, ...]
+    threshold: float
+    noise_floor_s: float
+
+    @property
+    def regressions(self) -> tuple[BenchDelta, ...]:
+        return tuple(d for d in self.deltas if d.status in _GATING)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when the gate passes, 1 when any benchmark regressed."""
+        return 1 if self.regressions else 0
+
+
+def classify(
+    old: BenchStats,
+    new: BenchStats,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+) -> tuple[str, float]:
+    """Classify one benchmark's delta; returns ``(status, median_ratio)``."""
+    floor = noise_floor_s
+    ratio = new.median_s / max(old.median_s, floor)
+    if old.median_s < floor and new.median_s < floor:
+        return "neutral", ratio
+    slower_median = new.median_s > threshold * max(old.median_s, floor)
+    slower_min = new.min_s > threshold * max(old.min_s, floor)
+    if slower_median and slower_min:
+        return "regression", ratio
+    faster_median = old.median_s > threshold * max(new.median_s, floor)
+    faster_min = old.min_s > threshold * max(new.min_s, floor)
+    if faster_median and faster_min:
+        return "improvement", ratio
+    return "neutral", ratio
+
+
+def compare_documents(
+    old_doc: dict,
+    new_doc: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+) -> CompareResult:
+    """Classify every benchmark across two (validated) documents."""
+    old_stats = document_stats(old_doc)
+    new_stats = document_stats(new_doc)
+    deltas: list[BenchDelta] = []
+    for name in sorted(set(old_stats) | set(new_stats)):
+        old = old_stats.get(name)
+        new = new_stats.get(name)
+        if old is None:
+            assert new is not None
+            deltas.append(BenchDelta(name, "added", None, None, new.median_s))
+        elif new is None:
+            deltas.append(BenchDelta(name, "removed", None, old.median_s, None))
+        else:
+            status, ratio = classify(
+                old, new, threshold=threshold, noise_floor_s=noise_floor_s
+            )
+            deltas.append(BenchDelta(name, status, ratio, old.median_s, new.median_s))
+    return CompareResult(
+        deltas=tuple(deltas), threshold=threshold, noise_floor_s=noise_floor_s
+    )
+
+
+def _fmt_ms(value_s: float | None) -> str:
+    return f"{seconds_to_ms(value_s):>10.3f}" if value_s is not None else f"{'-':>10}"
+
+
+def render_compare_text(result: CompareResult) -> str:
+    """Human-readable comparison table plus the gate verdict."""
+    lines = [
+        f"IDDE-Bench compare  threshold={result.threshold:g}x  "
+        f"noise floor={result.noise_floor_s:g}s",
+        "",
+        f"{'benchmark':<28} | {'old ms':>10} | {'new ms':>10} | {'ratio':>7} | status",
+        f"{'-' * 28}-+-{'-' * 10}-+-{'-' * 10}-+-{'-' * 7}-+-{'-' * 11}",
+    ]
+    for d in result.deltas:
+        ratio = f"{d.ratio:>7.2f}" if d.ratio is not None else f"{'-':>7}"
+        lines.append(
+            f"{d.name:<28} | {_fmt_ms(d.old_median_s)} | "
+            f"{_fmt_ms(d.new_median_s)} | {ratio} | {d.status}"
+        )
+    n_reg = len(result.regressions)
+    lines.append("")
+    if n_reg:
+        names = ", ".join(d.name for d in result.regressions)
+        lines.append(f"FAIL: {n_reg} regression(s) beyond {result.threshold:g}x: {names}")
+    else:
+        lines.append(f"OK: no benchmark regressed beyond {result.threshold:g}x")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""The machine-readable benchmark document: the repo's perf trajectory.
+
+One run of ``idde bench`` emits one schema-versioned JSON document.
+Committed documents (``BENCH_<rev>.json``, and the CI gate's
+``benchmarks/out/baseline_S.json``) form the repository's performance
+trajectory: every optimisation PR records a point, and the comparison
+gate (:mod:`repro.bench.compare`) classifies deltas between any two
+points.
+
+Schema ``idde-bench/1``::
+
+    {
+      "schema": "idde-bench/1",
+      "created_unix_s": <float, wall-clock provenance only>,
+      "host": {"platform": str, "python": str, "numpy": str, "cpu_count": int},
+      "config": {"scale": str, "seed": int, "repeats": int,
+                 "warmup": int, "filter": str|null},
+      "benchmarks": {<name>: {"repeats", "warmup", "times_s", "median_s",
+                              "mean_s", "min_s", "max_s", "iqr_s"}, ...}
+    }
+
+The wall-clock timestamp is provenance metadata — nothing downstream
+branches on it, keeping comparisons deterministic in the two documents.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from pathlib import Path
+
+from ..errors import BenchError
+from ..io import load_json, save_json
+from ..units import seconds_to_ms
+from .runner import BenchRunConfig
+from .timer import BenchStats
+
+__all__ = [
+    "SCHEMA",
+    "host_info",
+    "build_document",
+    "validate_document",
+    "document_stats",
+    "save_document",
+    "load_document",
+    "render_text",
+]
+
+SCHEMA = "idde-bench/1"
+
+_REQUIRED_TOP = ("schema", "host", "config", "benchmarks")
+_REQUIRED_CONFIG = ("scale", "seed", "repeats", "warmup")
+
+
+def host_info() -> dict:
+    """Hardware/runtime provenance for a benchmark document."""
+    import os
+
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def build_document(results: dict[str, BenchStats], config: BenchRunConfig) -> dict:
+    """Assemble the schema-versioned document for one run."""
+    return {
+        "schema": SCHEMA,
+        "created_unix_s": time.time(),
+        "host": host_info(),
+        "config": {
+            "scale": config.scale,
+            "seed": config.seed,
+            "repeats": config.repeats,
+            "warmup": config.warmup,
+            "filter": config.filter,
+        },
+        "benchmarks": {name: stats.to_dict() for name, stats in sorted(results.items())},
+    }
+
+
+def validate_document(doc: dict) -> dict:
+    """Check a document against schema ``idde-bench/1``; return it.
+
+    Raises :class:`BenchError` with a field-level message on mismatch so
+    CI failures say *what* is wrong with a trajectory point.
+    """
+    if not isinstance(doc, dict):
+        raise BenchError(f"benchmark document must be an object, got {type(doc).__name__}")
+    missing = [key for key in _REQUIRED_TOP if key not in doc]
+    if missing:
+        raise BenchError(f"benchmark document lacks required keys {missing}")
+    if doc["schema"] != SCHEMA:
+        raise BenchError(
+            f"unsupported benchmark schema {doc['schema']!r}; this build reads {SCHEMA!r}"
+        )
+    config = doc["config"]
+    if not isinstance(config, dict):
+        raise BenchError("'config' must be an object")
+    missing = [key for key in _REQUIRED_CONFIG if key not in config]
+    if missing:
+        raise BenchError(f"benchmark document config lacks keys {missing}")
+    benches = doc["benchmarks"]
+    if not isinstance(benches, dict):
+        raise BenchError("'benchmarks' must be an object keyed by benchmark name")
+    for name, entry in benches.items():
+        BenchStats.from_dict(entry if isinstance(entry, dict) else {})
+        if not isinstance(name, str) or not name:
+            raise BenchError(f"bad benchmark name {name!r}")
+    return doc
+
+
+def document_stats(doc: dict) -> dict[str, BenchStats]:
+    """Reconstruct per-benchmark :class:`BenchStats` from a valid document."""
+    validate_document(doc)
+    return {name: BenchStats.from_dict(entry) for name, entry in doc["benchmarks"].items()}
+
+
+def save_document(doc: dict, path: str | Path) -> Path:
+    """Validate and write a document (via :func:`repro.io.save_json`)."""
+    validate_document(doc)
+    return save_json(doc, path)
+
+
+def load_document(path: str | Path) -> dict:
+    """Read and validate a document (via :func:`repro.io.load_json`)."""
+    return validate_document(load_json(path))
+
+
+def render_text(doc: dict) -> str:
+    """Human-readable table of one document (times in milliseconds)."""
+    config = doc["config"]
+    host = doc["host"]
+    lines = [
+        f"IDDE-Bench  scale={config['scale']}  seed={config['seed']}  "
+        f"repeats={config['repeats']}  warmup={config['warmup']}",
+        f"host: {host['platform']}  python {host['python']}  "
+        f"numpy {host['numpy']}  cpus {host['cpu_count']}",
+        "",
+        f"{'benchmark':<28} | {'median ms':>10} | {'iqr ms':>9} | {'min ms':>9} | {'max ms':>9}",
+        f"{'-' * 28}-+-{'-' * 10}-+-{'-' * 9}-+-{'-' * 9}-+-{'-' * 9}",
+    ]
+    for name, entry in sorted(doc["benchmarks"].items()):
+        stats = BenchStats.from_dict(entry)
+        median_ms = seconds_to_ms(stats.median_s)
+        iqr_ms = seconds_to_ms(stats.iqr_s)
+        min_ms = seconds_to_ms(stats.min_s)
+        max_ms = seconds_to_ms(stats.max_s)
+        lines.append(
+            f"{name:<28} | {median_ms:>10.3f} | {iqr_ms:>9.3f} | "
+            f"{min_ms:>9.3f} | {max_ms:>9.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Seeded scenario fixtures for the benchmark suite, at three scales.
+
+Every benchmark draws its workload from here so that (a) two benches
+measuring different kernels see the *same* instance, (b) a run is fully
+deterministic in ``(scale, seed)``, and (c) expensive setup (instance
+generation, playing the game to equilibrium for the delivery bench) is
+paid once per process, outside every timed region.
+
+Scales
+------
+``S``
+    Smoke scale: small enough for CI (full suite in seconds), large
+    enough that each timed region comfortably exceeds clock resolution.
+``M``
+    The paper's default operating point (Section 4.2: N=30, M=200, K=5).
+``L``
+    A stress point beyond the paper's largest setting, for optimisation
+    PRs whose wins only show at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import IDDEInstance
+from ..core.profiles import AllocationProfile
+from ..datasets.eua import EuaPool, synthetic_eua
+from ..errors import BenchError
+
+__all__ = [
+    "ScaleSpec",
+    "SCALES",
+    "scale_spec",
+    "instance_for",
+    "equilibrium_profile",
+    "eua_pool",
+    "clear_cache",
+]
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """Instance dimensions for one benchmark scale."""
+
+    name: str
+    n: int
+    m: int
+    k: int
+    density: float
+
+
+SCALES: dict[str, ScaleSpec] = {
+    "S": ScaleSpec("S", n=10, m=60, k=3, density=1.5),
+    "M": ScaleSpec("M", n=30, m=200, k=5, density=1.0),
+    "L": ScaleSpec("L", n=60, m=450, k=8, density=1.0),
+}
+
+#: Process-local memo of expensive fixture objects, keyed by (kind, scale, seed).
+_CACHE: dict[tuple[str, str, int], object] = {}
+
+
+def scale_spec(scale: str) -> ScaleSpec:
+    """Look up a :class:`ScaleSpec`, raising :class:`BenchError` if unknown."""
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise BenchError(
+            f"unknown benchmark scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+def instance_for(scale: str, seed: int) -> IDDEInstance:
+    """The shared :class:`IDDEInstance` for ``(scale, seed)`` (memoised)."""
+    spec = scale_spec(scale)
+    key = ("instance", spec.name, seed)
+    if key not in _CACHE:
+        _CACHE[key] = IDDEInstance.generate(
+            n=spec.n, m=spec.m, k=spec.k, density=spec.density, seed=seed
+        )
+    inst = _CACHE[key]
+    assert isinstance(inst, IDDEInstance)
+    return inst
+
+
+def equilibrium_profile(scale: str, seed: int) -> AllocationProfile:
+    """A converged IDDE-U allocation over the shared instance (memoised).
+
+    Benchmarks of downstream kernels (delivery placement, global rate
+    evaluation, incremental churn) condition on a realistic equilibrium
+    profile rather than an arbitrary one.
+    """
+    key = ("profile", scale, seed)
+    if key not in _CACHE:
+        from ..core.game import IddeUGame
+
+        instance = instance_for(scale, seed)
+        _CACHE[key] = IddeUGame(instance).run(rng=seed).profile
+    profile = _CACHE[key]
+    assert isinstance(profile, AllocationProfile)
+    return profile
+
+
+def eua_pool(seed: int) -> EuaPool:
+    """The scale-independent synthetic EUA pool (125/816, memoised)."""
+    key = ("pool", "", seed)
+    if key not in _CACHE:
+        _CACHE[key] = synthetic_eua(seed)
+    pool = _CACHE[key]
+    assert isinstance(pool, EuaPool)
+    return pool
+
+
+def clear_cache() -> None:
+    """Drop all memoised fixtures (tests use this to probe cache behaviour)."""
+    _CACHE.clear()

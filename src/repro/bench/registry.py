@@ -1,0 +1,83 @@
+"""The benchmark registry: named, discoverable, setup/timed-split benches.
+
+A benchmark is a *factory*: ``make(scale, seed)`` performs all setup
+(instance generation, engine construction, profile loading) and returns
+the zero-argument callable that the timer measures.  The split is the
+core discipline of the harness — nothing amortisable may leak into the
+timed region.
+
+Registration happens at import of :mod:`repro.bench.suite`; the registry
+is keyed by dotted names (``sinr.candidates``) so ``--filter`` works on
+natural substrings (``sinr``, ``game.round``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import BenchError
+
+__all__ = ["Benchmark", "benchmark", "all_benchmarks", "get_benchmark", "select_benchmarks"]
+
+#: ``make(scale, seed)`` -> the callable to time.
+MakeFn = Callable[[str, int], Callable[[], object]]
+
+_REGISTRY: dict[str, "Benchmark"] = {}
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered microbenchmark."""
+
+    name: str
+    description: str
+    make: MakeFn
+
+
+def benchmark(name: str, description: str) -> Callable[[MakeFn], MakeFn]:
+    """Decorator registering a benchmark factory under ``name``."""
+
+    def register(make: MakeFn) -> MakeFn:
+        if name in _REGISTRY:
+            raise BenchError(f"duplicate benchmark name {name!r}")
+        _REGISTRY[name] = Benchmark(name=name, description=description, make=make)
+        return make
+
+    return register
+
+
+def _ensure_suite_loaded() -> None:
+    # The suite module registers itself on import; importing it here keeps
+    # `all_benchmarks()` usable without callers knowing the module layout.
+    from . import suite  # noqa: F401
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """Every registered benchmark, sorted by name (stable report order)."""
+    _ensure_suite_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    _ensure_suite_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown benchmark {name!r}; run `idde bench --list` for the registry"
+        ) from None
+
+
+def select_benchmarks(filter_substr: str | None = None) -> list[Benchmark]:
+    """Benchmarks whose name contains ``filter_substr`` (all when ``None``)."""
+    benches = all_benchmarks()
+    if filter_substr is None:
+        return benches
+    selected = [b for b in benches if filter_substr in b.name]
+    if not selected:
+        raise BenchError(
+            f"--filter {filter_substr!r} matches no benchmark; "
+            f"registered: {[b.name for b in benches]}"
+        )
+    return selected

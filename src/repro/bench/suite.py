@@ -1,0 +1,202 @@
+"""The registered benchmarks covering the IDDE-G hot paths.
+
+Each factory does its setup (fixtures, engines, profiles) outside the
+timed callable, and each timed callable performs enough inner work to sit
+comfortably above clock resolution at the ``S`` scale (inner-loop counts
+are part of a benchmark's identity — changing one invalidates trajectory
+comparisons for that benchmark, so bump the benchmark's *name* too).
+
+The hot paths, mapped to the paper:
+
+* ``sinr.*`` — the :class:`~repro.radio.sinr.SinrEngine` kernels behind
+  every best-response evaluation (Eq. 2/12) and the global Eq. 4/5 rates;
+* ``game.round.*`` — one best-response round under each of the three
+  update schedules of Algorithm 1;
+* ``game.converge`` — a full IDDE-U run to Nash equilibrium;
+* ``delivery.greedy`` — Phase 2 marginal-latency-per-byte placement
+  (Eq. 17, Theorems 6–7);
+* ``topology.all-pairs-dijkstra`` — the pure-Python reference Dijkstra
+  over all sources (the compiled scipy path is too fast to gate);
+* ``datasets.eua-sample`` — EUA-style per-trial scenario generation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import GameConfig
+from ..core.delivery import greedy_delivery
+from ..core.game import IddeUGame
+from ..datasets.eua import sample_scenario
+from ..radio.sinr import UNALLOCATED, SinrEngine
+from ..rng import spawn_rng
+from ..topology.shortest_path import all_pairs_path_cost
+from .fixtures import equilibrium_profile, eua_pool, instance_for, scale_spec
+from .registry import benchmark
+
+__all__: list[str] = []
+
+#: Inner-loop counts lifting sub-100µs kernels above timer noise at scale S.
+_CHURN_SWEEPS = 10
+_RATES_CALLS = 100
+_GREEDY_CALLS = 3
+_DIJKSTRA_CALLS = 3
+
+
+def _loaded_engine(scale: str, seed: int) -> SinrEngine:
+    """A fresh engine holding the equilibrium profile (setup helper)."""
+    instance = instance_for(scale, seed)
+    profile = equilibrium_profile(scale, seed)
+    engine = instance.new_engine()
+    engine.load_profile(profile.server, profile.channel)
+    return engine
+
+
+@benchmark(
+    "sinr.candidates",
+    "CandidateView evaluation (Eq. 2/12) for every user at equilibrium",
+)
+def _bench_sinr_candidates(scale: str, seed: int) -> Callable[[], object]:
+    engine = _loaded_engine(scale, seed)
+    users = range(engine.scenario.n_users)
+
+    def run() -> object:
+        views = [engine.candidates(j) for j in users]
+        return len(views)
+
+    return run
+
+
+@benchmark(
+    "sinr.churn",
+    f"incremental unassign/assign bookkeeping, {_CHURN_SWEEPS} full user sweeps",
+)
+def _bench_sinr_churn(scale: str, seed: int) -> Callable[[], object]:
+    engine = _loaded_engine(scale, seed)
+    allocated = [
+        (j, int(engine.alloc_server[j]), int(engine.alloc_channel[j]))
+        for j in range(engine.scenario.n_users)
+        if engine.alloc_server[j] != UNALLOCATED
+    ]
+
+    def run() -> object:
+        for _ in range(_CHURN_SWEEPS):
+            for j, server, channel in allocated:
+                engine.unassign(j)
+                engine.assign(j, server, channel)
+        return len(allocated)
+
+    return run
+
+
+@benchmark(
+    "sinr.rates",
+    f"vectorised global Eq. 4/5 rate evaluation, {_RATES_CALLS} calls",
+)
+def _bench_sinr_rates(scale: str, seed: int) -> Callable[[], object]:
+    engine = _loaded_engine(scale, seed)
+
+    def run() -> object:
+        total = 0.0
+        for _ in range(_RATES_CALLS):
+            total += float(engine.rates().sum())
+        return total
+
+    return run
+
+
+def _one_round_factory(schedule: str) -> Callable[[str, int], Callable[[], object]]:
+    def make(scale: str, seed: int) -> Callable[[], object]:
+        instance = instance_for(scale, seed)
+        cfg = GameConfig(schedule=schedule, max_rounds=1)
+
+        def run() -> object:
+            return IddeUGame(instance, cfg).run(rng=seed).moves
+
+        return run
+
+    return make
+
+
+benchmark(
+    "game.round.round-robin",
+    "one best-response round, round-robin schedule (package default)",
+)(_one_round_factory("round-robin"))
+
+benchmark(
+    "game.round.best-gain-winner",
+    "one best-response round, literal Algorithm 1 best-gain-winner schedule",
+)(_one_round_factory("best-gain-winner"))
+
+benchmark(
+    "game.round.random-winner",
+    "one best-response round, asynchronous random-winner schedule",
+)(_one_round_factory("random-winner"))
+
+
+@benchmark(
+    "game.converge",
+    "full IDDE-U best-response dynamics to Nash equilibrium (Theorem 4)",
+)
+def _bench_game_converge(scale: str, seed: int) -> Callable[[], object]:
+    instance = instance_for(scale, seed)
+
+    def run() -> object:
+        return IddeUGame(instance).run(rng=seed).moves
+
+    return run
+
+
+@benchmark(
+    "delivery.greedy",
+    f"Phase 2 greedy latency-per-byte placement (Eq. 17), {_GREEDY_CALLS} calls",
+)
+def _bench_delivery_greedy(scale: str, seed: int) -> Callable[[], object]:
+    instance = instance_for(scale, seed)
+    profile = equilibrium_profile(scale, seed)
+    # Materialise the cached path-cost model outside the timed region.
+    assert instance.latency_model is not None
+
+    def run() -> object:
+        replicas = 0
+        for _ in range(_GREEDY_CALLS):
+            replicas = greedy_delivery(instance, profile).profile.n_replicas
+        return replicas
+
+    return run
+
+
+@benchmark(
+    "topology.all-pairs-dijkstra",
+    f"pure-Python all-pairs Dijkstra over the edge graph, {_DIJKSTRA_CALLS} calls",
+)
+def _bench_all_pairs_dijkstra(scale: str, seed: int) -> Callable[[], object]:
+    cost = instance_for(scale, seed).topology.adjacency_cost
+
+    def run() -> object:
+        out = None
+        for _ in range(_DIJKSTRA_CALLS):
+            out = all_pairs_path_cost(cost, method="dijkstra-py")
+        assert out is not None
+        return float(out[0, -1])
+
+    return run
+
+
+@benchmark(
+    "datasets.eua-sample",
+    "EUA-style per-trial scenario sampling from the shared 125/816 pool",
+)
+def _bench_eua_sample(scale: str, seed: int) -> Callable[[], object]:
+    spec = scale_spec(scale)
+    pool = eua_pool(seed)
+
+    def run(sample_seed: int = seed) -> object:
+        # The stream is respawned per call so every repeat samples the
+        # identical scenario — stable work, stable timing.
+        scenario = sample_scenario(
+            pool, spec.n, spec.m, spec.k, spawn_rng(sample_seed, "bench", "eua-sample")
+        )
+        return scenario.n_users
+
+    return run

@@ -1,0 +1,133 @@
+"""The timer core: warmup + repeated timed runs with robust statistics.
+
+Microbenchmark discipline, dependency-free (stdlib only):
+
+* the default clock is :func:`time.perf_counter` — monotonic, highest
+  available resolution, immune to NTP slew; any injected clock must be
+  monotonic too, and a backwards step is reported as a
+  :class:`~repro.errors.BenchError` rather than silently producing a
+  negative sample;
+* ``warmup`` runs execute before measurement and are discarded, absorbing
+  first-call costs (allocator warm-up, numpy dispatch caches, branch
+  predictors);
+* the reported statistics are order statistics — **median**, **IQR**
+  (inter-quartile range) and **min** — because wall-clock samples on a
+  shared host are contaminated by one-sided scheduling noise that ruins
+  means and variances.  The minimum is the least-noise estimate of the
+  kernel's true cost; the IQR is the noise-awareness input to the
+  comparison gate (:mod:`repro.bench.compare`).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import BenchError
+
+__all__ = ["BenchStats", "summarize", "time_callable"]
+
+
+@dataclass(frozen=True)
+class BenchStats:
+    """Summary statistics over the timed (post-warmup) runs of one bench."""
+
+    repeats: int
+    warmup: int
+    times_s: tuple[float, ...]
+    median_s: float
+    mean_s: float
+    min_s: float
+    max_s: float
+    iqr_s: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (schema in :mod:`repro.bench.document`)."""
+        return {
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "times_s": list(self.times_s),
+            "median_s": self.median_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "iqr_s": self.iqr_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BenchStats":
+        try:
+            return cls(
+                repeats=int(d["repeats"]),
+                warmup=int(d["warmup"]),
+                times_s=tuple(float(t) for t in d["times_s"]),
+                median_s=float(d["median_s"]),
+                mean_s=float(d["mean_s"]),
+                min_s=float(d["min_s"]),
+                max_s=float(d["max_s"]),
+                iqr_s=float(d["iqr_s"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchError(f"malformed benchmark stats entry: {d!r}") from exc
+
+
+def summarize(times_s: list[float] | tuple[float, ...], *, warmup: int = 0) -> BenchStats:
+    """Compute :class:`BenchStats` over raw per-run durations (seconds).
+
+    ``times_s`` holds only the measured runs — warmup runs are discarded
+    before this point and recorded just as a count.
+    """
+    times = tuple(float(t) for t in times_s)
+    if not times:
+        raise BenchError("cannot summarize zero timed runs")
+    if any(t < 0 for t in times):
+        raise BenchError(f"negative duration in samples {times}; clock went backwards")
+    if len(times) >= 2:
+        q1, _, q3 = statistics.quantiles(times, n=4, method="inclusive")
+        iqr = q3 - q1
+    else:
+        iqr = 0.0
+    return BenchStats(
+        repeats=len(times),
+        warmup=warmup,
+        times_s=times,
+        median_s=statistics.median(times),
+        mean_s=statistics.fmean(times),
+        min_s=min(times),
+        max_s=max(times),
+        iqr_s=iqr,
+    )
+
+
+def time_callable(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+    clock: Callable[[], float] = time.perf_counter,
+) -> BenchStats:
+    """Run ``fn`` ``warmup + repeats`` times, timing the last ``repeats``.
+
+    The clock is sampled immediately around each call so per-run Python
+    overhead between samples is excluded.  A non-monotonic ``clock``
+    (possible only with an injected fake) raises :class:`BenchError`.
+    """
+    if repeats < 1:
+        raise BenchError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise BenchError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    times: list[float] = []
+    for _ in range(repeats):
+        t0 = clock()
+        fn()
+        t1 = clock()
+        if t1 < t0:
+            raise BenchError(
+                f"clock went backwards ({t0} -> {t1}); benchmarks require a monotonic clock"
+            )
+        times.append(t1 - t0)
+    return summarize(times, warmup=warmup)

@@ -15,6 +15,10 @@ Subcommands
 ``lint``       Run IDDE-Lint, the AST invariant checker guarding RNG
                discipline, unit honesty, determinism and layering
                (see docs/STATIC_ANALYSIS.md).
+``bench``      Run IDDE-Bench, the statistical microbenchmark suite over
+               the IDDE-G hot paths, or compare two benchmark documents
+               with the noise-aware regression gate
+               (see docs/BENCHMARKING.md).
 """
 
 from __future__ import annotations
@@ -119,6 +123,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="run the IDDE-Bench microbenchmarks or compare two documents"
+    )
+    p_bench.add_argument(
+        "--filter", default=None, help="run only benchmarks whose name contains this"
+    )
+    p_bench.add_argument(
+        "--scale", choices=["S", "M", "L"], default="S", help="fixture scale"
+    )
+    p_bench.add_argument("--repeats", type=int, default=5, help="timed runs per bench")
+    p_bench.add_argument("--warmup", type=int, default=1, help="discarded warmup runs")
+    p_bench.add_argument("--seed", type=int, default=0, help="fixture root seed")
+    p_bench.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+    p_bench.add_argument(
+        "--output", default=None, help="write the JSON document here (e.g. BENCH_<rev>.json)"
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", dest="list_benches",
+        help="print the benchmark registry and exit",
+    )
+    p_bench.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="compare two benchmark documents; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=None,
+        help="regression gate ratio for --compare (default 2.0)",
     )
     return parser
 
@@ -324,6 +359,84 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import (
+        BenchRunConfig,
+        all_benchmarks,
+        build_document,
+        compare_documents,
+        load_document,
+        render_compare_text,
+        render_text,
+        run_benchmarks,
+        save_document,
+    )
+    from .bench.compare import DEFAULT_THRESHOLD
+    from .errors import ReproError
+
+    if args.list_benches:
+        print(f"{'benchmark':<28} | description")
+        print(f"{'-' * 28}-+-{'-' * 48}")
+        for bench in all_benchmarks():
+            print(f"{bench.name:<28} | {bench.description}")
+        return 0
+
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    try:
+        if args.compare is not None:
+            old_path, new_path = args.compare
+            result = compare_documents(
+                load_document(old_path), load_document(new_path), threshold=threshold
+            )
+            if args.format == "json":
+                print(
+                    json.dumps(
+                        {
+                            "threshold": result.threshold,
+                            "noise_floor_s": result.noise_floor_s,
+                            "exit_code": result.exit_code,
+                            "deltas": [
+                                {
+                                    "name": d.name,
+                                    "status": d.status,
+                                    "ratio": d.ratio,
+                                    "old_median_s": d.old_median_s,
+                                    "new_median_s": d.new_median_s,
+                                }
+                                for d in result.deltas
+                            ],
+                        },
+                        indent=2,
+                    )
+                )
+            else:
+                print(render_compare_text(result))
+            return result.exit_code
+
+        config = BenchRunConfig(
+            scale=args.scale,
+            seed=args.seed,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            filter=args.filter,
+        )
+        results = run_benchmarks(config)
+        doc = build_document(results, config)
+        if args.output:
+            path = save_document(doc, args.output)
+            print(f"wrote {path}", file=sys.stderr)
+        if args.format == "json":
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render_text(doc))
+        return 0
+    except ReproError as exc:
+        print(f"idde bench: error: {exc}", file=sys.stderr)
+        return 2
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "sweep": _cmd_sweep,
@@ -333,6 +446,7 @@ _COMMANDS = {
     "dynamics": _cmd_dynamics,
     "gap": _cmd_gap,
     "lint": _cmd_lint,
+    "bench": _cmd_bench,
 }
 
 

@@ -20,6 +20,7 @@ __all__ = [
     "ConvergenceError",
     "ExperimentError",
     "DatasetError",
+    "BenchError",
 ]
 
 
@@ -70,3 +71,8 @@ class ExperimentError(ReproError, RuntimeError):
 
 class DatasetError(ReproError, ValueError):
     """A dataset file or pool is malformed or unavailable."""
+
+
+class BenchError(ReproError, ValueError):
+    """The IDDE-Bench harness was driven with inconsistent parameters, or
+    a benchmark document failed schema validation."""

@@ -27,6 +27,8 @@ __all__ = [
     "load_instance",
     "save_strategy",
     "load_strategy",
+    "save_json",
+    "load_json",
 ]
 
 _FORMAT_VERSION = 1
@@ -127,6 +129,39 @@ def load_instance(path: str | Path) -> IDDEInstance:
             _radio_from_dict(header["radio"]),
             gain_override=gain,
         )
+
+
+def save_json(obj: dict, path: str | Path) -> Path:
+    """Write a JSON document with stable key order and a trailing newline.
+
+    Small structured artifacts (benchmark trajectories, comparison
+    reports) go through JSON rather than ``.npz``: they hold scalars and
+    short lists, and diffs of committed artifacts should be readable.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(obj, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_json(path: str | Path) -> dict:
+    """Read a JSON document written by :func:`save_json`.
+
+    Raises :class:`~repro.errors.DatasetError` when the file is missing,
+    unparseable, or does not hold a JSON object at the top level.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    try:
+        obj = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise DatasetError(f"{path} holds a {type(obj).__name__}, expected an object")
+    return obj
 
 
 def save_strategy(strategy: IDDEStrategy, path: str | Path) -> Path:

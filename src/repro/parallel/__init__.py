@@ -8,6 +8,13 @@ here keep ordering, chunking and graceful serial fallback in one place.
 """
 
 from .partition import chunk_evenly, chunk_sized
-from .pool import ParallelConfig, parallel_map
+from .pool import ParallelConfig, force_serial, parallel_map, serial_forced
 
-__all__ = ["parallel_map", "ParallelConfig", "chunk_evenly", "chunk_sized"]
+__all__ = [
+    "parallel_map",
+    "ParallelConfig",
+    "chunk_evenly",
+    "chunk_sized",
+    "force_serial",
+    "serial_forced",
+]

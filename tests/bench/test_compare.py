@@ -1,0 +1,91 @@
+"""Comparison-gate classification, including the ISSUE's edge cases."""
+
+from __future__ import annotations
+
+from repro.bench import BenchRunConfig, build_document, classify, compare_documents
+from repro.bench.compare import render_compare_text
+from repro.bench.timer import summarize
+
+
+def stats(median, spread=0.0):
+    """Samples centred on ``median`` with a symmetric ``spread``."""
+    return summarize([median - spread, median, median + spread])
+
+
+def doc_of(**medians):
+    config = BenchRunConfig(scale="S", seed=0, repeats=3, warmup=1)
+    return build_document({k: stats(v) for k, v in medians.items()}, config)
+
+
+class TestClassify:
+    def test_unchanged_is_neutral(self):
+        status, ratio = classify(stats(0.01), stats(0.01))
+        assert status == "neutral"
+        assert ratio == 1.0
+
+    def test_triple_slowdown_is_regression(self):
+        status, ratio = classify(stats(0.01), stats(0.03))
+        assert status == "regression"
+        assert ratio == 3.0
+
+    def test_triple_speedup_is_improvement(self):
+        status, _ = classify(stats(0.03), stats(0.01))
+        assert status == "improvement"
+
+    def test_threshold_is_respected(self):
+        # 1.5x is inside a 2x gate, outside a 1.2x gate.
+        assert classify(stats(0.01), stats(0.015), threshold=2.0)[0] == "neutral"
+        assert classify(stats(0.01), stats(0.015), threshold=1.2)[0] == "regression"
+
+    def test_noisy_median_alone_does_not_gate(self):
+        # Median blew past the threshold but the minimum did not: the
+        # kernel's true cost is unchanged — scheduling noise, not a
+        # regression.
+        old = summarize([0.010, 0.010, 0.010])
+        new = summarize([0.009, 0.050, 0.060])
+        assert new.median_s > 2.0 * old.median_s
+        assert classify(old, new)[0] == "neutral"
+
+    def test_zero_median_both_sides_is_neutral(self):
+        assert classify(stats(0.0), stats(0.0))[0] == "neutral"
+
+    def test_zero_old_median_tiny_new_is_neutral(self):
+        # Both sit below the noise floor: the clock cannot tell them apart.
+        assert classify(stats(0.0), stats(5e-5))[0] == "neutral"
+
+    def test_zero_old_median_large_new_is_regression(self):
+        status, ratio = classify(stats(0.0), stats(1.0))
+        assert status == "regression"
+        assert ratio > 2.0
+
+
+class TestCompareDocuments:
+    def test_missing_bench_in_old_is_added_not_regression(self):
+        old = doc_of(**{"sinr.rates": 0.01})
+        new = doc_of(**{"sinr.rates": 0.01, "delivery.greedy": 0.02})
+        result = compare_documents(old, new)
+        by_name = {d.name: d for d in result.deltas}
+        assert by_name["delivery.greedy"].status == "added"
+        assert result.exit_code == 0
+
+    def test_missing_bench_in_new_is_removed_not_regression(self):
+        old = doc_of(**{"sinr.rates": 0.01, "delivery.greedy": 0.02})
+        new = doc_of(**{"sinr.rates": 0.01})
+        result = compare_documents(old, new)
+        by_name = {d.name: d for d in result.deltas}
+        assert by_name["delivery.greedy"].status == "removed"
+        assert result.exit_code == 0
+
+    def test_regression_sets_exit_code(self):
+        old = doc_of(**{"sinr.rates": 0.01, "game.converge": 0.05})
+        new = doc_of(**{"sinr.rates": 0.031, "game.converge": 0.05})
+        result = compare_documents(old, new)
+        assert [d.name for d in result.regressions] == ["sinr.rates"]
+        assert result.exit_code == 1
+
+    def test_render_mentions_verdict(self):
+        ok = compare_documents(doc_of(a=0.01), doc_of(a=0.01))
+        assert "OK: no benchmark regressed" in render_compare_text(ok)
+        bad = compare_documents(doc_of(a=0.01), doc_of(a=0.1))
+        text = render_compare_text(bad)
+        assert "FAIL: 1 regression(s)" in text and "a" in text

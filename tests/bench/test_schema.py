@@ -1,0 +1,79 @@
+"""Document schema validation and the JSON round-trip via repro.io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchRunConfig, build_document, document_stats, validate_document
+from repro.bench.document import SCHEMA, load_document, render_text, save_document
+from repro.bench.timer import summarize
+from repro.errors import BenchError, DatasetError
+from repro.io import load_json, save_json
+
+
+def make_doc(**stats_kwargs):
+    config = BenchRunConfig(scale="S", seed=0, repeats=3, warmup=1)
+    results = {
+        "sinr.rates": summarize([0.002, 0.003, 0.0025], warmup=1),
+        "game.converge": summarize([0.01, 0.011, 0.0105], warmup=1),
+    }
+    return build_document(results, config)
+
+
+class TestDocument:
+    def test_build_document_is_schema_valid(self):
+        doc = make_doc()
+        assert doc["schema"] == SCHEMA
+        assert validate_document(doc) is doc
+        assert set(doc["benchmarks"]) == {"sinr.rates", "game.converge"}
+
+    def test_round_trip_via_repro_io(self, tmp_path):
+        doc = make_doc()
+        path = save_document(doc, tmp_path / "BENCH_test.json")
+        # The artifact is plain JSON readable by the generic io helper...
+        assert load_json(path)["schema"] == SCHEMA
+        # ...and the validated loader reconstructs identical stats.
+        reloaded = load_document(path)
+        assert document_stats(reloaded) == document_stats(doc)
+
+    def test_load_document_rejects_wrong_schema(self, tmp_path):
+        doc = make_doc()
+        doc["schema"] = "idde-bench/999"
+        path = save_json(doc, tmp_path / "bad.json")
+        with pytest.raises(BenchError, match="unsupported benchmark schema"):
+            load_document(path)
+
+    def test_validate_rejects_missing_keys(self):
+        doc = make_doc()
+        del doc["benchmarks"]
+        with pytest.raises(BenchError, match="lacks required keys"):
+            validate_document(doc)
+
+    def test_validate_rejects_malformed_entry(self):
+        doc = make_doc()
+        doc["benchmarks"]["sinr.rates"] = {"median_s": 1.0}
+        with pytest.raises(BenchError, match="malformed"):
+            validate_document(doc)
+
+    def test_render_text_mentions_every_bench(self):
+        text = render_text(make_doc())
+        assert "sinr.rates" in text and "game.converge" in text
+        assert "median ms" in text
+
+
+class TestJsonHelpers:
+    def test_load_json_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="no such file"):
+            load_json(tmp_path / "absent.json")
+
+    def test_load_json_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]\n", encoding="utf-8")
+        with pytest.raises(DatasetError, match="expected an object"):
+            load_json(path)
+
+    def test_load_json_rejects_garbage(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DatasetError, match="not valid JSON"):
+            load_json(path)

@@ -1,0 +1,27 @@
+"""IDDE-Lint self-check scoped to the bench subsystem.
+
+The whole-tree self-lint in ``tests/analysis`` covers this too, but the
+scoped check keeps the invariant local: a future bench-only PR that
+introduces an RNG/unit/layering violation fails *here*, with a finding
+list naming only bench files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.rules.layering import FORBIDDEN
+
+BENCH_SRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "bench"
+
+
+def test_bench_subsystem_lints_clean():
+    findings = lint_paths([BENCH_SRC])
+    report = "\n".join(f.render() for f in findings)
+    assert findings == [], f"lint findings in src/repro/bench:\n{report}"
+
+
+def test_bench_layer_is_in_the_import_dag():
+    # The measurement substrate must stay below the reporting harness.
+    assert FORBIDDEN["bench"] == frozenset({"experiments", "viz", "cli"})

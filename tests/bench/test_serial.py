@@ -1,0 +1,81 @@
+"""Regression tests: benchmark timed regions never touch the process pool.
+
+The ISSUE's fix item: ``parallel.pool.default_workers`` and
+``ParallelConfig`` must not be consulted inside a timed region — benches
+measure kernels, never pool startup.  :func:`repro.parallel.force_serial`
+is the enforcement mechanism and the runner must wrap every timed region
+in it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchRunConfig, run_one
+from repro.bench.registry import Benchmark
+from repro.parallel import ParallelConfig, force_serial, parallel_map, serial_forced
+from repro.parallel import pool as pool_mod
+
+
+@pytest.fixture
+def no_pool(monkeypatch):
+    """Make any ProcessPoolExecutor construction an immediate failure."""
+
+    class Exploding:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("a timed region tried to start a process pool")
+
+    monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", Exploding)
+
+
+class TestForceSerial:
+    def test_parallel_map_stays_serial_under_force(self, no_pool):
+        config = ParallelConfig(n_workers=8, min_parallel_items=1)
+        items = list(range(10))
+        with force_serial():
+            assert parallel_map(_double, items, config) == [2 * x for x in items]
+
+    def test_without_force_the_pool_is_consulted(self, no_pool):
+        config = ParallelConfig(n_workers=8, min_parallel_items=1)
+        with pytest.raises(AssertionError, match="process pool"):
+            parallel_map(_double, list(range(10)), config)
+
+    def test_nesting_is_reentrant(self):
+        assert not serial_forced()
+        with force_serial():
+            with force_serial():
+                assert serial_forced()
+            assert serial_forced()
+        assert not serial_forced()
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+class TestRunnerPinsSerial:
+    def test_timed_region_runs_inside_force_serial(self):
+        observed: list[bool] = []
+
+        def make(scale: str, seed: int):
+            # Setup runs outside the pin; only the timed callable is pinned.
+            observed.append(serial_forced())
+            return lambda: observed.append(serial_forced())
+
+        bench = Benchmark(name="probe", description="serial probe", make=make)
+        run_one(bench, BenchRunConfig(scale="S", repeats=2, warmup=1))
+        setup_flag, *timed_flags = observed
+        assert setup_flag is False
+        assert timed_flags == [True, True, True]  # 1 warmup + 2 timed
+
+    def test_benchmarked_parallel_map_cannot_start_a_pool(self, no_pool):
+        """A kernel that (after a future refactor) fans out via
+        parallel_map still benches serially instead of forking."""
+
+        def make(scale: str, seed: int):
+            config = ParallelConfig(n_workers=8, min_parallel_items=1)
+            return lambda: parallel_map(_double, list(range(8)), config)
+
+        bench = Benchmark(name="probe-pool", description="pool probe", make=make)
+        stats = run_one(bench, BenchRunConfig(scale="S", repeats=1, warmup=0))
+        assert stats.repeats == 1

@@ -1,0 +1,95 @@
+"""Timer-core tests on a fake clock: no wall-clock sleeps anywhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.timer import BenchStats, summarize, time_callable
+from repro.errors import BenchError
+
+
+class FakeClock:
+    """A scripted monotonic clock: returns predefined tick values."""
+
+    def __init__(self, ticks):
+        self.ticks = list(ticks)
+        self.calls = 0
+
+    def __call__(self) -> float:
+        value = self.ticks[self.calls]
+        self.calls += 1
+        return value
+
+
+def ticks_for(durations, warmup=0):
+    """Clock tick pairs yielding exactly ``durations`` for the timed runs."""
+    ticks = []
+    t = 0.0
+    for d in durations:
+        ticks.extend([t, t + d])
+        t += d + 1.0  # gap between runs must not leak into samples
+    return ticks
+
+
+class TestTimeCallable:
+    def test_measures_scripted_durations(self):
+        clock = FakeClock(ticks_for([0.5, 0.25, 1.0]))
+        stats = time_callable(lambda: None, repeats=3, warmup=0, clock=clock)
+        assert stats.times_s == (0.5, 0.25, 1.0)
+        assert stats.min_s == 0.25
+        assert stats.max_s == 1.0
+        assert stats.median_s == 0.5
+
+    def test_warmup_runs_execute_but_are_not_timed(self):
+        calls = []
+        clock = FakeClock(ticks_for([0.5, 0.5]))
+        stats = time_callable(
+            lambda: calls.append(1), repeats=2, warmup=3, clock=clock
+        )
+        assert len(calls) == 5  # 3 warmup + 2 timed
+        assert stats.repeats == 2
+        assert stats.warmup == 3
+        # Clock is only sampled around timed runs: 2 per repeat.
+        assert clock.calls == 4
+
+    def test_backwards_clock_raises(self):
+        clock = FakeClock([10.0, 5.0])
+        with pytest.raises(BenchError, match="backwards"):
+            time_callable(lambda: None, repeats=1, warmup=0, clock=clock)
+
+    def test_repeat_and_warmup_validation(self):
+        with pytest.raises(BenchError, match="repeats"):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(BenchError, match="warmup"):
+            time_callable(lambda: None, repeats=1, warmup=-1)
+
+
+class TestSummarize:
+    def test_median_iqr_min_on_known_samples(self):
+        stats = summarize([4.0, 1.0, 2.0, 3.0], warmup=1)
+        assert stats.median_s == 2.5
+        assert stats.min_s == 1.0
+        assert stats.max_s == 4.0
+        assert stats.mean_s == 2.5
+        # Inclusive quartiles of 1..4: q1=1.75, q3=3.25.
+        assert stats.iqr_s == pytest.approx(1.5)
+
+    def test_single_sample_has_zero_iqr(self):
+        stats = summarize([0.125])
+        assert stats.median_s == 0.125
+        assert stats.iqr_s == 0.0
+        assert stats.repeats == 1
+
+    def test_empty_and_negative_samples_rejected(self):
+        with pytest.raises(BenchError, match="zero timed runs"):
+            summarize([])
+        with pytest.raises(BenchError, match="negative"):
+            summarize([0.1, -0.1])
+
+    def test_stats_round_trip_dict(self):
+        stats = summarize([0.5, 0.25, 1.0], warmup=2)
+        assert BenchStats.from_dict(stats.to_dict()) == stats
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(BenchError, match="malformed"):
+            BenchStats.from_dict({"repeats": 1})
