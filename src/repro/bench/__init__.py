@@ -17,7 +17,10 @@ Pieces:
 * :mod:`~repro.bench.document` — the schema-versioned JSON trajectory
   point (``BENCH_<rev>.json``);
 * :mod:`~repro.bench.compare` — the noise-aware regression gate
-  (``idde bench --compare OLD NEW``).
+  (``idde bench --compare OLD NEW``);
+* :mod:`~repro.bench.parity` — the kernel-pair parity harness proving the
+  batched best-response kernel replays the reference move-for-move
+  (``idde bench --verify-parity``).
 
 See ``docs/BENCHMARKING.md`` for the workflow and the CI gate.
 """
@@ -39,6 +42,14 @@ from .document import (
     validate_document,
 )
 from .fixtures import SCALES, ScaleSpec, instance_for, scale_spec
+from .parity import (
+    PARITY_SCHEDULES,
+    PARITY_SEEDS,
+    KernelPairCase,
+    ParityReport,
+    render_parity_text,
+    verify_kernel_pair,
+)
 from .registry import Benchmark, all_benchmarks, benchmark, get_benchmark, select_benchmarks
 from .runner import BenchRunConfig, run_benchmarks, run_one
 from .timer import BenchStats, summarize, time_callable
@@ -51,6 +62,10 @@ __all__ = [
     "BenchRunConfig",
     "BenchStats",
     "CompareResult",
+    "KernelPairCase",
+    "PARITY_SCHEDULES",
+    "PARITY_SEEDS",
+    "ParityReport",
     "ScaleSpec",
     "all_benchmarks",
     "benchmark",
@@ -62,6 +77,7 @@ __all__ = [
     "instance_for",
     "load_document",
     "render_compare_text",
+    "render_parity_text",
     "render_text",
     "run_benchmarks",
     "run_one",
@@ -71,4 +87,5 @@ __all__ = [
     "summarize",
     "time_callable",
     "validate_document",
+    "verify_kernel_pair",
 ]

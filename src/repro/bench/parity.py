@@ -1,0 +1,160 @@
+"""Kernel-pair parity harness: ``reference`` vs ``batched`` best response.
+
+IDDE-Bench measures how fast a kernel is; this module establishes that a
+fast kernel is *the same algorithm*.  The two evaluation kernels of
+:class:`~repro.core.game.IddeUGame` are held to bit-for-bit parity — not
+"numerically close": both reduce interference over the identical padded
+covering row (see :mod:`repro.radio.sinr`), so every benefit they compute
+is the identical float, every argmax breaks ties identically, and every
+run therefore applies the identical move sequence.
+
+:func:`verify_kernel_pair` replays a grid of ``(seed, schedule)`` cases
+over the shared bench fixtures and compares, per case:
+
+* the full ordered ``GameResult.move_log`` — the strongest observable,
+  implying identical RNG consumption for the random-winner schedule;
+* the final allocation profile (server and channel assignments);
+* the convergence certificate (``converged`` and ``is_nash`` flags,
+  round and move counts).
+
+The CI smoke gate runs it via ``idde bench --verify-parity``;
+``tests/core/test_game_kernels.py`` pins the same contract in the test
+suite.  A parity break is a correctness bug in whichever kernel changed
+last — never relax the comparison to tolerances to make it pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..config import GameConfig
+from ..core.game import GameResult, IddeUGame
+from .fixtures import instance_for
+
+__all__ = [
+    "KernelPairCase",
+    "ParityReport",
+    "verify_kernel_pair",
+    "render_parity_text",
+    "PARITY_SEEDS",
+    "PARITY_SCHEDULES",
+]
+
+#: Default verification grid: 5 seeds x all three schedules.
+PARITY_SEEDS: tuple[int, ...] = (0, 1, 2, 3, 4)
+PARITY_SCHEDULES: tuple[str, ...] = tuple(GameConfig._SCHEDULES)
+
+
+@dataclass(frozen=True)
+class KernelPairCase:
+    """Parity verdict for one ``(scale, seed, schedule)`` replay."""
+
+    scale: str
+    seed: int
+    schedule: str
+    moves: int
+    rounds: int
+    same_move_log: bool
+    same_profile: bool
+    same_certificate: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.same_move_log and self.same_profile and self.same_certificate
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "MISMATCH"
+        detail = f"moves={self.moves} rounds={self.rounds}"
+        if not self.ok:
+            broken = [
+                name
+                for name, good in (
+                    ("move-log", self.same_move_log),
+                    ("profile", self.same_profile),
+                    ("certificate", self.same_certificate),
+                )
+                if not good
+            ]
+            detail += " broken=" + ",".join(broken)
+        return (
+            f"{self.scale} seed={self.seed} {self.schedule:<17s} {status:<8s} {detail}"
+        )
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """Aggregate verdict over the verification grid."""
+
+    cases: tuple[KernelPairCase, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    @property
+    def failures(self) -> tuple[KernelPairCase, ...]:
+        return tuple(case for case in self.cases if not case.ok)
+
+
+def _run(instance, cfg: GameConfig, kernel: str, seed: int) -> GameResult:
+    return IddeUGame(instance, replace(cfg, kernel=kernel)).run(rng=seed)
+
+
+def _compare(
+    scale: str, seed: int, schedule: str, ref: GameResult, bat: GameResult
+) -> KernelPairCase:
+    same_profile = bool(
+        np.array_equal(ref.profile.server, bat.profile.server)
+        and np.array_equal(ref.profile.channel, bat.profile.channel)
+    )
+    same_certificate = (
+        ref.converged == bat.converged
+        and ref.is_nash == bat.is_nash
+        and ref.rounds == bat.rounds
+        and ref.moves == bat.moves
+    )
+    return KernelPairCase(
+        scale=scale,
+        seed=seed,
+        schedule=schedule,
+        moves=ref.moves,
+        rounds=ref.rounds,
+        same_move_log=ref.move_log == bat.move_log,
+        same_profile=same_profile,
+        same_certificate=same_certificate,
+    )
+
+
+def verify_kernel_pair(
+    scale: str = "S",
+    seeds: tuple[int, ...] = PARITY_SEEDS,
+    schedules: tuple[str, ...] = PARITY_SCHEDULES,
+    base_cfg: GameConfig | None = None,
+) -> ParityReport:
+    """Replay every ``(seed, schedule)`` case under both kernels.
+
+    Each case plays the identical shared fixture instance from an
+    identical RNG seed through the reference and batched kernels and
+    compares move logs, final profiles and convergence certificates.
+    """
+    base = base_cfg or GameConfig()
+    cases = []
+    for seed in seeds:
+        instance = instance_for(scale, seed)
+        for schedule in schedules:
+            cfg = replace(base, schedule=schedule)
+            ref = _run(instance, cfg, "reference", seed)
+            bat = _run(instance, cfg, "batched", seed)
+            cases.append(_compare(scale, seed, schedule, ref, bat))
+    return ParityReport(cases=tuple(cases))
+
+
+def render_parity_text(report: ParityReport) -> str:
+    """Human-readable verdict table for the CLI."""
+    lines = ["kernel-pair parity: reference vs batched"]
+    lines.extend("  " + case.describe() for case in report.cases)
+    verdict = "PARITY OK" if report.ok else f"PARITY BROKEN ({len(report.failures)} cases)"
+    lines.append(f"{verdict}: {len(report.cases)} cases")
+    return "\n".join(lines)

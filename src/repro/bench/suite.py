@@ -11,8 +11,12 @@ The hot paths, mapped to the paper:
 * ``sinr.*`` — the :class:`~repro.radio.sinr.SinrEngine` kernels behind
   every best-response evaluation (Eq. 2/12) and the global Eq. 4/5 rates;
 * ``game.round.*`` — one best-response round under each of the three
-  update schedules of Algorithm 1;
-* ``game.converge`` — a full IDDE-U run to Nash equilibrium;
+  update schedules of Algorithm 1; each schedule is registered twice, as
+  a *kernel pair* — the per-user ``reference`` kernel and its
+  bit-for-bit-equivalent ``.batched`` einsum counterpart (parity proven
+  by :mod:`repro.bench.parity`), so a run shows the speed-up directly;
+* ``game.converge`` / ``game.converge.batched`` — a full IDDE-U run to
+  Nash equilibrium under each kernel;
 * ``delivery.greedy`` — Phase 2 marginal-latency-per-byte placement
   (Eq. 17, Theorems 6–7);
 * ``topology.all-pairs-dijkstra`` — the pure-Python reference Dijkstra
@@ -105,10 +109,60 @@ def _bench_sinr_rates(scale: str, seed: int) -> Callable[[], object]:
     return run
 
 
-def _one_round_factory(schedule: str) -> Callable[[str, int], Callable[[], object]]:
+def _one_round_factory(
+    schedule: str, kernel: str = "reference"
+) -> Callable[[str, int], Callable[[], object]]:
     def make(scale: str, seed: int) -> Callable[[], object]:
         instance = instance_for(scale, seed)
-        cfg = GameConfig(schedule=schedule, max_rounds=1)
+        cfg = GameConfig(schedule=schedule, kernel=kernel, max_rounds=1)
+
+        def run() -> object:
+            return IddeUGame(instance, cfg).run(rng=seed).moves
+
+        return run
+
+    return make
+
+
+# Each schedule's round benchmark is registered as a kernel pair: the
+# per-user reference loop and the ``.batched`` einsum kernel replay the
+# identical round, so their ratio IS the kernel speed-up (parity verified
+# by ``idde bench --verify-parity``).
+benchmark(
+    "game.round.round-robin",
+    "one best-response round, round-robin schedule (package default)",
+)(_one_round_factory("round-robin"))
+
+benchmark(
+    "game.round.round-robin.batched",
+    "the same round-robin round on the batched einsum kernel (pair)",
+)(_one_round_factory("round-robin", kernel="batched"))
+
+benchmark(
+    "game.round.best-gain-winner",
+    "one best-response round, literal Algorithm 1 best-gain-winner schedule",
+)(_one_round_factory("best-gain-winner"))
+
+benchmark(
+    "game.round.best-gain-winner.batched",
+    "the same best-gain-winner round on the batched einsum kernel (pair)",
+)(_one_round_factory("best-gain-winner", kernel="batched"))
+
+benchmark(
+    "game.round.random-winner",
+    "one best-response round, asynchronous random-winner schedule",
+)(_one_round_factory("random-winner"))
+
+benchmark(
+    "game.round.random-winner.batched",
+    "the same random-winner round on the batched einsum kernel (pair)",
+)(_one_round_factory("random-winner", kernel="batched"))
+
+
+def _converge_factory(kernel: str) -> Callable[[str, int], Callable[[], object]]:
+    def make(scale: str, seed: int) -> Callable[[], object]:
+        instance = instance_for(scale, seed)
+        cfg = GameConfig(kernel=kernel)
 
         def run() -> object:
             return IddeUGame(instance, cfg).run(rng=seed).moves
@@ -119,32 +173,14 @@ def _one_round_factory(schedule: str) -> Callable[[str, int], Callable[[], objec
 
 
 benchmark(
-    "game.round.round-robin",
-    "one best-response round, round-robin schedule (package default)",
-)(_one_round_factory("round-robin"))
-
-benchmark(
-    "game.round.best-gain-winner",
-    "one best-response round, literal Algorithm 1 best-gain-winner schedule",
-)(_one_round_factory("best-gain-winner"))
-
-benchmark(
-    "game.round.random-winner",
-    "one best-response round, asynchronous random-winner schedule",
-)(_one_round_factory("random-winner"))
-
-
-@benchmark(
     "game.converge",
     "full IDDE-U best-response dynamics to Nash equilibrium (Theorem 4)",
-)
-def _bench_game_converge(scale: str, seed: int) -> Callable[[], object]:
-    instance = instance_for(scale, seed)
+)(_converge_factory("reference"))
 
-    def run() -> object:
-        return IddeUGame(instance).run(rng=seed).moves
-
-    return run
+benchmark(
+    "game.converge.batched",
+    "the same full run to Nash equilibrium on the batched kernel (pair)",
+)(_converge_factory("batched"))
 
 
 @benchmark(

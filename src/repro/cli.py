@@ -16,8 +16,9 @@ Subcommands
                discipline, unit honesty, determinism and layering
                (see docs/STATIC_ANALYSIS.md).
 ``bench``      Run IDDE-Bench, the statistical microbenchmark suite over
-               the IDDE-G hot paths, or compare two benchmark documents
-               with the noise-aware regression gate
+               the IDDE-G hot paths, compare two benchmark documents
+               with the noise-aware regression gate, or verify the
+               reference/batched kernel-pair parity
                (see docs/BENCHMARKING.md).
 """
 
@@ -154,6 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--threshold", type=float, default=None,
         help="regression gate ratio for --compare (default 2.0)",
+    )
+    p_bench.add_argument(
+        "--verify-parity", action="store_true",
+        help="verify reference/batched kernel-pair parity; exit 1 on mismatch",
     )
     return parser
 
@@ -385,6 +390,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
     try:
+        if args.verify_parity:
+            from .bench import render_parity_text, verify_kernel_pair
+
+            report = verify_kernel_pair(scale=args.scale)
+            print(render_parity_text(report))
+            return 0 if report.ok else 1
+
         if args.compare is not None:
             old_path, new_path = args.compare
             result = compare_documents(

@@ -158,6 +158,13 @@ class GameConfig:
         random improving user (classic asynchronous better-response);
         ``"round-robin"`` sweeps users in index order applying every
         improving move within one sweep.
+    kernel:
+        Best-response evaluation kernel.  ``"reference"`` evaluates users
+        one at a time through :meth:`SinrEngine.candidates`;
+        ``"batched"`` evaluates all users' candidate grids in one einsum
+        pass per round (:meth:`SinrEngine.batch_best_responses`).  The two
+        are a verified pair: identical move sequences, identical equilibria
+        (see ``repro.bench.parity`` and docs/BENCHMARKING.md).
     epsilon:
         Minimum relative benefit improvement for a move to count; guards
         against floating-point livelock near the equilibrium.
@@ -170,25 +177,31 @@ class GameConfig:
         potential game and best-response dynamics can cycle on rare
         instances.  After this many moves without convergence the epsilon
         threshold is escalated by ``epsilon_growth`` (up to
-        ``epsilon_max``), which provably terminates the dynamics at an
-        ε-Nash equilibrium.  ``0`` selects the automatic budget
-        ``max(2·M, 200)`` — normal runs converge within about two moves
-        per user, so escalation only fires on genuine cycles, and the
-        first escalations are far below any physically meaningful
-        tolerance anyway.
+        ``epsilon_max``), damping cycles early.  ``0`` selects the
+        automatic budget ``max(2·M, 200)`` — normal runs converge within
+        about two moves per user, so escalation only fires on genuine
+        cycles, and the first escalations are far below any physically
+        meaningful tolerance anyway.  ``epsilon_max`` bounds only this
+        patience-driven escalation; the cap-exhaustion escalation below
+        may exceed it when a cycle survives the ceiling.
     max_moves_per_user:
-        Hard termination guarantee against genuine best-response cycles
-        (possible because heterogeneous gains make the game only
-        approximately potential): a user that has already moved this many
-        times is frozen for the rest of the run.  Normal runs use ~2 moves
-        per user, so the cap only binds on cycling instances, where the
-        few chasing users exhaust it quickly and the dynamics settle.
+        Cycle breaker: a user that has already moved this many times sits
+        out until the sweep goes quiet.  At that point the run checks the
+        frozen users — if none still has an ε-improving move the result
+        is a certified ε-Nash; if one does, the threshold escalates by
+        ``epsilon_growth`` (past ``epsilon_max`` if necessary — benefit
+        ratios are bounded, so finitely many escalations silence any
+        cycle) and every move budget is refreshed.  A run that reports
+        ``converged=True`` therefore always carries an honest certificate
+        at ``GameResult.effective_epsilon``.  Normal runs use ~2 moves per
+        user, so the cap only binds on cycling instances.
     allow_unallocated:
         Whether users may remain unallocated when every candidate channel
         offers no positive benefit (the paper's ``α_j = (0,0)`` state).
     """
 
     schedule: str = "round-robin"
+    kernel: str = "reference"
     epsilon: float = 1e-9
     max_rounds: int = 10_000
     patience_moves: int = 0
@@ -198,11 +211,16 @@ class GameConfig:
     allow_unallocated: bool = False
 
     _SCHEDULES = ("best-gain-winner", "random-winner", "round-robin")
+    _KERNELS = ("reference", "batched")
 
     def __post_init__(self) -> None:
         _require(
             self.schedule in self._SCHEDULES,
             f"schedule must be one of {self._SCHEDULES}, got {self.schedule!r}",
+        )
+        _require(
+            self.kernel in self._KERNELS,
+            f"kernel must be one of {self._KERNELS}, got {self.kernel!r}",
         )
         _require(self.epsilon >= 0, f"epsilon must be >= 0, got {self.epsilon}")
         _require(self.max_rounds >= 1, f"max_rounds must be >= 1, got {self.max_rounds}")
@@ -228,13 +246,32 @@ class DeliveryConfig:
     ``ratio_rule=True`` is the paper's Eq. (17): pick the placement with the
     highest latency reduction *per megabyte*; ``False`` degrades to absolute
     latency reduction (the CDP-style rule, kept for ablation A1).
+
+    The two rules score candidates in **different units**, so each has its
+    own explicitly-suffixed stopping threshold (unit honesty, IDDE003/004):
+
+    ``min_gain_s``
+        Used when ``ratio_rule=False``: a placement must reduce total
+        retrieval latency by more than this many **seconds** to be made.
+    ``min_gain_s_per_mb``
+        Used when ``ratio_rule=True``: a placement must save more than this
+        many **seconds per megabyte** of storage it consumes.
+
+    Both default to 0 — any strictly positive improvement is accepted, as
+    in Algorithm 1 line 24.  (The old single ``min_gain`` field conflated
+    the two units and was removed.)
     """
 
     ratio_rule: bool = True
-    min_gain: float = 0.0
+    min_gain_s: float = 0.0
+    min_gain_s_per_mb: float = 0.0
 
     def __post_init__(self) -> None:
-        _require(self.min_gain >= 0, f"min_gain must be >= 0, got {self.min_gain}")
+        _require(self.min_gain_s >= 0, f"min_gain_s must be >= 0, got {self.min_gain_s}")
+        _require(
+            self.min_gain_s_per_mb >= 0,
+            f"min_gain_s_per_mb must be >= 0, got {self.min_gain_s_per_mb}",
+        )
 
 
 @dataclass(frozen=True)

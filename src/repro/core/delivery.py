@@ -28,7 +28,12 @@ __all__ = ["greedy_delivery", "DeliveryResult", "attached_request_counts"]
 
 @dataclass
 class DeliveryResult:
-    """Outcome of the Phase 2 greedy placement."""
+    """Outcome of the Phase 2 greedy placement.
+
+    ``iterations`` counts *productive* loop iterations only — the terminal
+    sweep that places nothing is excluded, so ``iterations ==
+    len(placements)``.
+    """
 
     profile: DeliveryProfile
     placements: list[tuple[int, int]] = field(default_factory=list)
@@ -74,8 +79,9 @@ def greedy_delivery(
     instance, alloc:
         The problem and the Phase 1 allocation it conditions on.
     cfg:
-        ``ratio_rule=True`` applies Eq. (17) (gain per MB); ``False``
-        selects by absolute gain (the ablation A1 variant).
+        ``ratio_rule=True`` applies Eq. (17) (gain per MB, thresholded by
+        ``min_gain_s_per_mb``); ``False`` selects by absolute gain in
+        seconds (the ablation A1 variant, thresholded by ``min_gain_s``).
     weights:
         Optional ``(K, N)`` demand weights replacing the true attached
         request counts — used by baselines that work from aggregate
@@ -102,10 +108,13 @@ def greedy_delivery(
     placements: list[tuple[int, int]] = []
     total_gain = 0.0
     iterations = 0
+    # The two selection rules score in different units — seconds saved per
+    # MB of storage under Eq. (17), plain seconds under the A1 ablation —
+    # so each has its own explicitly-suffixed stopping threshold.
+    stop_threshold = cfg.min_gain_s_per_mb if cfg.ratio_rule else cfg.min_gain_s
 
     while True:
-        iterations += 1
-        best_score = cfg.min_gain
+        best_score = stop_threshold
         best_pick: tuple[int, int] | None = None
         best_pick_gain = 0.0
         for kk in range(k):
@@ -125,6 +134,10 @@ def greedy_delivery(
                 best_pick_gain = float(gains[i])
         if best_pick is None:
             break
+        # Only productive iterations count: the terminal sweep that finds
+        # nothing to place is not an iteration of Algorithm 1's loop, so
+        # ``iterations == len(placements)`` always holds.
+        iterations += 1
         i, kk = best_pick
         placed[i, kk] = True
         residual[i] -= sizes[kk]

@@ -23,7 +23,21 @@ Three update schedules are provided (:class:`~repro.config.GameConfig`):
 
 All schedules converge to the same *kind* of profile (a pure Nash
 equilibrium certified by :meth:`IddeUGame.is_nash`), though not necessarily
-the same equilibrium.
+the same equilibrium.  On rare instances heterogeneous gains make the game
+only approximately potential and the dynamics cycle; the run then escalates
+the improvement threshold until the cycle dies (see
+:class:`~repro.config.GameConfig`) and the certificate is an ε-Nash at
+``GameResult.effective_epsilon`` — a ``converged=True`` result is never
+returned without a certificate that holds.
+
+Each schedule runs on one of two interchangeable evaluation kernels
+(:class:`~repro.config.GameConfig` ``kernel``): the per-user ``"reference"``
+loop, or the ``"batched"`` kernel that evaluates every user's candidate grid
+in one einsum pass per round via
+:meth:`~repro.radio.sinr.SinrEngine.batch_best_responses`.  The pair is
+verified bit-for-bit — identical move sequences (``GameResult.move_log``),
+identical equilibria, identical certificates — by ``repro.bench.parity`` and
+``tests/core/test_game_kernels.py``.
 """
 
 from __future__ import annotations
@@ -36,7 +50,7 @@ import numpy as np
 from ..config import GameConfig
 from ..errors import ConvergenceError
 from ..logging_util import get_logger
-from ..radio.sinr import UNALLOCATED, SinrEngine
+from ..radio.sinr import UNALLOCATED, BatchBestResponse, SinrEngine
 from ..rng import ensure_rng
 from .instance import IDDEInstance
 from .profiles import AllocationProfile
@@ -79,6 +93,9 @@ class GameResult:
     wall_time_s: float
     effective_epsilon: float = 0.0
     potential_trace: list[float] = field(default_factory=list)
+    #: Every applied move in order, as ``(user, server, channel)`` — the
+    #: observable the reference/batched kernel-parity harness compares.
+    move_log: list[tuple[int, int, int]] = field(default_factory=list)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -176,39 +193,43 @@ class IddeUGame:
                     f"active mask shape {active.shape} mismatches "
                     f"{self.instance.n_users} users"
                 )
+        # The mask must be cleared on *every* exit path — a raise during
+        # warm-start validation or the dynamics must not poison the next
+        # run()/is_nash() on this instance — so the whole body is guarded.
         self._active = active
-        if initial is not None:
-            initial.validate(self.instance.scenario)
-            if active is not None and bool((initial.allocated & ~active).any()):
-                raise ConvergenceError(
-                    "warm-start profile allocates inactive users"
-                )
-            engine.load_profile(initial.server, initial.channel)
-        rng = ensure_rng(rng)
-        t0 = time.perf_counter()
-        trace: list[float] = []
-        if self.track_potential:
-            from .potential import interference_potential
-
-            trace.append(interference_potential(engine))
-
-        schedule = self.cfg.schedule
-        if schedule == "round-robin":
-            rounds, moves, converged, eps = self._run_round_robin(engine, trace)
-        elif schedule == "best-gain-winner":
-            rounds, moves, converged, eps = self._run_winner(
-                engine, trace, rng, best_gain=True
-            )
-        else:  # random-winner
-            rounds, moves, converged, eps = self._run_winner(
-                engine, trace, rng, best_gain=False
-            )
-
-        profile = AllocationProfile(engine.alloc_server, engine.alloc_channel)
-        # If the dynamics truncated (max_rounds), the profile is returned
-        # without a certificate: callers doing sweeps prefer degraded
-        # output over an exception.
         try:
+            if initial is not None:
+                initial.validate(self.instance.scenario)
+                if active is not None and bool((initial.allocated & ~active).any()):
+                    raise ConvergenceError(
+                        "warm-start profile allocates inactive users"
+                    )
+                engine.load_profile(initial.server, initial.channel)
+            rng = ensure_rng(rng)
+            t0 = time.perf_counter()
+            trace: list[float] = []
+            log: list[tuple[int, int, int]] = []
+            if self.track_potential:
+                from .potential import interference_potential
+
+                trace.append(interference_potential(engine))
+
+            schedule = self.cfg.schedule
+            batched = self.cfg.kernel == "batched"
+            if schedule == "round-robin":
+                sweep = self._run_round_robin_batched if batched else self._run_round_robin
+                rounds, moves, converged, eps = sweep(engine, trace, log)
+            else:
+                best_gain = schedule == "best-gain-winner"
+                winner = self._run_winner_batched if batched else self._run_winner
+                rounds, moves, converged, eps = winner(
+                    engine, trace, log, rng, best_gain=best_gain
+                )
+
+            profile = AllocationProfile(engine.alloc_server, engine.alloc_channel)
+            # If the dynamics truncated (max_rounds), the profile is returned
+            # without a certificate: callers doing sweeps prefer degraded
+            # output over an exception.
             nash = self.is_nash(profile, tol=eps) if converged else False
         finally:
             self._active = None
@@ -221,17 +242,62 @@ class IddeUGame:
             wall_time_s=time.perf_counter() - t0,
             effective_epsilon=eps,
             potential_trace=trace,
+            move_log=log,
         )
 
-    def _apply(self, engine: SinrEngine, br: BestResponse, trace: list[float]) -> None:
+    def _apply(
+        self,
+        engine: SinrEngine,
+        br: BestResponse,
+        trace: list[float],
+        log: list[tuple[int, int, int]],
+    ) -> None:
         engine.move(br.user, br.server, br.channel)
+        log.append((br.user, br.server, br.channel))
         if self.track_potential:
             from .potential import interference_potential
 
             trace.append(interference_potential(engine))
 
+    def _unfreeze_capped(
+        self,
+        engine: SinrEngine,
+        players: np.ndarray,
+        moves_of: np.ndarray,
+        eps: float,
+    ) -> float | None:
+        """Escalated epsilon if a move-capped player still improves, else None.
+
+        A quiescent sweep certifies an equilibrium only if every player
+        truly had nothing to gain — but players frozen by
+        ``max_moves_per_user`` never got a turn.  If one of them still has
+        an ε-improving move the dynamics were cycling, so instead of
+        returning a false certificate the threshold escalates (past
+        ``epsilon_max``, which bounds only the patience-driven escalation)
+        and every move budget is refreshed.  Benefit ratios are bounded, so
+        the geometric escalation silences any cycle after finitely many
+        refreshes and the eventual certificate is an honest ε-Nash at the
+        returned tolerance.
+
+        Shared verbatim by the reference and batched runners: the check is
+        per-user (it is a rare, terminal-sweep-only path) so both kernels
+        take bit-for-bit identical escalation decisions.
+        """
+        cap = self.cfg.max_moves_per_user
+        capped = players[moves_of[players] >= cap]
+        for j in capped:
+            j = int(j)
+            if self._improves(self.best_response(engine, j), engine, eps):
+                moves_of[players] = 0
+                # A configured epsilon of exactly 0 must still escalate
+                # off zero, hence the one-ulp floor.
+                return max(
+                    eps * self.cfg.epsilon_growth, float(np.finfo(np.float64).eps)
+                )
+        return None
+
     def _run_round_robin(
-        self, engine: SinrEngine, trace: list[float]
+        self, engine: SinrEngine, trace: list[float], log: list[tuple[int, int, int]]
     ) -> tuple[int, int, bool, float]:
         m = self.instance.n_users
         players = self._players()
@@ -250,13 +316,100 @@ class IddeUGame:
                 br = self.best_response(engine, j)
                 if self._improves(br, engine, eps):
                     assert br is not None
-                    self._apply(engine, br, trace)
+                    self._apply(engine, br, trace, log)
                     moves += 1
                     moves_of[j] += 1
                     since_escalation += 1
                     moved = True
             if not moved:
-                return rounds, moves, True, eps
+                unfrozen = self._unfreeze_capped(engine, players, moves_of, eps)
+                if unfrozen is None:
+                    return rounds, moves, True, eps
+                eps = unfrozen
+                since_escalation = 0
+                _log.debug(
+                    "capped users still deviate: escalated epsilon to %.1e "
+                    "after %d moves",
+                    eps,
+                    moves,
+                )
+                continue
+            if since_escalation >= patience and eps < self.cfg.epsilon_max:
+                eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
+                since_escalation = 0
+                _log.debug(
+                    "round-robin cycling: escalated epsilon to %.1e after %d moves",
+                    eps,
+                    moves,
+                )
+        _log.info("round-robin truncated at max_rounds=%d", self.cfg.max_rounds)
+        return self.cfg.max_rounds, moves, False, eps
+
+    def _run_round_robin_batched(
+        self, engine: SinrEngine, trace: list[float], log: list[tuple[int, int, int]]
+    ) -> tuple[int, int, bool, float]:
+        """Round-robin sweeps on the batched kernel.
+
+        All users are evaluated in one einsum pass against the sweep-start
+        state; within the sweep, a move at server ``i`` only perturbs the
+        interference of users covered by ``i``, so exactly those users are
+        marked stale and re-evaluated per-user at their turn.  Fresh batch
+        entries and per-user fallbacks are bit-for-bit interchangeable
+        (shared padded reduction), so the move sequence is identical to
+        :meth:`_run_round_robin`.
+        """
+        m = self.instance.n_users
+        players = self._players()
+        coverage = self.instance.scenario.coverage
+        moves = 0
+        eps = self.cfg.epsilon
+        patience = self.cfg.patience_for(m)
+        since_escalation = 0
+        moves_of = np.zeros(m, dtype=np.int64)
+        cap = self.cfg.max_moves_per_user
+        for rounds in range(1, self.cfg.max_rounds + 1):
+            eligible = players[moves_of[players] < cap]
+            batch = engine.batch_best_responses(eligible)
+            stale = np.zeros(m, dtype=bool)
+            moved = False
+            for pos in range(eligible.shape[0]):
+                j = int(eligible[pos])
+                if stale[j]:
+                    br = self.best_response(engine, j)
+                elif batch.server[pos] == UNALLOCATED:
+                    br = None
+                else:
+                    br = BestResponse(
+                        user=j,
+                        server=int(batch.server[pos]),
+                        channel=int(batch.channel[pos]),
+                        benefit=float(batch.benefit[pos]),
+                        current_benefit=float(batch.current_benefit[pos]),
+                    )
+                if self._improves(br, engine, eps):
+                    assert br is not None
+                    old = int(engine.alloc_server[j])
+                    self._apply(engine, br, trace, log)
+                    moves += 1
+                    moves_of[j] += 1
+                    since_escalation += 1
+                    moved = True
+                    stale |= coverage[br.server]
+                    if old != UNALLOCATED:
+                        stale |= coverage[old]
+            if not moved:
+                unfrozen = self._unfreeze_capped(engine, players, moves_of, eps)
+                if unfrozen is None:
+                    return rounds, moves, True, eps
+                eps = unfrozen
+                since_escalation = 0
+                _log.debug(
+                    "capped users still deviate: escalated epsilon to %.1e "
+                    "after %d moves",
+                    eps,
+                    moves,
+                )
+                continue
             if since_escalation >= patience and eps < self.cfg.epsilon_max:
                 eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
                 since_escalation = 0
@@ -272,6 +425,7 @@ class IddeUGame:
         self,
         engine: SinrEngine,
         trace: list[float],
+        log: list[tuple[int, int, int]],
         rng: np.random.Generator,
         *,
         best_gain: bool,
@@ -295,12 +449,23 @@ class IddeUGame:
                     assert br is not None
                     candidates.append(br)
             if not candidates:
-                return rounds, moves, True, eps
+                unfrozen = self._unfreeze_capped(engine, players, moves_of, eps)
+                if unfrozen is None:
+                    return rounds, moves, True, eps
+                eps = unfrozen
+                since_escalation = 0
+                _log.debug(
+                    "capped users still deviate: escalated epsilon to %.1e "
+                    "after %d moves",
+                    eps,
+                    moves,
+                )
+                continue
             if best_gain:
                 winner = max(candidates, key=lambda b: (b.gain, -b.user))
             else:
                 winner = candidates[int(rng.integers(0, len(candidates)))]
-            self._apply(engine, winner, trace)
+            self._apply(engine, winner, trace, log)
             moves += 1
             moves_of[winner.user] += 1
             since_escalation += 1
@@ -315,6 +480,95 @@ class IddeUGame:
         _log.info("winner schedule truncated at max_rounds=%d", self.cfg.max_rounds)
         return self.cfg.max_rounds, moves, False, eps
 
+    def _run_winner_batched(
+        self,
+        engine: SinrEngine,
+        trace: list[float],
+        log: list[tuple[int, int, int]],
+        rng: np.random.Generator,
+        *,
+        best_gain: bool,
+    ) -> tuple[int, int, bool, float]:
+        """Winner schedules on the batched kernel.
+
+        Each round evaluates every eligible user against the same fixed
+        state — exactly what the per-user winner loop does — so one
+        ``batch_best_responses`` pass replaces the whole candidate sweep.
+        The winner choice preserves the reference tie-breaks: ``argmax``
+        returns the lowest improving user among equal gains (the reference's
+        ``(gain, -user)`` key), and the random winner draws the same index
+        from the identical candidate list, keeping the rng stream aligned.
+        """
+        m = self.instance.n_users
+        players = self._players()
+        moves = 0
+        eps = self.cfg.epsilon
+        patience = self.cfg.patience_for(m)
+        since_escalation = 0
+        moves_of = np.zeros(m, dtype=np.int64)
+        cap = self.cfg.max_moves_per_user
+        for rounds in range(1, self.cfg.max_rounds + 1):
+            eligible = players[moves_of[players] < cap]
+            batch = engine.batch_best_responses(eligible)
+            improving = self._improving_mask(engine, batch, eps)
+            idx = np.flatnonzero(improving)
+            if idx.size == 0:
+                unfrozen = self._unfreeze_capped(engine, players, moves_of, eps)
+                if unfrozen is None:
+                    return rounds, moves, True, eps
+                eps = unfrozen
+                since_escalation = 0
+                _log.debug(
+                    "capped users still deviate: escalated epsilon to %.1e "
+                    "after %d moves",
+                    eps,
+                    moves,
+                )
+                continue
+            if best_gain:
+                gains = batch.benefit[idx] - batch.current_benefit[idx]
+                pos = int(idx[int(np.argmax(gains))])
+            else:
+                pos = int(idx[int(rng.integers(0, idx.size))])
+            winner = BestResponse(
+                user=int(batch.users[pos]),
+                server=int(batch.server[pos]),
+                channel=int(batch.channel[pos]),
+                benefit=float(batch.benefit[pos]),
+                current_benefit=float(batch.current_benefit[pos]),
+            )
+            self._apply(engine, winner, trace, log)
+            moves += 1
+            moves_of[winner.user] += 1
+            since_escalation += 1
+            if since_escalation >= patience and eps < self.cfg.epsilon_max:
+                eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
+                since_escalation = 0
+                _log.debug(
+                    "winner schedule cycling: escalated epsilon to %.1e after %d moves",
+                    eps,
+                    moves,
+                )
+        _log.info("winner schedule truncated at max_rounds=%d", self.cfg.max_rounds)
+        return self.cfg.max_rounds, moves, False, eps
+
+    def _improving_mask(
+        self, engine: SinrEngine, batch: BatchBestResponse, eps: float
+    ) -> np.ndarray:
+        """Vectorised :meth:`_improves` over a :class:`BatchBestResponse`."""
+        users = batch.users
+        has_candidate = batch.server != UNALLOCATED
+        cur_server = engine.alloc_server[users]
+        cur_channel = engine.alloc_channel[users]
+        unallocated = cur_server == UNALLOCATED
+        threshold = batch.current_benefit * (1.0 + eps) + eps * 1e-30
+        same = (batch.server == cur_server) & (batch.channel == cur_channel)
+        return has_candidate & np.where(
+            unallocated,
+            batch.benefit > 0.0,
+            ~same & (batch.benefit > threshold),
+        )
+
     # ------------------------------------------------------------------
     # certification
     # ------------------------------------------------------------------
@@ -328,7 +582,17 @@ class IddeUGame:
         tol = self.cfg.epsilon if tol is None else tol
         engine = self.instance.new_engine()
         engine.load_profile(profile.server, profile.channel)
-        for j in self._players():
+        players = self._players()
+        if self.cfg.kernel == "batched":
+            batch = engine.batch_best_responses(players)
+            has_candidate = batch.server != UNALLOCATED
+            unallocated = engine.alloc_server[players] == UNALLOCATED
+            threshold = batch.current_benefit * (1.0 + tol) + tol * 1e-30
+            deviates = has_candidate & np.where(
+                unallocated, batch.benefit > 0.0, batch.benefit > threshold
+            )
+            return not bool(deviates.any())
+        for j in players:
             j = int(j)
             br = self.best_response(engine, j)
             if br is None:

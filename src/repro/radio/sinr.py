@@ -22,6 +22,21 @@ the user's own power included in the intra-cell sum and no noise term:
 
 which orders candidate channels identically to the SINR when the noise is
 negligible (it is, at −174 dBm) but is exactly the paper's driving function.
+
+Batched evaluation
+------------------
+The engine also exposes a *batched* path (:meth:`SinrEngine.batch_candidates`
+/ :meth:`SinrEngine.batch_best_responses`) that evaluates every user's
+candidate grid in one einsum pass over a padded covering-server tensor
+``(M, Smax)`` built once per engine.  The per-user and batched paths are a
+verified kernel pair: both reduce the interference aggregate over the *same*
+padded row with ``np.einsum``, so the floats they produce are bit-for-bit
+identical (padding contributes exact zeros and the reduction grouping is
+length-determined) and best-response dynamics driven by either path take
+identical move sequences.  Do not "simplify" the per-user reduction back to
+``g @ p``: BLAS accumulates in a different order and the pair's bitwise
+parity — asserted by ``tests/core/test_game_kernels.py`` and
+``repro.bench.parity`` — would quietly degrade to approximate.
 """
 
 from __future__ import annotations
@@ -36,7 +51,7 @@ from ..types import Scenario
 from .channel import gain_matrix
 from .rate import capped_rate, shannon_rate
 
-__all__ = ["SinrEngine", "CandidateView"]
+__all__ = ["SinrEngine", "CandidateView", "BatchCandidateView", "BatchBestResponse"]
 
 UNALLOCATED = -1
 
@@ -75,6 +90,61 @@ class CandidateView:
         flat = int(np.argmax(masked))
         s, x = divmod(flat, masked.shape[1])
         return int(self.servers[s]), int(x), float(masked[s, x])
+
+
+@dataclass(frozen=True)
+class BatchCandidateView:
+    """Candidate grids for a batch of users, on the padded server axis.
+
+    Attributes
+    ----------
+    users : ``(U,)`` the user indices evaluated.
+    servers : ``(U, Smax)`` covering server indices, padded with 0.
+    server_mask : ``(U, Smax)`` True where the padded slot is a real
+        covering server (the paper's ``V_j``).
+    valid : ``(U, Smax, X)`` mask of real covering server × existing channel.
+    sinr : ``(U, Smax, X)`` SINR per candidate (garbage where invalid).
+    rate : ``(U, Smax, X)`` capped data rate per candidate (MB/s).
+    benefit : ``(U, Smax, X)`` Eq. (12) benefit per candidate.
+
+    For any user the valid entries are bit-for-bit identical to the
+    corresponding :class:`CandidateView` from :meth:`SinrEngine.candidates`.
+    """
+
+    users: np.ndarray
+    servers: np.ndarray
+    server_mask: np.ndarray
+    valid: np.ndarray
+    sinr: np.ndarray
+    rate: np.ndarray
+    benefit: np.ndarray
+
+
+@dataclass(frozen=True)
+class BatchBestResponse:
+    """Per-user best candidate moves for a batch of users.
+
+    ``server[u] == UNALLOCATED`` marks a user with no covering server (the
+    per-user path returns ``None`` for it); its ``benefit`` entry is 0 and
+    must not be interpreted.
+    """
+
+    users: np.ndarray  # (U,) user indices evaluated
+    server: np.ndarray  # (U,) best server, UNALLOCATED when no candidate
+    channel: np.ndarray  # (U,) best channel, UNALLOCATED when no candidate
+    benefit: np.ndarray  # (U,) Eq. (12) benefit of the best candidate
+    current_benefit: np.ndarray  # (U,) benefit at the current allocation
+
+
+@dataclass(frozen=True)
+class _BatchTables:
+    """Precomputed padded covering structure (immutable per engine)."""
+
+    cov: np.ndarray  # (M, Smax) covering server indices, padded with 0
+    mask: np.ndarray  # (M, Smax) True on real covering slots
+    gain: np.ndarray  # (M, Smax) gain to the user, 0 on padding
+    signal: np.ndarray  # (M, Smax) gain · own power, 0 on padding
+    valid: np.ndarray  # (M, Smax, X) real slot × existing channel
 
 
 class SinrEngine:
@@ -134,6 +204,9 @@ class SinrEngine:
         self.alloc_server = np.full(scenario.n_users, UNALLOCATED, dtype=np.int64)
         self.alloc_channel = np.full(scenario.n_users, UNALLOCATED, dtype=np.int64)
         self._channel_valid = scenario.channel_mask
+        #: Lazily-built padded covering tables shared by the per-user and
+        #: batched evaluation paths (coverage and gain are fixed per engine).
+        self._batch: _BatchTables | None = None
 
     # ------------------------------------------------------------------
     # mutation
@@ -199,6 +272,26 @@ class SinrEngine:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    def _batch_tables(self) -> _BatchTables:
+        """The padded covering tables, built once per engine."""
+        if self._batch is None:
+            m, x = self.scenario.n_users, self.n_channels
+            smax = max((len(v) for v in self.covering), default=0)
+            smax = max(smax, 1)
+            cov = np.zeros((m, smax), dtype=np.int64)
+            mask = np.zeros((m, smax), dtype=bool)
+            for j, servers in enumerate(self.covering):
+                s = len(servers)
+                cov[j, :s] = servers
+                mask[j, :s] = True
+            gain = np.where(mask, self.gain[cov, np.arange(m)[:, None]], 0.0)
+            signal = gain * self.power[:, None]
+            valid = self._channel_valid[cov, :x] & mask[:, :, None]
+            self._batch = _BatchTables(
+                cov=cov, mask=mask, gain=gain, signal=signal, valid=valid
+            )
+        return self._batch
+
     def interference_profile(self, j: int) -> tuple[np.ndarray, np.ndarray]:
         """Per-channel interference aggregate ``W_j[x]`` for user ``j``.
 
@@ -210,9 +303,13 @@ class SinrEngine:
         servers = self.covering[j]
         if len(servers) == 0:
             return servers, np.zeros(self.n_channels)
-        g = self.gain[servers, j]
-        p = self.channel_power[servers, :]
-        w = g @ p
+        tables = self._batch_tables()
+        # Reduce over the *padded* covering row with einsum, exactly like the
+        # batched path: padding contributes exact zeros, and the identical
+        # length/grouping keeps the two kernels bit-for-bit interchangeable.
+        g = tables.gain[j]
+        p = self.channel_power[tables.cov[j], :]
+        w = np.einsum("s,sx->x", g, p)
         i, x = self.alloc_server[j], self.alloc_channel[j]
         if i != UNALLOCATED:
             w[x] -= self.gain[i, j] * self.power[j]
@@ -220,6 +317,119 @@ class SinrEngine:
             if w[x] < 0.0:
                 w[x] = 0.0
         return servers, w
+
+    def batch_interference(self, users: np.ndarray | None = None) -> np.ndarray:
+        """``(U, X)`` interference aggregates ``W_j[x]`` for a user batch.
+
+        One einsum pass over the padded covering tensor; per-row results are
+        bit-for-bit equal to :meth:`interference_profile`.  ``users`` defaults
+        to all users.
+        """
+        tables = self._batch_tables()
+        if users is None:
+            users = np.arange(self.scenario.n_users)
+        else:
+            users = np.asarray(users, dtype=np.int64)
+        g = tables.gain[users]  # (U, Smax)
+        p = self.channel_power[tables.cov[users], :]  # (U, Smax, X)
+        w = np.einsum("us,usx->ux", g, p)
+        srv = self.alloc_server[users]
+        own = np.flatnonzero(srv != UNALLOCATED)
+        if own.size:
+            ch = self.alloc_channel[users[own]]
+            sub = self.gain[srv[own], users[own]] * self.power[users[own]]
+            # Same subtract-then-clamp as the per-user path (negative residue
+            # from float cancellation only).
+            w[own, ch] = np.maximum(w[own, ch] - sub, 0.0)
+        return w
+
+    def batch_candidates(self, users: np.ndarray | None = None) -> BatchCandidateView:
+        """Evaluate every candidate ``(server, channel)`` for a user batch.
+
+        The padded-axis equivalent of calling :meth:`candidates` per user:
+        valid entries carry bit-identical SINR / rate / benefit values.
+        """
+        tables = self._batch_tables()
+        if users is None:
+            users = np.arange(self.scenario.n_users)
+        else:
+            users = np.asarray(users, dtype=np.int64)
+        w = self.batch_interference(users)  # (U, X)
+        signal = tables.signal[users][:, :, None]  # (U, Smax, 1)
+        den = w[:, None, :] + self.noise  # (U, 1, X)
+        sinr = signal / den
+        rate = capped_rate(self.bandwidth, sinr, self.scenario.rmax[users][:, None, None])
+        # Padded slots have signal exactly 0; with zero interference that is
+        # 0/0, which the valid mask hides — silence the hardware flag only.
+        with np.errstate(invalid="ignore"):
+            benefit = signal / (w[:, None, :] + signal)
+        return BatchCandidateView(
+            users=users,
+            servers=tables.cov[users],
+            server_mask=tables.mask[users],
+            valid=tables.valid[users],
+            sinr=sinr,
+            rate=rate,
+            benefit=benefit,
+        )
+
+    def batch_best_responses(self, users: np.ndarray | None = None) -> BatchBestResponse:
+        """Benefit-maximising moves for a user batch in one vectorised pass.
+
+        Per user this matches :meth:`candidates` followed by
+        ``CandidateView.best("benefit")`` — including argmax tie-breaking,
+        because the padded grid preserves candidate order and masks padding
+        to ``-inf`` — plus :meth:`user_benefit` for ``current_benefit``.
+        Users without a covering server get ``server == channel ==
+        UNALLOCATED``.
+        """
+        tables = self._batch_tables()
+        if users is None:
+            users = np.arange(self.scenario.n_users)
+        else:
+            users = np.asarray(users, dtype=np.int64)
+        u = users.shape[0]
+        if u == 0:
+            empty_i = np.empty(0, dtype=np.int64)
+            empty_f = np.empty(0, dtype=float)
+            return BatchBestResponse(
+                users=users.astype(np.int64),
+                server=empty_i,
+                channel=empty_i.copy(),
+                benefit=empty_f,
+                current_benefit=empty_f.copy(),
+            )
+        w = self.batch_interference(users)  # (U, X)
+        signal = tables.signal[users]  # (U, Smax)
+        # 0/0 on padded slots only (signal is exactly 0 there); masked below.
+        with np.errstate(invalid="ignore"):
+            benefit = signal[:, :, None] / (w[:, None, :] + signal[:, :, None])
+        masked = np.where(tables.valid[users], benefit, -np.inf)
+        flat = masked.reshape(u, -1)
+        arg = np.argmax(flat, axis=1)
+        rows = np.arange(u)
+        s_idx, x_idx = np.divmod(arg, self.n_channels)
+        has_candidate = tables.mask[users].any(axis=1)
+        best_server = np.where(
+            has_candidate, tables.cov[users][rows, s_idx], UNALLOCATED
+        ).astype(np.int64)
+        best_channel = np.where(has_candidate, x_idx, UNALLOCATED).astype(np.int64)
+        best_benefit = np.where(has_candidate, flat[rows, arg], 0.0)
+        # Current benefits, Eq. (12) at the standing allocation.
+        srv = self.alloc_server[users]
+        current = np.zeros(u, dtype=float)
+        own = np.flatnonzero(srv != UNALLOCATED)
+        if own.size:
+            ch = self.alloc_channel[users[own]]
+            own_signal = self.gain[srv[own], users[own]] * self.power[users[own]]
+            current[own] = own_signal / (w[own, ch] + own_signal)
+        return BatchBestResponse(
+            users=users,
+            server=best_server,
+            channel=best_channel,
+            benefit=best_benefit,
+            current_benefit=current,
+        )
 
     def candidates(self, j: int) -> CandidateView:
         """Evaluate every candidate ``(server, channel)`` for user ``j``."""

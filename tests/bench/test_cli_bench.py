@@ -105,6 +105,20 @@ class TestCompareCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestVerifyParity:
+    def test_parser_flag(self):
+        args = build_parser().parse_args(["bench", "--verify-parity"])
+        assert args.verify_parity
+
+    def test_verify_parity_passes_and_reports(self, capsys):
+        rc = main(["bench", "--verify-parity"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PARITY OK" in out
+        # The default grid is the ISSUE's 5 seeds x 3 schedules.
+        assert out.count(" ok ") >= 15
+
+
 class TestCommittedBaseline:
     def test_baseline_is_schema_valid_and_covers_the_registry(self):
         from pathlib import Path

@@ -15,9 +15,13 @@ EXPECTED = {
     "sinr.churn",
     "sinr.rates",
     "game.round.round-robin",
+    "game.round.round-robin.batched",
     "game.round.best-gain-winner",
+    "game.round.best-gain-winner.batched",
     "game.round.random-winner",
+    "game.round.random-winner.batched",
     "game.converge",
+    "game.converge.batched",
     "delivery.greedy",
     "topology.all-pairs-dijkstra",
     "datasets.eua-sample",
@@ -45,9 +49,20 @@ class TestRegistry:
         selected = select_benchmarks("game.round")
         assert {b.name for b in selected} == {
             "game.round.round-robin",
+            "game.round.round-robin.batched",
             "game.round.best-gain-winner",
+            "game.round.best-gain-winner.batched",
             "game.round.random-winner",
+            "game.round.random-winner.batched",
         }
+
+    def test_kernel_pairs_complete(self):
+        """Every game benchmark is registered as a reference/batched pair."""
+        names = {b.name for b in all_benchmarks()}
+        pairs = {n for n in names if n.endswith(".batched")}
+        assert pairs  # the batched kernel is benchmarked at all
+        for batched in pairs:
+            assert batched.removesuffix(".batched") in names
 
     def test_filter_with_no_match_raises(self):
         with pytest.raises(BenchError, match="matches no benchmark"):

@@ -115,6 +115,57 @@ class TestGreedy:
             greedy_delivery(line_instance, line_alloc, weights=np.zeros((2, 2)))
 
 
+class TestIterationCounting:
+    def test_iterations_count_productive_sweeps_only(self, line_instance, line_alloc):
+        """Regression: the terminal sweep that places nothing used to be
+        counted, reporting ``len(placements) + 1``."""
+        result = greedy_delivery(line_instance, line_alloc)
+        assert result.placements
+        assert result.iterations == len(result.placements)
+
+    def test_no_placement_means_zero_iterations(self, line_instance):
+        alloc = AllocationProfile.empty(line_instance.n_users)
+        result = greedy_delivery(line_instance, alloc)
+        assert result.iterations == 0
+
+
+class TestStoppingThresholds:
+    """The two selection rules score in different units (s/MB vs s), so
+    each rule must consult only its own explicitly-suffixed threshold."""
+
+    def test_min_gain_s_ignored_under_ratio_rule(self, line_instance, line_alloc):
+        base = greedy_delivery(line_instance, line_alloc, DeliveryConfig(ratio_rule=True))
+        huge_abs = greedy_delivery(
+            line_instance,
+            line_alloc,
+            DeliveryConfig(ratio_rule=True, min_gain_s=1e9),
+        )
+        assert huge_abs.placements == base.placements
+
+    def test_min_gain_s_per_mb_ignored_under_absolute_rule(self, line_instance, line_alloc):
+        base = greedy_delivery(line_instance, line_alloc, DeliveryConfig(ratio_rule=False))
+        huge_ratio = greedy_delivery(
+            line_instance,
+            line_alloc,
+            DeliveryConfig(ratio_rule=False, min_gain_s_per_mb=1e9),
+        )
+        assert huge_ratio.placements == base.placements
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            DeliveryConfig(ratio_rule=True, min_gain_s_per_mb=1e9),
+            DeliveryConfig(ratio_rule=False, min_gain_s=1e9),
+        ],
+    )
+    def test_unreachable_threshold_blocks_every_placement(
+        self, line_instance, line_alloc, cfg
+    ):
+        result = greedy_delivery(line_instance, line_alloc, cfg)
+        assert result.profile.n_replicas == 0
+        assert result.iterations == 0
+
+
 class TestRatioVsAbsolute:
     def test_ratio_rule_wins_when_big_item_crowds_storage(self):
         """Eq. (17)'s per-byte rule beats absolute gain when one big item

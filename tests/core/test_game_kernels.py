@@ -1,0 +1,167 @@
+"""Reference/batched kernel-pair tests: bit-for-bit parity and state hygiene.
+
+The batched einsum kernel is only admissible because it replays the
+per-user reference exactly — same benefits, same tie-breaks, same RNG
+stream, hence the same ``move_log``.  These tests pin that contract in
+the suite; ``idde bench --verify-parity`` checks the same grid in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import GameConfig
+from repro.core.game import IddeUGame
+from repro.core.instance import IDDEInstance
+from repro.errors import ConfigurationError, ConvergenceError
+
+SCHEDULES = ("round-robin", "best-gain-winner", "random-winner")
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def _run_pair(instance, cfg: GameConfig, seed: int):
+    from dataclasses import replace
+
+    ref = IddeUGame(instance, replace(cfg, kernel="reference")).run(rng=seed)
+    bat = IddeUGame(instance, replace(cfg, kernel="batched")).run(rng=seed)
+    return ref, bat
+
+
+def _assert_identical(ref, bat):
+    assert ref.move_log == bat.move_log
+    assert np.array_equal(ref.profile.server, bat.profile.server)
+    assert np.array_equal(ref.profile.channel, bat.profile.channel)
+    assert (ref.rounds, ref.moves) == (bat.rounds, bat.moves)
+    assert (ref.converged, ref.is_nash) == (bat.converged, bat.is_nash)
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_full_run_parity(self, schedule, seed):
+        """5 seeds x 3 schedules: identical move sequence and equilibrium."""
+        instance = IDDEInstance.generate(n=8, m=30, k=3, density=1.5, seed=seed)
+        ref, bat = _run_pair(instance, GameConfig(schedule=schedule), seed)
+        _assert_identical(ref, bat)
+        assert ref.converged and ref.is_nash
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_parity_under_active_mask(self, small_instance, schedule):
+        """Inactive users are excluded identically by both kernels."""
+        rng = np.random.default_rng(7)
+        active = rng.random(small_instance.n_users) < 0.6
+        active[0] = True  # keep at least one player
+        cfg = GameConfig(schedule=schedule)
+        from dataclasses import replace
+
+        ref = IddeUGame(small_instance, replace(cfg, kernel="reference")).run(
+            rng=3, active=active
+        )
+        bat = IddeUGame(small_instance, replace(cfg, kernel="batched")).run(
+            rng=3, active=active
+        )
+        _assert_identical(ref, bat)
+        assert not ref.profile.allocated[~active].any()
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_parity_on_partial_coverage(self, line_instance, schedule):
+        """Disjoint coverage exercises the ragged/padded covering rows."""
+        ref, bat = _run_pair(line_instance, GameConfig(schedule=schedule), 0)
+        _assert_identical(ref, bat)
+
+    def test_parity_under_move_cap(self, small_instance):
+        """The per-user move cap freezes the same users in both kernels."""
+        cfg = GameConfig(schedule="round-robin", max_moves_per_user=1)
+        ref, bat = _run_pair(small_instance, cfg, 0)
+        _assert_identical(ref, bat)
+
+    def test_move_log_matches_move_count(self, tiny_instance):
+        for kernel in ("reference", "batched"):
+            result = IddeUGame(tiny_instance, GameConfig(kernel=kernel)).run(rng=0)
+            assert len(result.move_log) == result.moves
+
+
+class TestBatchedKernel:
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_converges_to_nash(self, tiny_instance, schedule):
+        game = IddeUGame(tiny_instance, GameConfig(schedule=schedule, kernel="batched"))
+        result = game.run(rng=0)
+        assert result.converged
+        assert result.is_nash
+        # The batched certificate path agrees with the run's verdict.
+        assert game.is_nash(result.profile)
+
+    def test_batched_certificate_rejects_non_equilibrium(self, tiny_instance):
+        from repro.core.profiles import AllocationProfile
+
+        game = IddeUGame(tiny_instance, GameConfig(kernel="batched"))
+        empty = AllocationProfile.empty(tiny_instance.n_users)
+        assert not game.is_nash(empty)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GameConfig(kernel="simd")
+
+
+class TestParityHarness:
+    """The ``repro.bench.parity`` harness the CLI and CI run."""
+
+    def test_verify_kernel_pair_ok(self):
+        from repro.bench.parity import render_parity_text, verify_kernel_pair
+
+        report = verify_kernel_pair(
+            scale="S", seeds=(0, 1), schedules=("round-robin", "random-winner")
+        )
+        assert report.ok
+        assert report.failures == ()
+        assert len(report.cases) == 4
+        text = render_parity_text(report)
+        assert "PARITY OK" in text
+        assert "round-robin" in text
+
+    def test_report_flags_broken_cases(self):
+        from dataclasses import replace
+
+        from repro.bench.parity import KernelPairCase, ParityReport
+
+        good = KernelPairCase(
+            scale="S",
+            seed=0,
+            schedule="round-robin",
+            moves=10,
+            rounds=2,
+            same_move_log=True,
+            same_profile=True,
+            same_certificate=True,
+        )
+        bad = replace(good, seed=1, same_move_log=False)
+        report = ParityReport(cases=(good, bad))
+        assert not report.ok
+        assert report.failures == (bad,)
+        assert "move-log" in bad.describe()
+
+
+class TestActiveMaskHygiene:
+    def test_failed_run_does_not_leak_active_mask(self, tiny_instance):
+        """A run that raises mid-setup must not poison later runs.
+
+        Regression: only ``is_nash`` used to clear ``_active`` in a
+        ``finally``; a ``run()`` that raised (e.g. a warm start allocating
+        inactive users) left the mask behind, silently shrinking the
+        player set of every subsequent call on the same game object.
+        """
+        game = IddeUGame(tiny_instance)
+        full = game.run(rng=0)
+        active = np.ones(tiny_instance.n_users, dtype=bool)
+        active[0] = False  # but the warm start allocates user 0
+        with pytest.raises(ConvergenceError):
+            game.run(rng=0, initial=full.profile, active=active)
+        assert len(game._players()) == tiny_instance.n_users
+        # And the next unmasked run behaves as if the failure never happened.
+        again = game.run(rng=0)
+        assert again.move_log == full.move_log
+
+    def test_bad_mask_shape_does_not_leak(self, tiny_instance):
+        game = IddeUGame(tiny_instance)
+        with pytest.raises(ConvergenceError):
+            game.run(rng=0, active=np.ones(tiny_instance.n_users + 1, dtype=bool))
+        assert len(game._players()) == tiny_instance.n_users

@@ -2,8 +2,10 @@
 
 import numpy as np
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.profiles import AllocationProfile
+from repro.radio.sinr import UNALLOCATED
 
 from .strategies import allocated_engines
 
@@ -96,3 +98,114 @@ class TestEngineInvariants:
         engine.unassign(j)
         engine.assign(j, i, x)
         assert np.allclose(engine.channel_power, before, atol=1e-12)
+
+
+def _churn(instance, engine, seed, steps=300):
+    """Hammer the incremental bookkeeping with random moves/unassigns."""
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        j = int(rng.integers(0, instance.n_users))
+        covering = instance.scenario.covering_servers[j]
+        if len(covering) == 0 or rng.random() < 0.25:
+            engine.unassign(j)
+            continue
+        i = int(covering[rng.integers(0, len(covering))])
+        x = int(rng.integers(0, instance.scenario.channels[i]))
+        engine.move(j, i, x)
+
+
+class TestChurnConsistency:
+    """Incremental state stays consistent with a from-scratch rebuild
+    after long move churn (the regime where float drift and the
+    negative-residue clamp in ``interference_profile`` matter)."""
+
+    @FAST
+    @given(allocated_engines(), st.integers(0, 2**16))
+    def test_power_table_matches_rebuild_after_churn(self, pair, seed):
+        instance, engine = pair
+        _churn(instance, engine, seed)
+        fresh = instance.new_engine()
+        fresh.load_profile(engine.alloc_server, engine.alloc_channel)
+        assert np.array_equal(fresh.channel_count, engine.channel_count)
+        assert np.allclose(fresh.channel_power, engine.channel_power, atol=1e-12)
+        # The unassign drift reset pins emptied channels to exactly zero.
+        empty = engine.channel_count == 0
+        assert not engine.channel_power[empty].any()
+
+    @FAST
+    @given(allocated_engines(), st.integers(0, 2**16))
+    def test_interference_clamp_after_churn(self, pair, seed):
+        """The own-power subtraction never leaves a negative residue."""
+        instance, engine = pair
+        _churn(instance, engine, seed)
+        for j in range(instance.n_users):
+            servers, w = engine.interference_profile(j)
+            assert (w >= 0.0).all()
+            assert w.shape == (engine.n_channels,)
+
+
+class TestBatchScalarParity:
+    """The batched kernels are bit-for-bit the per-user reference: both
+    reduce interference over the same padded covering row, so every
+    derived quantity must be the *identical* float, not merely close."""
+
+    @FAST
+    @given(allocated_engines())
+    def test_batch_interference_bitwise(self, pair):
+        instance, engine = pair
+        w = engine.batch_interference()
+        for j in range(instance.n_users):
+            _, scalar_w = engine.interference_profile(j)
+            assert np.array_equal(w[j], scalar_w)
+
+    @FAST
+    @given(allocated_engines())
+    def test_batch_candidates_bitwise(self, pair):
+        instance, engine = pair
+        batch = engine.batch_candidates()
+        for pos in range(instance.n_users):
+            j = int(batch.users[pos])
+            view = engine.candidates(j)
+            s = view.servers.size
+            assert np.array_equal(batch.servers[pos, :s], view.servers)
+            assert not batch.server_mask[pos, s:].any()
+            assert np.array_equal(batch.valid[pos, :s], view.valid)
+            for name in ("sinr", "rate", "benefit"):
+                got = getattr(batch, name)[pos, :s][view.valid]
+                want = getattr(view, name)[view.valid]
+                assert np.array_equal(got, want)
+
+    @FAST
+    @given(allocated_engines())
+    def test_batch_best_responses_bitwise(self, pair):
+        instance, engine = pair
+        batch = engine.batch_best_responses()
+        for pos in range(instance.n_users):
+            j = int(batch.users[pos])
+            view = engine.candidates(j)
+            if view.servers.size == 0:
+                assert batch.server[pos] == UNALLOCATED
+                assert batch.channel[pos] == UNALLOCATED
+                continue
+            server, channel, benefit = view.best("benefit")
+            assert int(batch.server[pos]) == server
+            assert int(batch.channel[pos]) == channel
+            # Bitwise by construction — see the sinr module docstring.
+            assert np.array_equal(batch.benefit[pos], benefit)
+            assert np.array_equal(batch.current_benefit[pos], engine.user_benefit(j))
+
+    @FAST
+    @given(allocated_engines(), st.integers(0, 2**16))
+    def test_batch_parity_survives_churn(self, pair, seed):
+        """Parity is a state invariant, not a fresh-engine accident."""
+        instance, engine = pair
+        _churn(instance, engine, seed, steps=100)
+        batch = engine.batch_best_responses()
+        for pos in range(instance.n_users):
+            j = int(batch.users[pos])
+            view = engine.candidates(j)
+            if view.servers.size == 0:
+                continue
+            server, channel, benefit = view.best("benefit")
+            assert (int(batch.server[pos]), int(batch.channel[pos])) == (server, channel)
+            assert np.array_equal(batch.benefit[pos], benefit)

@@ -139,11 +139,23 @@ class TestGameConfig:
 
 class TestDeliveryConfig:
     def test_defaults(self):
-        assert DeliveryConfig().ratio_rule is True
+        cfg = DeliveryConfig()
+        assert cfg.ratio_rule is True
+        assert cfg.min_gain_s == 0.0
+        assert cfg.min_gain_s_per_mb == 0.0
 
-    def test_bad_min_gain(self):
+    def test_bad_min_gain_s(self):
         with pytest.raises(ConfigurationError):
-            DeliveryConfig(min_gain=-0.5)
+            DeliveryConfig(min_gain_s=-0.5)
+
+    def test_bad_min_gain_s_per_mb(self):
+        with pytest.raises(ConfigurationError):
+            DeliveryConfig(min_gain_s_per_mb=-0.5)
+
+    def test_legacy_unitless_min_gain_removed(self):
+        # The old `min_gain` conflated s with s/MB depending on ratio_rule.
+        with pytest.raises(TypeError):
+            DeliveryConfig(min_gain=0.1)
 
 
 class TestScenarioConfig:
