@@ -8,11 +8,15 @@ edge-topology substrates, and the full Section 4 experiment harness.
 
 Quickstart
 ----------
->>> from repro import IDDEInstance, IddeG
+>>> from repro import IDDEInstance, solve
 >>> instance = IDDEInstance.generate(n=10, m=40, k=4, density=1.5, seed=7)
->>> strategy = IddeG().solve(instance, rng=7)
->>> strategy.r_avg > 0 and strategy.l_avg_ms >= 0
+>>> sol = solve(instance, "idde-g", rng=7)
+>>> sol.r_avg > 0 and sol.l_avg_ms >= 0
 True
+
+:func:`repro.api.solve` is the public façade every front-end routes
+through; solver classes (:class:`IddeG` etc.) remain importable for
+direct construction.
 
 See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
@@ -39,6 +43,7 @@ from .core import (
     greedy_delivery,
 )
 from .core.strategy import Solver
+from .api import Solution, solve
 from .baselines import CDP, SAA, DupG, IddeIP, default_solvers, solver_by_name
 from .datasets import EuaPool, sample_scenario, synthetic_eua
 from .dynamics import DynamicSimulation, RandomWaypoint
@@ -64,6 +69,9 @@ __all__ = [
     "EdgeServer",
     "User",
     "DataItem",
+    # the public façade
+    "solve",
+    "Solution",
     # problem & solvers
     "IDDEInstance",
     "AllocationProfile",

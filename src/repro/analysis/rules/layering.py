@@ -10,7 +10,11 @@ solution methods:
   (instance generation is solver-agnostic so new solvers cannot bias it);
 * ``bench/`` must not import ``experiments``, ``viz``, ``cli`` (the
   measurement substrate times kernels, never the reporting harness that
-  wraps them).
+  wraps them);
+* ``obs/`` must not import any domain layer — ``core``, ``radio``,
+  ``solvers``, ``baselines``, ``datasets``, ``topology``, ``bench``,
+  ``experiments``, ``viz``, ``cli`` (the tracing substrate sits below
+  everything it observes; only ``io``/``units``/``errors`` are beneath it).
 
 Both absolute (``repro.experiments``) and relative (``..experiments``)
 imports are resolved before checking.
@@ -32,6 +36,20 @@ FORBIDDEN: dict[str, frozenset[str]] = {
     "datasets": frozenset({"solvers", "baselines"}),
     "topology": frozenset({"solvers", "baselines"}),
     "bench": frozenset({"experiments", "viz", "cli"}),
+    "obs": frozenset(
+        {
+            "core",
+            "radio",
+            "solvers",
+            "baselines",
+            "datasets",
+            "topology",
+            "bench",
+            "experiments",
+            "viz",
+            "cli",
+        }
+    ),
 }
 
 

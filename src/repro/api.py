@@ -1,0 +1,241 @@
+"""The public solving façade: :func:`solve` and the unified :class:`Solution`.
+
+Every front-end — the ``idde`` CLI, the experiment harness, notebook users —
+reaches the solvers through one call::
+
+    from repro.api import solve
+    sol = solve(instance, "idde-g", game_config=GameConfig(kernel="batched"),
+                tracer=RecordingTracer(), rng=0)
+    sol.to_dict()   # the schema-versioned ``idde-solution/1`` document
+
+:class:`Solution` unifies what used to live in three places — the
+:class:`~repro.core.game.GameResult` (rounds, moves, the ε-Nash
+certificate), the :class:`~repro.core.delivery.DeliveryResult` (placements,
+latency gain), and the joint :class:`~repro.core.objectives.Evaluation` —
+without re-running any phase: the solver stashes the full result objects in
+``extras`` and this module lifts them out.
+
+Solver names resolve through the :mod:`repro.baselines` registry, so
+unknown names fail with a did-you-mean
+:class:`~repro.errors.SolverLookupError`, and tracing threads through every
+layer via the shared :class:`~repro.obs.tracer.Tracer` (no-op by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .baselines import IddeG, resolve_solver_name, solver_by_name
+from .config import DeliveryConfig, GameConfig
+from .core.delivery import DeliveryResult
+from .core.game import GameResult
+from .core.instance import IDDEInstance
+from .core.objectives import Evaluation
+from .core.profiles import AllocationProfile, DeliveryProfile
+from .errors import ConfigurationError
+from .obs.tracer import Tracer, ensure_tracer
+from .rng import ensure_rng
+
+__all__ = ["SOLUTION_SCHEMA", "Solution", "solve"]
+
+SOLUTION_SCHEMA = "idde-solution/1"
+
+
+def _json_scalarish(value: Any) -> bool:
+    """True for values that serialise to JSON without coercion."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_json_scalarish(v) for v in value)
+    return False
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One solver run on one instance, with every layer's result attached.
+
+    ``game`` and ``delivery_result`` are populated for the two-phase
+    IDDE-G solver and ``None`` for baselines that have no such phases;
+    ``evaluation`` and the headline metrics are always present.
+    """
+
+    solver: str
+    allocation: AllocationProfile
+    delivery: DeliveryProfile
+    evaluation: Evaluation
+    wall_time_s: float
+    config: dict[str, Any] = field(default_factory=dict)
+    game: GameResult | None = None
+    delivery_result: DeliveryResult | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def r_avg(self) -> float:
+        """Objective #1: average data rate over all users (MB/s)."""
+        return self.evaluation.r_avg
+
+    @property
+    def l_avg_ms(self) -> float:
+        """Objective #2: request-weighted average retrieval latency (ms)."""
+        return self.evaluation.l_avg_ms
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-ready ``idde-solution/1`` document.
+
+        Surfaces every field reachable from the underlying results —
+        including the ε-Nash certificate (``effective_epsilon``), the
+        move-capped player list, and the kernel/schedule that produced the
+        run — not just the headline metrics.
+        """
+        doc: dict[str, Any] = {
+            "schema": SOLUTION_SCHEMA,
+            "solver": self.solver,
+            "r_avg": self.evaluation.r_avg,
+            "l_avg_ms": self.evaluation.l_avg_ms,
+            "wall_time_s": self.wall_time_s,
+            "allocated_users": int(self.evaluation.allocated_users),
+            "replicas": int(self.evaluation.replicas),
+            "config": dict(self.config),
+        }
+        if self.game is not None:
+            doc["game"] = {
+                "rounds": self.game.rounds,
+                "moves": self.game.moves,
+                "converged": self.game.converged,
+                "is_nash": self.game.is_nash,
+                "effective_epsilon": self.game.effective_epsilon,
+                "capped_users": list(self.game.capped_users),
+                "move_count": len(self.game.move_log),
+                "wall_time_s": self.game.wall_time_s,
+            }
+        else:
+            doc["game"] = None
+        if self.delivery_result is not None:
+            doc["delivery"] = {
+                "iterations": self.delivery_result.iterations,
+                "placements": [list(p) for p in self.delivery_result.placements],
+                "total_gain_s": self.delivery_result.total_gain_s,
+                "wall_time_s": self.delivery_result.wall_time_s,
+            }
+        else:
+            doc["delivery"] = None
+        doc["extras"] = {
+            k: list(v) if isinstance(v, tuple) else v
+            for k, v in self.extras.items()
+            if _json_scalarish(v)
+        }
+        return doc
+
+    def summary(self) -> str:
+        """One human-readable line per run (the CLI table row source)."""
+        parts = [
+            f"{self.solver}: R_avg={self.r_avg:.2f} MB/s",
+            f"L_avg={self.l_avg_ms:.2f} ms",
+            f"t={self.wall_time_s:.3f}s",
+            f"allocated={self.evaluation.allocated_users}",
+            f"replicas={self.evaluation.replicas}",
+        ]
+        if self.game is not None:
+            nash = "nash" if self.game.is_nash else "no-cert"
+            parts.append(
+                f"game={self.game.rounds}r/{self.game.moves}m ({nash}, "
+                f"eps={self.game.effective_epsilon:.1e})"
+            )
+        return "  ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Solution({self.summary()})"
+
+
+def solve(
+    instance: IDDEInstance,
+    solver: str = "idde-g",
+    *,
+    game_config: GameConfig | None = None,
+    delivery_config: DeliveryConfig | None = None,
+    tracer: Tracer | None = None,
+    rng: Any = None,
+    ip_time_budget_s: float | None = None,
+    validate: bool = True,
+    solver_options: dict[str, Any] | None = None,
+) -> Solution:
+    """Solve one instance with a registry-named solver.
+
+    Parameters
+    ----------
+    instance:
+        The problem to solve.
+    solver:
+        Registry name (``"idde-g"``, ``"idde-ip"``, ``"saa"``, ``"cdp"``,
+        ``"dup-g"``, ``"random"``, ``"nearest"``; case-insensitive).
+        Unknown names raise :class:`~repro.errors.SolverLookupError` with a
+        did-you-mean suggestion.
+    game_config, delivery_config:
+        Phase configs for the two-phase IDDE-G solver (e.g.
+        ``GameConfig(kernel="batched")``).  Passing either for any other
+        solver raises :class:`~repro.errors.ConfigurationError` — baselines
+        have no such phases, and silently ignoring the configs would
+        mislabel the run.
+    tracer:
+        Optional IDDE-Trace tracer threaded through every layer the run
+        touches; defaults to the shared no-op.
+    rng:
+        Seed or generator for the solver's randomness (``repro.rng``
+        discipline).
+    ip_time_budget_s:
+        Time cap for the ``"idde-ip"`` solver; ignored by every other
+        solver (the experiment harness passes one bundle to all five).
+    validate:
+        Check the returned strategy against the instance constraints.
+    solver_options:
+        Extra keyword arguments for the solver's constructor.
+    """
+    tracer = ensure_tracer(tracer)
+    name = resolve_solver_name(solver)
+    opts = dict(solver_options or {})
+    if name == "idde-g":
+        s = IddeG(game_config, delivery_config, tracer=tracer, **opts)
+    else:
+        if game_config is not None or delivery_config is not None:
+            raise ConfigurationError(
+                f"game_config/delivery_config apply only to 'idde-g'; "
+                f"solver {name!r} has no game or greedy-delivery phase"
+            )
+        if name == "idde-ip" and ip_time_budget_s is not None:
+            opts.setdefault("time_budget_s", ip_time_budget_s)
+        s = solver_by_name(name, **opts)
+
+    config: dict[str, Any] = {"solver": name}
+    if name == "idde-g":
+        gc, dc = s.game_cfg, s.delivery_cfg
+        config.update(
+            schedule=gc.schedule,
+            kernel=gc.kernel,
+            epsilon=gc.epsilon,
+            max_rounds=gc.max_rounds,
+            ratio_rule=dc.ratio_rule,
+        )
+    elif name == "idde-ip":
+        config["time_budget_s"] = float(opts.get("time_budget_s", 10.0))
+
+    rng = ensure_rng(rng)
+    with tracer.span("api.solve", solver=s.name) as span:
+        strategy = s.solve(instance, rng, validate=validate, tracer=tracer)
+        span.set(r_avg=strategy.r_avg, l_avg_ms=strategy.l_avg_ms)
+
+    extras = dict(strategy.extras)
+    evaluation: Evaluation = strategy.evaluation
+    game: GameResult | None = extras.pop("game_result", None)
+    delivery_result: DeliveryResult | None = extras.pop("delivery_result", None)
+    return Solution(
+        solver=strategy.solver,
+        allocation=strategy.allocation,
+        delivery=strategy.delivery,
+        evaluation=evaluation,
+        wall_time_s=strategy.wall_time_s,
+        config=config,
+        game=game,
+        delivery_result=delivery_result,
+        extras=extras,
+    )

@@ -12,13 +12,24 @@
   by the ablation benches.
 
 :func:`default_solvers` returns the paper's five-approach line-up in
-figure order.
+figure order.  Name-based construction goes through the registry
+(:func:`resolve_solver_name` / :func:`solver_by_name`), which is also what
+the :func:`repro.api.solve` façade uses: unknown names raise
+:class:`~repro.errors.SolverLookupError` with a did-you-mean suggestion,
+and keyword arguments a solver's constructor cannot accept are dropped
+with a :class:`DeprecationWarning` instead of a ``TypeError`` (the
+pre-façade ``solver_by_name(**kwargs)`` contract).
 """
 
 from __future__ import annotations
 
+import difflib
+import inspect
+import warnings
+
 from ..core.idde_g import IddeG
 from ..core.strategy import Solver
+from ..errors import SolverLookupError
 from .cdp import CDP
 from .dup_g import DupG
 from .idde_ip import IddeIP
@@ -34,35 +45,88 @@ __all__ = [
     "DupG",
     "RandomSolver",
     "NearestNeighbor",
+    "CANONICAL_SOLVERS",
+    "resolve_solver_name",
     "default_solvers",
     "solver_by_name",
 ]
 
+#: Registry name → solver class.  Aliases ("dupg") map to the same class.
+_FACTORIES: dict[str, type[Solver]] = {
+    "idde-ip": IddeIP,
+    "idde-g": IddeG,
+    "saa": SAA,
+    "cdp": CDP,
+    "dup-g": DupG,
+    "dupg": DupG,
+    "random": RandomSolver,
+    "nearest": NearestNeighbor,
+}
 
-def default_solvers(*, ip_time_budget: float = 10.0) -> list[Solver]:
-    """The paper's five approaches, in the order of Figs. 3–7."""
-    return [
-        IddeIP(time_budget_s=ip_time_budget),
-        IddeG(),
-        SAA(),
-        CDP(),
-        DupG(),
-    ]
+#: The paper's five approaches, registry-named, in the order of Figs. 3–7.
+CANONICAL_SOLVERS: tuple[str, ...] = ("idde-ip", "idde-g", "saa", "cdp", "dup-g")
+
+
+def resolve_solver_name(name: str) -> str:
+    """Normalise a solver name to its registry key.
+
+    Raises
+    ------
+    SolverLookupError
+        For unknown names, with a did-you-mean suggestion when a close
+        registry key exists.  (Still a :class:`KeyError`, for callers of
+        the pre-registry lookup.)
+    """
+    key = str(name).strip().lower()
+    if key in _FACTORIES:
+        return key
+    close = difflib.get_close_matches(key, _FACTORIES, n=1, cutoff=0.5)
+    hint = f" — did you mean {close[0]!r}?" if close else ""
+    raise SolverLookupError(
+        f"unknown solver {name!r}{hint} (choose from {sorted(_FACTORIES)})"
+    )
+
+
+def _accepted_kwargs(cls: type[Solver]) -> frozenset[str]:
+    """Keyword names ``cls()`` accepts (none for bare ``object.__init__``)."""
+    if cls.__init__ is object.__init__:
+        return frozenset()
+    params = inspect.signature(cls.__init__).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return frozenset(("*",))
+    return frozenset(
+        n
+        for n, p in params.items()
+        if n != "self"
+        and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    )
 
 
 def solver_by_name(name: str, **kwargs) -> Solver:
-    """Instantiate a solver from its report name (case-insensitive)."""
-    table = {
-        "idde-ip": IddeIP,
-        "idde-g": IddeG,
-        "saa": SAA,
-        "cdp": CDP,
-        "dup-g": DupG,
-        "dupg": DupG,
-        "random": RandomSolver,
-        "nearest": NearestNeighbor,
-    }
-    key = name.strip().lower()
-    if key not in table:
-        raise KeyError(f"unknown solver {name!r}; choose from {sorted(table)}")
-    return table[key](**kwargs)
+    """Instantiate a solver from its report name (case-insensitive).
+
+    Keyword arguments the solver's constructor does not accept are dropped
+    with a :class:`DeprecationWarning` naming them — the historical
+    contract where callers passed one kwarg bundle to every solver name.
+    New code should construct solver classes directly, or go through
+    :func:`repro.api.solve`.
+    """
+    cls = _FACTORIES[resolve_solver_name(name)]
+    accepted = _accepted_kwargs(cls)
+    if "*" not in accepted:
+        dropped = sorted(set(kwargs) - accepted)
+        if dropped:
+            warnings.warn(
+                f"solver {name!r} does not accept {dropped}; dropping them. "
+                "Pass only applicable kwargs (or use repro.api.solve).",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+    return cls(**kwargs)
+
+
+def default_solvers(*, ip_time_budget: float = 10.0) -> list[Solver]:
+    """The paper's five approaches, in the order of Figs. 3–7."""
+    budget = {"idde-ip": {"time_budget_s": ip_time_budget}}
+    return [solver_by_name(n, **budget.get(n, {})) for n in CANONICAL_SOLVERS]

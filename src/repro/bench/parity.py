@@ -31,6 +31,7 @@ import numpy as np
 
 from ..config import GameConfig
 from ..core.game import GameResult, IddeUGame
+from ..obs.tracer import Tracer
 from .fixtures import instance_for
 
 __all__ = [
@@ -98,8 +99,10 @@ class ParityReport:
         return tuple(case for case in self.cases if not case.ok)
 
 
-def _run(instance, cfg: GameConfig, kernel: str, seed: int) -> GameResult:
-    return IddeUGame(instance, replace(cfg, kernel=kernel)).run(rng=seed)
+def _run(
+    instance, cfg: GameConfig, kernel: str, seed: int, tracer: Tracer | None
+) -> GameResult:
+    return IddeUGame(instance, replace(cfg, kernel=kernel), tracer=tracer).run(rng=seed)
 
 
 def _compare(
@@ -132,12 +135,15 @@ def verify_kernel_pair(
     seeds: tuple[int, ...] = PARITY_SEEDS,
     schedules: tuple[str, ...] = PARITY_SCHEDULES,
     base_cfg: GameConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> ParityReport:
     """Replay every ``(seed, schedule)`` case under both kernels.
 
     Each case plays the identical shared fixture instance from an
     identical RNG seed through the reference and batched kernels and
     compares move logs, final profiles and convergence certificates.
+    An attached ``tracer`` observes both replays; since the tracer never
+    consumes RNG, parity must hold with tracing on.
     """
     base = base_cfg or GameConfig()
     cases = []
@@ -145,8 +151,8 @@ def verify_kernel_pair(
         instance = instance_for(scale, seed)
         for schedule in schedules:
             cfg = replace(base, schedule=schedule)
-            ref = _run(instance, cfg, "reference", seed)
-            bat = _run(instance, cfg, "batched", seed)
+            ref = _run(instance, cfg, "reference", seed, tracer)
+            bat = _run(instance, cfg, "batched", seed, tracer)
             cases.append(_compare(scale, seed, schedule, ref, bat))
     return ParityReport(cases=tuple(cases))
 

@@ -138,6 +138,47 @@ benchmark(
     "the same round-robin round on the batched einsum kernel (pair)",
 )(_one_round_factory("round-robin", kernel="batched"))
 
+def _one_round_traced_factory(
+    schedule: str, kernel: str = "reference"
+) -> Callable[[str, int], Callable[[], object]]:
+    """The ``.traced`` twin: the identical round with a live recording tracer.
+
+    The tracer is constructed inside the timed callable on purpose — the
+    twin times the full observed cost of tracing a round (tracer setup,
+    per-move events, span bookkeeping), so ``twin / plain`` is the
+    recording overhead and the plain benchmark gates the no-op overhead.
+    """
+
+    def make(scale: str, seed: int) -> Callable[[], object]:
+        from ..obs.tracer import RecordingTracer
+
+        instance = instance_for(scale, seed)
+        cfg = GameConfig(schedule=schedule, kernel=kernel, max_rounds=1)
+
+        def run() -> object:
+            tracer = RecordingTracer()
+            moves = IddeUGame(instance, cfg, tracer=tracer).run(rng=seed).moves
+            return (moves, len(tracer.events))
+
+        return run
+
+    return make
+
+
+# The two ``.traced`` twins time the recording-tracer cost of the same
+# round (tracer constructed inside the timed region); the plain pair above
+# runs with the shared no-op tracer, so CI gates the no-op overhead simply
+# by gating the plain benchmarks against the seed baseline.
+benchmark(
+    "game.round.round-robin.traced",
+    "the same round-robin round with a live recording tracer (overhead twin)",
+)(_one_round_traced_factory("round-robin"))
+
+benchmark(
+    "game.round.round-robin.batched.traced",
+    "the batched round-robin round with a live recording tracer (overhead twin)",
+)(_one_round_traced_factory("round-robin", kernel="batched"))
+
 benchmark(
     "game.round.best-gain-winner",
     "one best-response round, literal Algorithm 1 best-gain-winner schedule",

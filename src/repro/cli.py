@@ -20,6 +20,14 @@ Subcommands
                with the noise-aware regression gate, or verify the
                reference/batched kernel-pair parity
                (see docs/BENCHMARKING.md).
+``trace``      Inspect IDDE-Trace documents: ``idde trace summarize``
+               renders the span tree, top counters and event mix of an
+               ``idde-trace/1`` JSONL file (see docs/OBSERVABILITY.md).
+
+``solve``, ``sweep`` and ``reproduce`` accept ``--trace out.jsonl`` to
+record a full execution trace, and ``solve``/``sweep`` accept ``--kernel
+batched`` to run the IDDE-G game on the batched evaluation kernel.  All
+solving routes through :func:`repro.api.solve`.
 """
 
 from __future__ import annotations
@@ -28,7 +36,6 @@ import argparse
 import sys
 from typing import Sequence
 
-from .baselines import default_solvers, solver_by_name
 from .core.bounds import theory_report
 from .core.instance import IDDEInstance
 from .experiments.figures import PAPER, shape_checks
@@ -66,16 +73,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument(
         "--map", action="store_true", help="draw the scenario and IDDE-G allocation"
     )
+    _add_kernel_arg(p_solve)
+    _add_trace_arg(p_solve)
+    p_solve.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="text table or the idde-solution/1 JSON document",
+    )
 
     p_sweep = sub.add_parser("sweep", help="run one Table 2 experiment set")
     p_sweep.add_argument("set", choices=["1", "2", "3", "4"], help="Table 2 set number")
     _add_sweep_args(p_sweep)
+    _add_kernel_arg(p_sweep)
+    _add_trace_arg(p_sweep)
 
     p_rep = sub.add_parser("reproduce", help="run every set; emit the markdown report")
     _add_sweep_args(p_rep)
     p_rep.add_argument(
         "--output", default=None, help="directory for CSV/JSON/markdown artifacts"
     )
+    _add_trace_arg(p_rep)
 
     p_fig1 = sub.add_parser("fig1", help="run the Fig. 1 latency probe")
     p_fig1.add_argument("--seed", type=int, default=0)
@@ -160,7 +176,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-parity", action="store_true",
         help="verify reference/batched kernel-pair parity; exit 1 on mismatch",
     )
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect IDDE-Trace (idde-trace/1) JSONL documents"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_sum = trace_sub.add_parser(
+        "summarize", help="render the span tree, top counters and event mix"
+    )
+    p_sum.add_argument("path", help="idde-trace/1 JSONL file")
+    p_sum.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
     return parser
+
+
+def _add_kernel_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--kernel",
+        choices=["reference", "batched"],
+        default="reference",
+        help="IDDE-G game evaluation kernel (the verified pair; identical results)",
+    )
+
+
+def _add_trace_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record an idde-trace/1 JSONL execution trace to PATH",
+    )
 
 
 def _add_instance_args(p: argparse.ArgumentParser) -> None:
@@ -178,23 +224,86 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=None, help="worker processes")
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A recording tracer when ``--trace`` was given, else ``None``."""
+    if getattr(args, "trace", None):
+        from .obs import RecordingTracer
+
+        return RecordingTracer()
+    return None
+
+
+def _save_trace(tracer, args: argparse.Namespace, **meta) -> None:
+    if tracer is None:
+        return
+    from .obs import save_trace
+
+    path = save_trace(tracer, args.trace, meta=meta)
+    print(f"wrote trace {path}", file=sys.stderr)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import solve
+    from .baselines import CANONICAL_SOLVERS, resolve_solver_name
+    from .config import GameConfig
+    from .errors import SolverLookupError
+
+    names = list(CANONICAL_SOLVERS) if args.solver == "all" else [args.solver]
+    try:
+        names = [resolve_solver_name(n) for n in names]
+    except SolverLookupError as exc:
+        print(f"idde solve: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
     instance = IDDEInstance.generate(
         n=args.n, m=args.m, k=args.k, density=args.density, seed=args.seed
     )
+    tracer = _make_tracer(args)
+    solutions = []
+    for name in names:
+        solutions.append(
+            solve(
+                instance,
+                name,
+                game_config=GameConfig(kernel=args.kernel) if name == "idde-g" else None,
+                ip_time_budget_s=args.ip_budget,
+                tracer=tracer,
+                rng=args.seed,
+            )
+        )
+    _save_trace(
+        tracer, args, command="solve", solver=args.solver, kernel=args.kernel,
+        seed=args.seed,
+    )
+
+    if args.format == "json":
+        doc = {
+            "schema": "idde-solution/1",
+            "instance": {
+                "n": args.n,
+                "m": args.m,
+                "k": args.k,
+                "density": args.density,
+                "seed": args.seed,
+                "kernel": args.kernel,
+            },
+            "solutions": [sol.to_dict() for sol in solutions],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
     print(f"instance: {instance}")
-    if args.solver == "all":
-        solvers = default_solvers(ip_time_budget=args.ip_budget)
-    else:
-        kwargs = {"time_budget_s": args.ip_budget} if args.solver.lower() == "idde-ip" else {}
-        solvers = [solver_by_name(args.solver, **kwargs)]
     print(f"{'solver':>10} | {'R_avg (MB/s)':>12} | {'L_avg (ms)':>10} | {'time (s)':>9}")
     last = None
-    for solver in solvers:
-        s = solver.solve(instance, rng=args.seed)
-        print(f"{s.solver:>10} | {s.r_avg:12.2f} | {s.l_avg_ms:10.2f} | {s.wall_time_s:9.4f}")
-        if s.solver == "IDDE-G":
-            last = s
+    for sol in solutions:
+        print(
+            f"{sol.solver:>10} | {sol.r_avg:12.2f} | {sol.l_avg_ms:10.2f} | "
+            f"{sol.wall_time_s:9.4f}"
+        )
+        if sol.solver == "IDDE-G":
+            last = sol
     if getattr(args, "map", False):
         from .viz import scenario_map
 
@@ -207,12 +316,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     settings = ALL_SETS[int(args.set) - 1]
+    tracer = _make_tracer(args)
     result = run_sweep(
         settings,
         reps=args.reps,
         seed=args.seed,
         ip_time_budget_s=args.ip_budget,
         parallel=ParallelConfig(n_workers=args.workers),
+        kernel=args.kernel,
+        tracer=tracer,
+    )
+    _save_trace(
+        tracer, args, command="sweep", set=args.set, kernel=args.kernel, seed=args.seed
     )
     for metric in ("r_avg", "l_avg_ms", "time_s"):
         print(render_sweep_markdown(result, metric))
@@ -224,13 +339,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .experiments.paper import reproduce_all
 
+    tracer = _make_tracer(args)
     report = reproduce_all(
         reps=args.reps,
         seed=args.seed,
         ip_time_budget_s=args.ip_budget,
         workers=args.workers,
         output_dir=args.output,
+        tracer=tracer,
     )
+    _save_trace(tracer, args, command="reproduce", seed=args.seed)
     print(report.markdown)
     print("paper overall advantages:", dict(PAPER["overall_advantage_pct"]["r_avg"]))
     print(f"all headline shapes hold: {report.all_shapes_hold()}")
@@ -449,6 +567,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError
+    from .obs import load_trace, render_summary
+
+    try:
+        doc = load_trace(args.path)
+    except ReproError as exc:
+        print(f"idde trace: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(doc.summary_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_summary(doc))
+    return 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "sweep": _cmd_sweep,
@@ -459,6 +595,7 @@ _COMMANDS = {
     "gap": _cmd_gap,
     "lint": _cmd_lint,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
 }
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import DeliveryConfig
+from ..obs.tracer import Tracer, ensure_tracer
 from .instance import IDDEInstance
 from .profiles import UNALLOCATED, AllocationProfile, DeliveryProfile
 
@@ -71,6 +72,7 @@ def greedy_delivery(
     cfg: DeliveryConfig | None = None,
     *,
     weights: np.ndarray | None = None,
+    tracer: Tracer | None = None,
 ) -> DeliveryResult:
     """Run Algorithm 1's Phase 2 and return the delivery profile.
 
@@ -86,8 +88,12 @@ def greedy_delivery(
         Optional ``(K, N)`` demand weights replacing the true attached
         request counts — used by baselines that work from aggregate
         popularity statistics instead of the real attachment (CDP).
+    tracer:
+        Optional IDDE-Trace tracer recording each accepted placement and
+        the terminal sweep's threshold rejections; defaults to the no-op.
     """
     cfg = cfg or DeliveryConfig()
+    tracer = ensure_tracer(tracer)
     t0 = time.perf_counter()
     n, k = instance.n_servers, instance.n_data
     sizes = instance.scenario.sizes
@@ -113,37 +119,60 @@ def greedy_delivery(
     # so each has its own explicitly-suffixed stopping threshold.
     stop_threshold = cfg.min_gain_s_per_mb if cfg.ratio_rule else cfg.min_gain_s
 
-    while True:
-        best_score = stop_threshold
-        best_pick: tuple[int, int] | None = None
-        best_pick_gain = 0.0
-        for kk in range(k):
-            s_k = sizes[kk]
-            feasible = (~placed[:, kk]) & (residual >= s_k)
-            if not feasible.any():
-                continue
-            # gain[i] = Σ_{i'} counts[kk, i'] · relu(best[kk, i'] − s_k·pc[i, i'])
-            improvement = np.maximum(best[kk][None, :] - s_k * pc, 0.0)
-            gains = improvement @ counts[kk]
-            gains[~feasible] = -1.0
-            scores = gains / s_k if cfg.ratio_rule else gains
-            i = int(np.argmax(scores))
-            if gains[i] > 0.0 and scores[i] > best_score:
-                best_score = float(scores[i])
-                best_pick = (i, kk)
-                best_pick_gain = float(gains[i])
-        if best_pick is None:
-            break
-        # Only productive iterations count: the terminal sweep that finds
-        # nothing to place is not an iteration of Algorithm 1's loop, so
-        # ``iterations == len(placements)`` always holds.
-        iterations += 1
-        i, kk = best_pick
-        placed[i, kk] = True
-        residual[i] -= sizes[kk]
-        best[kk] = np.minimum(best[kk], sizes[kk] * pc[i, :])
-        placements.append((i, kk))
-        total_gain += best_pick_gain
+    with tracer.span(
+        "delivery.greedy", servers=n, items=k, ratio_rule=cfg.ratio_rule
+    ) as span:
+        while True:
+            best_score = stop_threshold
+            best_pick: tuple[int, int] | None = None
+            best_pick_gain = 0.0
+            sweep_rejects = 0
+            for kk in range(k):
+                s_k = sizes[kk]
+                feasible = (~placed[:, kk]) & (residual >= s_k)
+                if not feasible.any():
+                    continue
+                # gain[i] = Σ_{i'} counts[kk, i'] · relu(best[kk, i'] − s_k·pc[i, i'])
+                improvement = np.maximum(best[kk][None, :] - s_k * pc, 0.0)
+                gains = improvement @ counts[kk]
+                gains[~feasible] = -1.0
+                scores = gains / s_k if cfg.ratio_rule else gains
+                i = int(np.argmax(scores))
+                if gains[i] > 0.0 and scores[i] > best_score:
+                    best_score = float(scores[i])
+                    best_pick = (i, kk)
+                    best_pick_gain = float(gains[i])
+                elif tracer.enabled and gains[i] > 0.0 and scores[i] <= stop_threshold:
+                    # Positive-gain candidate killed by the stopping
+                    # threshold (not merely outscored within the sweep).
+                    sweep_rejects += 1
+            if best_pick is None:
+                if tracer.enabled:
+                    tracer.event(
+                        "delivery.stop", rejected=sweep_rejects, iterations=iterations
+                    )
+                    tracer.count("delivery.threshold_rejects", sweep_rejects)
+                break
+            # Only productive iterations count: the terminal sweep that finds
+            # nothing to place is not an iteration of Algorithm 1's loop, so
+            # ``iterations == len(placements)`` always holds.
+            iterations += 1
+            i, kk = best_pick
+            placed[i, kk] = True
+            residual[i] -= sizes[kk]
+            best[kk] = np.minimum(best[kk], sizes[kk] * pc[i, :])
+            placements.append((i, kk))
+            total_gain += best_pick_gain
+            if tracer.enabled:
+                tracer.event(
+                    "delivery.place",
+                    server=i,
+                    item=kk,
+                    gain_s=best_pick_gain,
+                    score=best_score,
+                )
+                tracer.count("delivery.placements")
+        span.set(placements=len(placements), total_gain_s=total_gain)
 
     return DeliveryResult(
         profile=DeliveryProfile(placed),

@@ -50,6 +50,7 @@ import numpy as np
 from ..config import GameConfig
 from ..errors import ConvergenceError
 from ..logging_util import get_logger
+from ..obs.tracer import Tracer, ensure_tracer
 from ..radio.sinr import UNALLOCATED, BatchBestResponse, SinrEngine
 from ..rng import ensure_rng
 from .instance import IDDEInstance
@@ -96,6 +97,10 @@ class GameResult:
     #: Every applied move in order, as ``(user, server, channel)`` — the
     #: observable the reference/batched kernel-parity harness compares.
     move_log: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Users whose per-run move budget (``max_moves_per_user``) was spent
+    #: when the dynamics stopped — the players a quiescent sweep had to
+    #: re-check before certifying (empty on a clean convergence).
+    capped_users: list[int] = field(default_factory=list)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -113,10 +118,12 @@ class IddeUGame:
         cfg: GameConfig | None = None,
         *,
         track_potential: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         self.instance = instance
         self.cfg = cfg or GameConfig()
         self.track_potential = track_potential
+        self.tracer = ensure_tracer(tracer)
 
     #: Participant mask for the current run (None = everyone plays).
     _active: np.ndarray | None = None
@@ -186,6 +193,7 @@ class IddeUGame:
             A warm-start profile may not allocate inactive users.
         """
         engine = self.instance.new_engine()
+        engine.set_tracer(self.tracer)
         if active is not None:
             active = np.asarray(active, dtype=bool)
             if active.shape != (self.instance.n_users,):
@@ -216,21 +224,41 @@ class IddeUGame:
 
             schedule = self.cfg.schedule
             batched = self.cfg.kernel == "batched"
-            if schedule == "round-robin":
-                sweep = self._run_round_robin_batched if batched else self._run_round_robin
-                rounds, moves, converged, eps = sweep(engine, trace, log)
-            else:
-                best_gain = schedule == "best-gain-winner"
-                winner = self._run_winner_batched if batched else self._run_winner
-                rounds, moves, converged, eps = winner(
-                    engine, trace, log, rng, best_gain=best_gain
-                )
+            with self.tracer.span(
+                "game.run",
+                schedule=schedule,
+                kernel=self.cfg.kernel,
+                users=self.instance.n_users,
+            ) as span:
+                if schedule == "round-robin":
+                    sweep = (
+                        self._run_round_robin_batched if batched else self._run_round_robin
+                    )
+                    rounds, moves, converged, eps, moves_of = sweep(engine, trace, log)
+                else:
+                    best_gain = schedule == "best-gain-winner"
+                    winner = self._run_winner_batched if batched else self._run_winner
+                    rounds, moves, converged, eps, moves_of = winner(
+                        engine, trace, log, rng, best_gain=best_gain
+                    )
 
-            profile = AllocationProfile(engine.alloc_server, engine.alloc_channel)
-            # If the dynamics truncated (max_rounds), the profile is returned
-            # without a certificate: callers doing sweeps prefer degraded
-            # output over an exception.
-            nash = self.is_nash(profile, tol=eps) if converged else False
+                profile = AllocationProfile(engine.alloc_server, engine.alloc_channel)
+                # If the dynamics truncated (max_rounds), the profile is
+                # returned without a certificate: callers doing sweeps prefer
+                # degraded output over an exception.
+                nash = self.is_nash(profile, tol=eps) if converged else False
+                capped = [
+                    int(j)
+                    for j in np.flatnonzero(moves_of >= self.cfg.max_moves_per_user)
+                ]
+                span.set(
+                    rounds=rounds,
+                    moves=moves,
+                    converged=converged,
+                    is_nash=nash,
+                    effective_epsilon=eps,
+                    capped_users=len(capped),
+                )
         finally:
             self._active = None
         return GameResult(
@@ -243,6 +271,7 @@ class IddeUGame:
             effective_epsilon=eps,
             potential_trace=trace,
             move_log=log,
+            capped_users=capped,
         )
 
     def _apply(
@@ -254,6 +283,15 @@ class IddeUGame:
     ) -> None:
         engine.move(br.user, br.server, br.channel)
         log.append((br.user, br.server, br.channel))
+        if self.tracer.enabled:
+            self.tracer.event(
+                "game.move",
+                user=br.user,
+                server=br.server,
+                channel=br.channel,
+                gain=br.gain,
+            )
+            self.tracer.count("game.moves")
         if self.track_potential:
             from .potential import interference_potential
 
@@ -285,20 +323,48 @@ class IddeUGame:
         """
         cap = self.cfg.max_moves_per_user
         capped = players[moves_of[players] >= cap]
+        if self.tracer.enabled:
+            self.tracer.count("game.quiescent_checks")
+            self.tracer.count("game.quiescent_recheck_users", int(capped.size))
         for j in capped:
             j = int(j)
             if self._improves(self.best_response(engine, j), engine, eps):
                 moves_of[players] = 0
                 # A configured epsilon of exactly 0 must still escalate
                 # off zero, hence the one-ulp floor.
-                return max(
+                new_eps = max(
                     eps * self.cfg.epsilon_growth, float(np.finfo(np.float64).eps)
                 )
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "game.epsilon_escalation",
+                        reason="move-cap",
+                        epsilon=new_eps,
+                        capped=int(capped.size),
+                    )
+                    self.tracer.count("game.escalations")
+                return new_eps
         return None
+
+    def _escalate_patience(self, eps: float, moves: int, label: str) -> float:
+        """Patience-driven epsilon escalation, shared by all four runners."""
+        new_eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
+        _log.debug(
+            "%s cycling: escalated epsilon to %.1e after %d moves",
+            label,
+            new_eps,
+            moves,
+        )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "game.epsilon_escalation", reason="patience", epsilon=new_eps, moves=moves
+            )
+            self.tracer.count("game.escalations")
+        return new_eps
 
     def _run_round_robin(
         self, engine: SinrEngine, trace: list[float], log: list[tuple[int, int, int]]
-    ) -> tuple[int, int, bool, float]:
+    ) -> tuple[int, int, bool, float, np.ndarray]:
         m = self.instance.n_users
         players = self._players()
         moves = 0
@@ -324,7 +390,7 @@ class IddeUGame:
             if not moved:
                 unfrozen = self._unfreeze_capped(engine, players, moves_of, eps)
                 if unfrozen is None:
-                    return rounds, moves, True, eps
+                    return rounds, moves, True, eps, moves_of
                 eps = unfrozen
                 since_escalation = 0
                 _log.debug(
@@ -335,19 +401,14 @@ class IddeUGame:
                 )
                 continue
             if since_escalation >= patience and eps < self.cfg.epsilon_max:
-                eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
+                eps = self._escalate_patience(eps, moves, "round-robin")
                 since_escalation = 0
-                _log.debug(
-                    "round-robin cycling: escalated epsilon to %.1e after %d moves",
-                    eps,
-                    moves,
-                )
         _log.info("round-robin truncated at max_rounds=%d", self.cfg.max_rounds)
-        return self.cfg.max_rounds, moves, False, eps
+        return self.cfg.max_rounds, moves, False, eps, moves_of
 
     def _run_round_robin_batched(
         self, engine: SinrEngine, trace: list[float], log: list[tuple[int, int, int]]
-    ) -> tuple[int, int, bool, float]:
+    ) -> tuple[int, int, bool, float, np.ndarray]:
         """Round-robin sweeps on the batched kernel.
 
         All users are evaluated in one einsum pass against the sweep-start
@@ -400,7 +461,7 @@ class IddeUGame:
             if not moved:
                 unfrozen = self._unfreeze_capped(engine, players, moves_of, eps)
                 if unfrozen is None:
-                    return rounds, moves, True, eps
+                    return rounds, moves, True, eps, moves_of
                 eps = unfrozen
                 since_escalation = 0
                 _log.debug(
@@ -411,15 +472,10 @@ class IddeUGame:
                 )
                 continue
             if since_escalation >= patience and eps < self.cfg.epsilon_max:
-                eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
+                eps = self._escalate_patience(eps, moves, "round-robin")
                 since_escalation = 0
-                _log.debug(
-                    "round-robin cycling: escalated epsilon to %.1e after %d moves",
-                    eps,
-                    moves,
-                )
         _log.info("round-robin truncated at max_rounds=%d", self.cfg.max_rounds)
-        return self.cfg.max_rounds, moves, False, eps
+        return self.cfg.max_rounds, moves, False, eps, moves_of
 
     def _run_winner(
         self,
@@ -429,7 +485,7 @@ class IddeUGame:
         rng: np.random.Generator,
         *,
         best_gain: bool,
-    ) -> tuple[int, int, bool, float]:
+    ) -> tuple[int, int, bool, float, np.ndarray]:
         m = self.instance.n_users
         players = self._players()
         moves = 0
@@ -451,7 +507,7 @@ class IddeUGame:
             if not candidates:
                 unfrozen = self._unfreeze_capped(engine, players, moves_of, eps)
                 if unfrozen is None:
-                    return rounds, moves, True, eps
+                    return rounds, moves, True, eps, moves_of
                 eps = unfrozen
                 since_escalation = 0
                 _log.debug(
@@ -470,15 +526,10 @@ class IddeUGame:
             moves_of[winner.user] += 1
             since_escalation += 1
             if since_escalation >= patience and eps < self.cfg.epsilon_max:
-                eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
+                eps = self._escalate_patience(eps, moves, "winner schedule")
                 since_escalation = 0
-                _log.debug(
-                    "winner schedule cycling: escalated epsilon to %.1e after %d moves",
-                    eps,
-                    moves,
-                )
         _log.info("winner schedule truncated at max_rounds=%d", self.cfg.max_rounds)
-        return self.cfg.max_rounds, moves, False, eps
+        return self.cfg.max_rounds, moves, False, eps, moves_of
 
     def _run_winner_batched(
         self,
@@ -488,7 +539,7 @@ class IddeUGame:
         rng: np.random.Generator,
         *,
         best_gain: bool,
-    ) -> tuple[int, int, bool, float]:
+    ) -> tuple[int, int, bool, float, np.ndarray]:
         """Winner schedules on the batched kernel.
 
         Each round evaluates every eligible user against the same fixed
@@ -515,7 +566,7 @@ class IddeUGame:
             if idx.size == 0:
                 unfrozen = self._unfreeze_capped(engine, players, moves_of, eps)
                 if unfrozen is None:
-                    return rounds, moves, True, eps
+                    return rounds, moves, True, eps, moves_of
                 eps = unfrozen
                 since_escalation = 0
                 _log.debug(
@@ -542,15 +593,10 @@ class IddeUGame:
             moves_of[winner.user] += 1
             since_escalation += 1
             if since_escalation >= patience and eps < self.cfg.epsilon_max:
-                eps = min(eps * self.cfg.epsilon_growth, self.cfg.epsilon_max)
+                eps = self._escalate_patience(eps, moves, "winner schedule")
                 since_escalation = 0
-                _log.debug(
-                    "winner schedule cycling: escalated epsilon to %.1e after %d moves",
-                    eps,
-                    moves,
-                )
         _log.info("winner schedule truncated at max_rounds=%d", self.cfg.max_rounds)
-        return self.cfg.max_rounds, moves, False, eps
+        return self.cfg.max_rounds, moves, False, eps, moves_of
 
     def _improving_mask(
         self, engine: SinrEngine, batch: BatchBestResponse, eps: float

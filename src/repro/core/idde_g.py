@@ -12,6 +12,7 @@ from typing import Any
 import numpy as np
 
 from ..config import DeliveryConfig, GameConfig
+from ..obs.tracer import Tracer, ensure_tracer
 from .delivery import greedy_delivery
 from .game import IddeUGame
 from .instance import IDDEInstance
@@ -32,25 +33,43 @@ class IddeG(Solver):
         delivery: DeliveryConfig | None = None,
         *,
         track_potential: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         self.game_cfg = game or GameConfig()
         self.delivery_cfg = delivery or DeliveryConfig()
         self.track_potential = track_potential
+        self.tracer = ensure_tracer(tracer)
 
     def _solve(
         self, instance: IDDEInstance, rng: np.random.Generator
     ) -> tuple[AllocationProfile, DeliveryProfile, dict[str, Any]]:
-        game = IddeUGame(instance, self.game_cfg, track_potential=self.track_potential)
+        game = IddeUGame(
+            instance,
+            self.game_cfg,
+            track_potential=self.track_potential,
+            tracer=self.tracer,
+        )
         result = game.run(rng)
-        delivery = greedy_delivery(instance, result.profile, self.delivery_cfg)
+        delivery = greedy_delivery(
+            instance, result.profile, self.delivery_cfg, tracer=self.tracer
+        )
         extras = {
             "game_rounds": result.rounds,
             "game_moves": result.moves,
             "game_converged": result.converged,
             "is_nash": result.is_nash,
+            "effective_epsilon": result.effective_epsilon,
+            "capped_users": list(result.capped_users),
+            "schedule": self.game_cfg.schedule,
+            "kernel": self.game_cfg.kernel,
             "delivery_iterations": delivery.iterations,
             "replicas": delivery.profile.n_replicas,
             "delivery_gain_s": delivery.total_gain_s,
+            # Full result objects so the repro.api façade can surface every
+            # field in Solution without re-running either phase; popped
+            # there, harmless (if bulky) for direct Solver users.
+            "game_result": result,
+            "delivery_result": delivery,
         }
         if self.track_potential:
             extras["potential_trace"] = result.potential_trace

@@ -15,6 +15,7 @@ from typing import Any
 
 import numpy as np
 
+from ..obs.tracer import Tracer, ensure_tracer
 from ..rng import ensure_rng
 from .constraints import check_strategy
 from .instance import IDDEInstance
@@ -35,6 +36,10 @@ class IDDEStrategy:
     l_avg_ms: float
     wall_time_s: float
     extras: dict[str, Any] = field(default_factory=dict)
+    #: The full joint Evaluation behind ``r_avg``/``l_avg_ms`` (per-user
+    #: rates and latencies, allocated-user and replica counts).  ``None``
+    #: only on strategies reloaded from disk, which persist metrics alone.
+    evaluation: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -67,15 +72,25 @@ class Solver(abc.ABC):
         rng: np.random.Generator | int | None = None,
         *,
         validate: bool = True,
+        tracer: Tracer | None = None,
     ) -> IDDEStrategy:
-        """Run the solver, validate the result, and evaluate objectives."""
+        """Run the solver, validate the result, and evaluate objectives.
+
+        ``tracer`` scopes the spans this wrapper records; the timed
+        ``wall_time_s`` region is :meth:`_solve` alone, exactly as before
+        (validation and evaluation are outside it, in their own spans).
+        """
         rng = ensure_rng(rng)
+        tracer = ensure_tracer(tracer)
         t0 = time.perf_counter()
-        alloc, delivery, extras = self._solve(instance, rng)
+        with tracer.span("solver.solve", solver=self.name):
+            alloc, delivery, extras = self._solve(instance, rng)
         wall = time.perf_counter() - t0
         if validate:
-            check_strategy(instance, alloc, delivery)
-        ev = evaluate(instance, alloc, delivery)
+            with tracer.span("solver.validate"):
+                check_strategy(instance, alloc, delivery)
+        with tracer.span("solver.evaluate"):
+            ev = evaluate(instance, alloc, delivery)
         return IDDEStrategy(
             solver=self.name,
             allocation=alloc,
@@ -84,6 +99,7 @@ class Solver(abc.ABC):
             l_avg_ms=ev.l_avg_ms,
             wall_time_s=wall,
             extras=extras,
+            evaluation=ev,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

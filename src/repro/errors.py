@@ -21,6 +21,8 @@ __all__ = [
     "ExperimentError",
     "DatasetError",
     "BenchError",
+    "TraceError",
+    "SolverLookupError",
 ]
 
 
@@ -76,3 +78,15 @@ class DatasetError(ReproError, ValueError):
 class BenchError(ReproError, ValueError):
     """The IDDE-Bench harness was driven with inconsistent parameters, or
     a benchmark document failed schema validation."""
+
+
+class TraceError(ReproError, ValueError):
+    """An IDDE-Trace tracer was misused (mis-nested spans, backwards
+    clock) or a trace document failed schema validation."""
+
+
+class SolverLookupError(ReproError, KeyError):
+    """An unknown solver name was requested from the solver registry.
+
+    Subclasses :class:`KeyError` so pre-façade callers that caught the old
+    lookup failure keep working unchanged."""

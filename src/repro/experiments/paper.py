@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import Path
 
+from ..obs.tracer import Tracer, ensure_tracer
 from ..parallel import ParallelConfig
 from .export import write_csv, write_json
 from .figures import PAPER, shape_checks
@@ -49,6 +50,7 @@ def reproduce_all(
     ip_time_budget_s: float = 3.0,
     workers: int | None = None,
     output_dir: str | Path | None = None,
+    tracer: Tracer | None = None,
 ) -> ReproductionReport:
     """Run all four sets + Fig. 1 and build the comparison report.
 
@@ -59,7 +61,11 @@ def reproduce_all(
     output_dir:
         When given, per-sweep CSV + JSON series and the markdown report
         are written below it.
+    tracer:
+        Optional IDDE-Trace tracer; a recording tracer forces the sweeps
+        serial (see :func:`~repro.experiments.sweep.run_sweep`).
     """
+    tracer = ensure_tracer(tracer)
     parallel = ParallelConfig(n_workers=workers)
     report = ReproductionReport()
     out = StringIO()
@@ -82,6 +88,7 @@ def reproduce_all(
             seed=seed,
             ip_time_budget_s=ip_time_budget_s,
             parallel=parallel,
+            tracer=tracer,
         )
         report.sweeps.append(result)
         for metric in ("r_avg", "l_avg_ms"):

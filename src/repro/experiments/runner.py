@@ -10,12 +10,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from ..api import solve
 from ..baselines import CDP, SAA, DupG, IddeIP
+from ..config import GameConfig
 from ..core.idde_g import IddeG
 from ..core.instance import IDDEInstance
 from ..core.strategy import Solver
 from ..datasets.eua import EuaPool, synthetic_eua
 from ..errors import ExperimentError
+from ..obs.tracer import Tracer, ensure_tracer
 from ..rng import spawn_rng
 
 __all__ = ["SOLVER_NAMES", "TrialSpec", "TrialResult", "run_trial", "build_solver"]
@@ -39,6 +42,9 @@ class TrialSpec:
     pool_seed: int = 0
     ip_time_budget_s: float = 3.0
     solver_names: tuple[str, ...] = SOLVER_NAMES
+    #: Game evaluation kernel for the IDDE-G runs ("reference"/"batched");
+    #: the kernel pair is move-for-move identical, so results match either way.
+    kernel: str = "reference"
 
     def __post_init__(self) -> None:
         if self.n <= 0 or self.m < 0 or self.k <= 0:
@@ -48,6 +54,10 @@ class TrialSpec:
         unknown = set(self.solver_names) - set(SOLVER_NAMES)
         if unknown:
             raise ExperimentError(f"unknown solvers {sorted(unknown)}")
+        if self.kernel not in GameConfig._KERNELS:
+            raise ExperimentError(
+                f"unknown kernel {self.kernel!r}; choose from {GameConfig._KERNELS}"
+            )
 
 
 @dataclass
@@ -68,11 +78,15 @@ def _pool(pool_seed: int) -> EuaPool:
 
 
 def build_solver(name: str, spec: TrialSpec) -> Solver:
-    """Instantiate one of the paper's approaches for a trial."""
+    """Instantiate one of the paper's approaches for a trial.
+
+    Kept for direct construction; :func:`run_trial` itself routes through
+    :func:`repro.api.solve` so every front-end shares one code path.
+    """
     if name == "IDDE-IP":
         return IddeIP(time_budget_s=spec.ip_time_budget_s)
     if name == "IDDE-G":
-        return IddeG()
+        return IddeG(GameConfig(kernel=spec.kernel))
     if name == "SAA":
         return SAA()
     if name == "CDP":
@@ -94,21 +108,35 @@ def build_instance(spec: TrialSpec) -> IDDEInstance:
     )
 
 
-def run_trial(spec: TrialSpec) -> TrialResult:
+def run_trial(spec: TrialSpec, tracer: Tracer | None = None) -> TrialResult:
     """Execute one trial: all requested solvers on the same instance.
 
     Every solver sees the identical instance and its own independent RNG
     stream, so cross-solver comparisons are paired (the variance-reduction
-    trick behind the paper's 50-repetition averages).
+    trick behind the paper's 50-repetition averages).  Each solver runs
+    through :func:`repro.api.solve` — the same façade the CLI uses — with
+    the RNG stream spawned exactly as before, so trial results are
+    bit-identical to the pre-façade harness.
     """
+    tracer = ensure_tracer(tracer)
     instance = build_instance(spec)
     result = TrialResult(spec=spec)
-    for name in spec.solver_names:
-        solver = build_solver(name, spec)
-        strategy = solver.solve(instance, spawn_rng(spec.seed, "solver", name))
-        result.metrics[name] = {
-            "r_avg": strategy.r_avg,
-            "l_avg_ms": strategy.l_avg_ms,
-            "time_s": strategy.wall_time_s,
-        }
+    with tracer.span(
+        "trial", n=spec.n, m=spec.m, k=spec.k, seed=spec.seed, kernel=spec.kernel
+    ):
+        for name in spec.solver_names:
+            game_config = GameConfig(kernel=spec.kernel) if name == "IDDE-G" else None
+            solution = solve(
+                instance,
+                name.lower(),
+                game_config=game_config,
+                ip_time_budget_s=spec.ip_time_budget_s,
+                tracer=tracer,
+                rng=spawn_rng(spec.seed, "solver", name),
+            )
+            result.metrics[name] = {
+                "r_avg": solution.r_avg,
+                "l_avg_ms": solution.l_avg_ms,
+                "time_s": solution.wall_time_s,
+            }
     return result

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..obs.tracer import Tracer, ensure_tracer
 from ..parallel import ParallelConfig, parallel_map
 from ..rng import key_to_int
 from .runner import SOLVER_NAMES, METRICS, TrialResult, TrialSpec, run_trial
@@ -117,13 +118,22 @@ def run_sweep(
     solver_names: tuple[str, ...] = SOLVER_NAMES,
     parallel: ParallelConfig | None = None,
     keep_raw: bool = False,
+    kernel: str = "reference",
+    tracer: Tracer | None = None,
 ) -> SweepResult:
     """Run one Table 2 sweep and aggregate it.
 
     Trials at different points and repetitions are independent; the trial
     seed is spawned from ``(seed, set name, value, rep)`` so adding points
-    or repetitions never perturbs existing trials.
+    or repetitions never perturbs existing trials.  ``kernel`` selects the
+    IDDE-G evaluation kernel per trial (results are identical either way —
+    the pair is move-for-move verified — only the speed differs).
+
+    When a recording ``tracer`` is attached, trials run serially in this
+    process — a tracer cannot aggregate across worker processes — so
+    tracing a sweep observes the single-process schedule.
     """
+    tracer = ensure_tracer(tracer)
     specs: list[TrialSpec] = []
     layout: list[tuple[float, int]] = []
     for value in settings.values:
@@ -142,14 +152,24 @@ def run_sweep(
                     pool_seed=seed,
                     ip_time_budget_s=ip_time_budget_s,
                     solver_names=solver_names,
+                    kernel=kernel,
                 )
             )
             layout.append((value, rep))
 
-    results = parallel_map(run_trial, specs, parallel)
+    with tracer.span(
+        "sweep.run", sweep=settings.name, points=len(settings.values), reps=reps
+    ):
+        if tracer.enabled:
+            results = [run_trial(spec, tracer=tracer) for spec in specs]
+        else:
+            results = parallel_map(run_trial, specs, parallel)
 
-    points: list[SweepPoint] = []
-    for value in settings.values:
-        trials = [r for (v, _), r in zip(layout, results) if v == value]
-        points.append(_aggregate(value, trials, solver_names, keep_raw=keep_raw))
+        points: list[SweepPoint] = []
+        for value in settings.values:
+            trials = [r for (v, _), r in zip(layout, results) if v == value]
+            points.append(_aggregate(value, trials, solver_names, keep_raw=keep_raw))
+            if tracer.enabled:
+                tracer.event("sweep.point", value=float(value), reps=len(trials))
+                tracer.count("sweep.points")
     return SweepResult(settings=settings, points=points, solver_names=solver_names)

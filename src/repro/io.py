@@ -29,6 +29,8 @@ __all__ = [
     "load_strategy",
     "save_json",
     "load_json",
+    "save_jsonl",
+    "load_jsonl",
 ]
 
 _FORMAT_VERSION = 1
@@ -162,6 +164,52 @@ def load_json(path: str | Path) -> dict:
     if not isinstance(obj, dict):
         raise DatasetError(f"{path} holds a {type(obj).__name__}, expected an object")
     return obj
+
+
+def save_jsonl(records: list[dict], path: str | Path) -> Path:
+    """Write a JSON-Lines document: one compact object per line.
+
+    Line-oriented artifacts (IDDE-Trace documents) stream through standard
+    tooling without loading the whole file; keys are sorted per line so
+    committed samples diff cleanly.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise DatasetError(
+                f"JSONL record {i} is a {type(record).__name__}, expected an object"
+            )
+        lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return path
+
+
+def load_jsonl(path: str | Path) -> list[dict]:
+    """Read a JSON-Lines document written by :func:`save_jsonl`.
+
+    Raises :class:`~repro.errors.DatasetError` with the offending line
+    number when the file is missing, a line is unparseable, or a line does
+    not hold a JSON object.  Blank lines are tolerated (trailing newline).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    records: list[dict] = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"{path}:{lineno} is not valid JSON: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise DatasetError(
+                f"{path}:{lineno} holds a {type(obj).__name__}, expected an object"
+            )
+        records.append(obj)
+    return records
 
 
 def save_strategy(strategy: IDDEStrategy, path: str | Path) -> Path:

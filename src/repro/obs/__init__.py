@@ -1,0 +1,54 @@
+"""IDDE-Trace: the observability layer (spans, counters, event log).
+
+Execution through the :func:`repro.api.solve` façade — and every layer it
+reaches: the IDDE-U game kernels, the Phase 2 greedy, the SINR engine, the
+experiment sweeps — reports *what happened* through a :class:`Tracer`:
+nested spans with monotonic durations, typed counters/gauges/histograms,
+and a bounded structured event log (game moves, ε escalations,
+quiescent-sweep re-checks, greedy accept/reject decisions, kernel
+selections, sweep progress).
+
+The default is the shared no-op :data:`NULL_TRACER`, whose overhead on the
+hot paths is gated by the IDDE-Bench baseline comparison; pass a
+:class:`RecordingTracer` (e.g. via ``idde solve --trace out.jsonl``) to
+record, and serialise with :func:`save_trace` to the schema-versioned
+``idde-trace/1`` JSONL document (``idde trace summarize`` renders it).
+
+See docs/OBSERVABILITY.md for the span/event/counter model and schema.
+"""
+
+from .document import (
+    SCHEMA,
+    SpanNode,
+    TraceDocument,
+    load_trace,
+    render_summary,
+    save_trace,
+    trace_records,
+)
+from .tracer import (
+    NULL_TRACER,
+    EventRecord,
+    HistogramSummary,
+    RecordingTracer,
+    SpanRecord,
+    Tracer,
+    ensure_tracer,
+)
+
+__all__ = [
+    "SCHEMA",
+    "Tracer",
+    "RecordingTracer",
+    "NULL_TRACER",
+    "ensure_tracer",
+    "SpanRecord",
+    "EventRecord",
+    "HistogramSummary",
+    "TraceDocument",
+    "SpanNode",
+    "trace_records",
+    "save_trace",
+    "load_trace",
+    "render_summary",
+]

@@ -1,0 +1,347 @@
+"""The ``idde-trace/1`` JSONL document: serialise, load, reconstruct, render.
+
+One :class:`~repro.obs.tracer.RecordingTracer` serialises to one JSON-Lines
+document — line-oriented so a trace from a long sweep streams through
+standard tooling (``jq``, ``grep``) without loading everything.
+
+Schema ``idde-trace/1`` (one JSON object per line, ``kind``-discriminated)::
+
+    {"kind": "header", "schema": "idde-trace/1", "meta": {...},
+     "n_spans": int, "n_events": int, "dropped_events": int}
+    {"kind": "span", "id": int, "parent": int|null, "name": str,
+     "start_s": float, "end_s": float|null, "attrs": {...}}
+    {"kind": "event", "seq": int, "span": int|null, "t_s": float,
+     "type": str, "fields": {...}}
+    {"kind": "metrics", "counters": {...}, "gauges": {...},
+     "histograms": {name: {"count", "total", "min", "max"}, ...}}
+
+The header is always the first line; the single metrics record is always
+the last.  All times are monotonic offsets from the tracer's birth (see
+:class:`~repro.obs.tracer.SpanRecord`) — a document carries no wall-clock
+reads of its own; provenance belongs in ``meta``.
+
+:func:`load_trace` validates the schema and reconstructs the span tree
+(:meth:`TraceDocument.span_tree`); :func:`render_summary` is the
+``idde trace summarize`` renderer — an indented span tree with durations
+plus the top counters, gauges and histogram summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import TraceError
+from ..units import seconds_to_ms
+from .tracer import EventRecord, RecordingTracer, SpanRecord
+
+__all__ = [
+    "SCHEMA",
+    "trace_records",
+    "save_trace",
+    "load_trace",
+    "TraceDocument",
+    "SpanNode",
+    "render_summary",
+]
+
+SCHEMA = "idde-trace/1"
+
+_KINDS = ("header", "span", "event", "metrics")
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce attribute/field values to JSON-ready types.
+
+    Kept dependency-free: numpy scalars are handled through their
+    ``item()`` duck-type, unknown objects degrade to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonify(item())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+def trace_records(tracer: RecordingTracer, *, meta: dict | None = None) -> list[dict]:
+    """The full ``idde-trace/1`` record list for one tracer."""
+    records: list[dict] = [
+        {
+            "kind": "header",
+            "schema": SCHEMA,
+            "meta": _jsonify(dict(meta or {})),
+            "n_spans": len(tracer.spans),
+            "n_events": len(tracer.events),
+            "dropped_events": tracer.dropped_events,
+        }
+    ]
+    for s in tracer.spans:
+        records.append(
+            {
+                "kind": "span",
+                "id": s.span_id,
+                "parent": s.parent_id,
+                "name": s.name,
+                "start_s": s.start_s,
+                "end_s": s.end_s,
+                "attrs": _jsonify(s.attrs),
+            }
+        )
+    for e in tracer.events:
+        records.append(
+            {
+                "kind": "event",
+                "seq": e.seq,
+                "span": e.span_id,
+                "t_s": e.t_s,
+                "type": e.etype,
+                "fields": _jsonify(e.fields),
+            }
+        )
+    records.append(
+        {
+            "kind": "metrics",
+            "counters": dict(tracer.counters),
+            "gauges": dict(tracer.gauges),
+            "histograms": {name: h.to_dict() for name, h in tracer.histograms.items()},
+        }
+    )
+    return records
+
+
+def save_trace(
+    tracer: RecordingTracer, path: str | Path, *, meta: dict | None = None
+) -> Path:
+    """Serialise a tracer to an ``idde-trace/1`` JSONL file."""
+    # Imported lazily: repro.io reaches up into core/topology for the .npz
+    # round-trips, and core holds tracers — a module-level import here
+    # would close that cycle during package init.
+    from ..io import save_jsonl
+
+    return save_jsonl(trace_records(tracer, meta=meta), path)
+
+
+@dataclass(frozen=True)
+class SpanNode:
+    """One node of the reconstructed span tree."""
+
+    span: SpanRecord
+    children: tuple["SpanNode", ...]
+
+    def walk(self) -> list[tuple[int, SpanRecord]]:
+        """Depth-first ``(depth, span)`` traversal from this node."""
+        out: list[tuple[int, SpanRecord]] = []
+        stack: list[tuple[int, SpanNode]] = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            out.append((depth, node.span))
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+        return out
+
+
+@dataclass
+class TraceDocument:
+    """A loaded ``idde-trace/1`` document."""
+
+    meta: dict[str, Any]
+    spans: list[SpanRecord]
+    events: list[EventRecord]
+    counters: dict[str, int]
+    gauges: dict[str, float]
+    histograms: dict[str, dict]
+    dropped_events: int = 0
+
+    def span_tree(self) -> list[SpanNode]:
+        """Reconstruct the forest of root spans (document order)."""
+        children: dict[int | None, list[SpanRecord]] = {}
+        by_id = {s.span_id: s for s in self.spans}
+        for s in self.spans:
+            parent = s.parent_id if s.parent_id in by_id else None
+            children.setdefault(parent, []).append(s)
+
+        def build(record: SpanRecord) -> SpanNode:
+            kids = tuple(build(c) for c in children.get(record.span_id, []))
+            return SpanNode(span=record, children=kids)
+
+        return [build(root) for root in children.get(None, [])]
+
+    def events_of_type(self, etype: str) -> list[EventRecord]:
+        return [e for e in self.events if e.etype == etype]
+
+    def summary_dict(self) -> dict:
+        """Aggregate view used by ``idde trace summarize --format json``."""
+        event_types: dict[str, int] = {}
+        for e in self.events:
+            event_types[e.etype] = event_types.get(e.etype, 0) + 1
+        return {
+            "schema": SCHEMA,
+            "meta": dict(self.meta),
+            "n_spans": len(self.spans),
+            "n_events": len(self.events),
+            "dropped_events": self.dropped_events,
+            "event_types": event_types,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": dict(self.histograms),
+        }
+
+
+def _require(record: dict, keys: tuple[str, ...], lineno: int) -> None:
+    missing = [k for k in keys if k not in record]
+    if missing:
+        raise TraceError(f"trace line {lineno} ({record.get('kind')!r}) lacks keys {missing}")
+
+
+def load_trace(path: str | Path) -> TraceDocument:
+    """Load and validate an ``idde-trace/1`` JSONL document.
+
+    Raises :class:`~repro.errors.TraceError` with a line-level message on
+    any schema violation so a truncated or foreign file fails loudly.
+    """
+    from ..io import load_jsonl  # lazy: see save_trace
+
+    records = load_jsonl(path)
+    if not records:
+        raise TraceError(f"{path} is empty; not an {SCHEMA} document")
+    header = records[0]
+    if header.get("kind") != "header":
+        raise TraceError(f"{path} does not start with a header record")
+    if header.get("schema") != SCHEMA:
+        raise TraceError(
+            f"unsupported trace schema {header.get('schema')!r}; this build reads {SCHEMA!r}"
+        )
+    _require(header, ("meta", "n_spans", "n_events", "dropped_events"), 1)
+
+    spans: list[SpanRecord] = []
+    events: list[EventRecord] = []
+    metrics: dict | None = None
+    for lineno, record in enumerate(records[1:], start=2):
+        kind = record.get("kind")
+        if kind == "span":
+            _require(record, ("id", "parent", "name", "start_s", "end_s", "attrs"), lineno)
+            spans.append(
+                SpanRecord(
+                    span_id=int(record["id"]),
+                    parent_id=None if record["parent"] is None else int(record["parent"]),
+                    name=str(record["name"]),
+                    start_s=float(record["start_s"]),
+                    attrs=dict(record["attrs"]),
+                    end_s=None if record["end_s"] is None else float(record["end_s"]),
+                )
+            )
+        elif kind == "event":
+            _require(record, ("seq", "span", "t_s", "type", "fields"), lineno)
+            events.append(
+                EventRecord(
+                    seq=int(record["seq"]),
+                    span_id=None if record["span"] is None else int(record["span"]),
+                    t_s=float(record["t_s"]),
+                    etype=str(record["type"]),
+                    fields=dict(record["fields"]),
+                )
+            )
+        elif kind == "metrics":
+            if metrics is not None:
+                raise TraceError(f"trace line {lineno}: duplicate metrics record")
+            _require(record, ("counters", "gauges", "histograms"), lineno)
+            metrics = record
+        elif kind == "header":
+            raise TraceError(f"trace line {lineno}: duplicate header record")
+        else:
+            raise TraceError(f"trace line {lineno}: unknown record kind {kind!r}")
+    if metrics is None:
+        raise TraceError(f"{path} lacks the terminal metrics record (truncated?)")
+    if len(spans) != int(header["n_spans"]) or len(events) != int(header["n_events"]):
+        raise TraceError(
+            f"{path} header counts ({header['n_spans']} spans, {header['n_events']} "
+            f"events) mismatch the records ({len(spans)} spans, {len(events)} events)"
+        )
+    return TraceDocument(
+        meta=dict(header["meta"]),
+        spans=spans,
+        events=events,
+        counters={str(k): int(v) for k, v in metrics["counters"].items()},
+        gauges={str(k): float(v) for k, v in metrics["gauges"].items()},
+        histograms=dict(metrics["histograms"]),
+        dropped_events=int(header["dropped_events"]),
+    )
+
+
+def _format_ms(seconds: float | None) -> str:
+    if seconds is None:
+        return "   (open)"
+    return f"{seconds_to_ms(seconds):9.3f}"
+
+
+def render_summary(
+    doc: TraceDocument, *, max_counters: int = 15, max_depth: int = 12
+) -> str:
+    """Human-readable span tree + top counters for ``idde trace summarize``."""
+    lines = [f"IDDE-Trace  {SCHEMA}"]
+    if doc.meta:
+        meta = "  ".join(f"{k}={v}" for k, v in sorted(doc.meta.items()))
+        lines.append(f"meta: {meta}")
+    lines.append(
+        f"{len(doc.spans)} span(s), {len(doc.events)} event(s)"
+        + (f" (+{doc.dropped_events} dropped)" if doc.dropped_events else "")
+    )
+
+    lines.append("")
+    lines.append(f"{'duration ms':>11} | span tree")
+    lines.append(f"{'-' * 11}-+-{'-' * 48}")
+    for root in doc.span_tree():
+        for depth, span in root.walk():
+            if depth > max_depth:
+                continue
+            attrs = "  ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+            label = f"{'  ' * depth}{span.name}" + (f"  [{attrs}]" if attrs else "")
+            lines.append(f"{_format_ms(span.duration_s):>11} | {label}")
+
+    if doc.counters:
+        lines.append("")
+        lines.append(f"{'count':>11} | counter")
+        lines.append(f"{'-' * 11}-+-{'-' * 32}")
+        top = sorted(doc.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        for name, value in top[:max_counters]:
+            lines.append(f"{value:>11} | {name}")
+        if len(top) > max_counters:
+            lines.append(f"{'...':>11} | ({len(top) - max_counters} more)")
+
+    if doc.gauges:
+        lines.append("")
+        for name, value in sorted(doc.gauges.items()):
+            lines.append(f"gauge {name} = {value:g}")
+
+    if doc.histograms:
+        lines.append("")
+        for name, h in sorted(doc.histograms.items()):
+            count = int(h.get("count", 0))
+            if count:
+                mean = float(h.get("total", 0.0)) / count
+                lines.append(
+                    f"hist {name}: n={count} mean={mean:g} "
+                    f"min={h.get('min', 0.0):g} max={h.get('max', 0.0):g}"
+                )
+            else:
+                lines.append(f"hist {name}: n=0")
+
+    event_types: dict[str, int] = {}
+    for e in doc.events:
+        event_types[e.etype] = event_types.get(e.etype, 0) + 1
+    if event_types:
+        lines.append("")
+        events = "  ".join(
+            f"{name}×{n}" for name, n in sorted(event_types.items(), key=lambda kv: (-kv[1], kv[0]))
+        )
+        lines.append(f"events: {events}")
+    return "\n".join(lines)

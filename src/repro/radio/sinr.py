@@ -47,6 +47,7 @@ import numpy as np
 
 from ..config import RadioConfig
 from ..errors import AllocationError, CoverageError
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..types import Scenario
 from .channel import gain_matrix
 from .rate import capped_rate, shannon_rate
@@ -207,6 +208,15 @@ class SinrEngine:
         #: Lazily-built padded covering tables shared by the per-user and
         #: batched evaluation paths (coverage and gain are fixed per engine).
         self._batch: _BatchTables | None = None
+        #: IDDE-Trace hook; the owning game attaches its tracer so kernel
+        #: selection (scalar vs batched) and evaluation volume are observable.
+        self.tracer: Tracer = NULL_TRACER
+        self._scalar_kernel_seen = False
+        self._batch_kernel_seen = False
+
+    def set_tracer(self, tracer: Tracer | None) -> None:
+        """Attach an IDDE-Trace tracer (``None`` restores the no-op)."""
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     # ------------------------------------------------------------------
     # mutation
@@ -389,6 +399,11 @@ class SinrEngine:
         else:
             users = np.asarray(users, dtype=np.int64)
         u = users.shape[0]
+        if self.tracer.enabled:
+            self.tracer.count("sinr.batch_rounds")
+            if not self._batch_kernel_seen:
+                self._batch_kernel_seen = True
+                self.tracer.event("sinr.kernel", kernel="batched", batch_size=int(u))
         if u == 0:
             empty_i = np.empty(0, dtype=np.int64)
             empty_f = np.empty(0, dtype=float)
@@ -433,6 +448,11 @@ class SinrEngine:
 
     def candidates(self, j: int) -> CandidateView:
         """Evaluate every candidate ``(server, channel)`` for user ``j``."""
+        if self.tracer.enabled:
+            self.tracer.count("sinr.scalar_evals")
+            if not self._scalar_kernel_seen:
+                self._scalar_kernel_seen = True
+                self.tracer.event("sinr.kernel", kernel="scalar", user=int(j))
         servers, w = self.interference_profile(j)
         s = len(servers)
         if s == 0:

@@ -50,6 +50,8 @@ class TestRegistry:
         assert {b.name for b in selected} == {
             "game.round.round-robin",
             "game.round.round-robin.batched",
+            "game.round.round-robin.traced",
+            "game.round.round-robin.batched.traced",
             "game.round.best-gain-winner",
             "game.round.best-gain-winner.batched",
             "game.round.random-winner",

@@ -1,0 +1,144 @@
+"""The ``idde-trace/1`` document: round-trip, validation and rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs import (
+    SCHEMA,
+    RecordingTracer,
+    load_trace,
+    render_summary,
+    save_trace,
+    trace_records,
+)
+
+from .test_tracer import FakeClock
+
+
+def _recorded_tracer() -> RecordingTracer:
+    clock = FakeClock()
+    tracer = RecordingTracer(clock=clock)
+    with tracer.span("api.solve", solver="IDDE-G"):
+        clock.tick(0.1)
+        with tracer.span("game.run", rounds=3):
+            tracer.event("game.move", user=4, gain=1.5)
+            tracer.count("game.moves")
+            clock.tick(0.2)
+        with tracer.span("delivery.greedy"):
+            tracer.event("delivery.place", server=1, item=0)
+            clock.tick(0.05)
+    tracer.gauge("epsilon", 1e-9)
+    tracer.observe("gain_s", 0.5)
+    return tracer
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip_reconstructs_span_tree(self, tmp_path):
+        tracer = _recorded_tracer()
+        path = save_trace(tracer, tmp_path / "t.jsonl", meta={"command": "test"})
+        doc = load_trace(path)
+
+        assert doc.meta == {"command": "test"}
+        assert len(doc.spans) == 3
+        assert len(doc.events) == 2
+        roots = doc.span_tree()
+        assert [r.span.name for r in roots] == ["api.solve"]
+        assert [c.span.name for c in roots[0].children] == [
+            "game.run",
+            "delivery.greedy",
+        ]
+        walked = roots[0].walk()
+        assert [(d, s.name) for d, s in walked] == [
+            (0, "api.solve"),
+            (1, "game.run"),
+            (1, "delivery.greedy"),
+        ]
+        # Durations and attrs survive the trip exactly.
+        by_name = {s.name: s for s in doc.spans}
+        assert by_name["game.run"].duration_s == pytest.approx(0.2)
+        assert by_name["api.solve"].attrs == {"solver": "IDDE-G"}
+        assert doc.counters == {"game.moves": 1}
+        assert doc.gauges == {"epsilon": 1e-9}
+        assert doc.histograms["gain_s"]["count"] == 1
+        assert doc.events_of_type("game.move")[0].fields == {"user": 4, "gain": 1.5}
+
+    def test_records_shape(self):
+        records = trace_records(_recorded_tracer())
+        assert records[0]["kind"] == "header"
+        assert records[0]["schema"] == SCHEMA
+        assert records[-1]["kind"] == "metrics"
+        kinds = [r["kind"] for r in records[1:-1]]
+        assert kinds == ["span"] * 3 + ["event"] * 2
+        # Every record is a JSON-serialisable object.
+        for record in records:
+            json.dumps(record)
+
+    def test_summary_dict(self, tmp_path):
+        path = save_trace(_recorded_tracer(), tmp_path / "t.jsonl")
+        summary = load_trace(path).summary_dict()
+        assert summary["n_spans"] == 3
+        assert summary["event_types"] == {"game.move": 1, "delivery.place": 1}
+        json.dumps(summary)
+
+
+class TestValidation:
+    def _lines(self, tmp_path) -> list[str]:
+        path = save_trace(_recorded_tracer(), tmp_path / "t.jsonl")
+        return path.read_text().splitlines()
+
+    def _write(self, tmp_path, lines) -> str:
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_missing_header(self, tmp_path):
+        lines = self._lines(tmp_path)
+        with pytest.raises(TraceError, match="header"):
+            load_trace(self._write(tmp_path, lines[1:]))
+
+    def test_wrong_schema(self, tmp_path):
+        lines = self._lines(tmp_path)
+        header = json.loads(lines[0])
+        header["schema"] = "idde-trace/999"
+        with pytest.raises(TraceError, match="unsupported trace schema"):
+            load_trace(self._write(tmp_path, [json.dumps(header), *lines[1:]]))
+
+    def test_truncated_document(self, tmp_path):
+        lines = self._lines(tmp_path)
+        with pytest.raises(TraceError, match="metrics"):
+            load_trace(self._write(tmp_path, lines[:-1]))
+
+    def test_count_mismatch(self, tmp_path):
+        lines = self._lines(tmp_path)
+        header = json.loads(lines[0])
+        header["n_spans"] = 99
+        with pytest.raises(TraceError, match="mismatch"):
+            load_trace(self._write(tmp_path, [json.dumps(header), *lines[1:]]))
+
+    def test_unknown_kind(self, tmp_path):
+        lines = self._lines(tmp_path)
+        lines.insert(1, json.dumps({"kind": "mystery"}))
+        with pytest.raises(TraceError, match="unknown record kind"):
+            load_trace(self._write(tmp_path, lines))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            load_trace(path)
+
+
+class TestRender:
+    def test_render_summary_contents(self, tmp_path):
+        path = save_trace(_recorded_tracer(), tmp_path / "t.jsonl", meta={"k": "v"})
+        text = render_summary(load_trace(path))
+        assert SCHEMA in text
+        assert "api.solve" in text and "game.run" in text
+        assert "game.moves" in text
+        assert "gauge epsilon" in text
+        assert "hist gain_s" in text
+        assert "game.move×1" in text

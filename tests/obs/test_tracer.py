@@ -1,0 +1,146 @@
+"""IDDE-Trace tracer core: spans, events, metrics and their invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs import NULL_TRACER, RecordingTracer, Tracer, ensure_tracer
+from repro.obs.tracer import NULL_SPAN
+
+
+class FakeClock:
+    """A deterministic, manually-advanced monotonic clock."""
+
+    def __init__(self, t: float = 100.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def tick(self, dt: float = 1.0) -> None:
+        self.t += dt
+
+
+class TestNullTracer:
+    def test_disabled_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        assert ensure_tracer(None) is NULL_TRACER
+        tracer = RecordingTracer()
+        assert ensure_tracer(tracer) is tracer
+
+    def test_all_hooks_are_noops(self):
+        t = Tracer()
+        with t.span("anything", x=1) as span:
+            span.set(y=2)
+        assert span is NULL_SPAN
+        t.event("e", a=1)
+        t.count("c")
+        t.gauge("g", 3.0)
+        t.observe("h", 4.0)
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("s"):
+                raise ValueError("propagates")
+
+
+class TestSpans:
+    def test_nested_spans_and_durations(self):
+        clock = FakeClock()
+        tracer = RecordingTracer(clock=clock)
+        with tracer.span("outer", label="a") as outer:
+            clock.tick(1.0)
+            with tracer.span("inner") as inner:
+                clock.tick(0.5)
+            clock.tick(0.25)
+        assert outer.record.parent_id is None
+        assert inner.record.parent_id == outer.record.span_id
+        assert inner.record.duration_s == pytest.approx(0.5)
+        assert outer.record.duration_s == pytest.approx(1.75)
+        assert outer.record.attrs == {"label": "a"}
+        assert tracer.open_spans() == 0
+
+    def test_set_merges_attrs(self):
+        tracer = RecordingTracer(clock=FakeClock())
+        with tracer.span("s", a=1) as span:
+            span.set(b=2)
+            span.set(a=3)
+        assert span.record.attrs == {"a": 3, "b": 2}
+
+    def test_exception_sets_error_attr_and_propagates(self):
+        tracer = RecordingTracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("s"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].attrs["error"] == "RuntimeError"
+        assert tracer.spans[0].end_s is not None
+
+    def test_out_of_order_close_raises(self):
+        tracer = RecordingTracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(TraceError, match="nesting order"):
+            outer.__exit__(None, None, None)
+
+    def test_events_attribute_to_open_span(self):
+        tracer = RecordingTracer(clock=FakeClock())
+        tracer.event("root-level")
+        with tracer.span("s") as span:
+            tracer.event("inside", n=1)
+        assert tracer.events[0].span_id is None
+        assert tracer.events[1].span_id == span.record.span_id
+        assert tracer.events[1].fields == {"n": 1}
+
+
+class TestClock:
+    def test_backwards_clock_raises(self):
+        clock = FakeClock()
+        tracer = RecordingTracer(clock=clock)
+        clock.t -= 5.0
+        with pytest.raises(TraceError, match="monotonic"):
+            tracer.span("s")
+
+    def test_times_are_offsets_from_epoch(self):
+        clock = FakeClock(t=1234.0)
+        tracer = RecordingTracer(clock=clock)
+        clock.tick(2.0)
+        with tracer.span("s") as span:
+            pass
+        assert span.record.start_s == pytest.approx(2.0)
+
+
+class TestEventBound:
+    def test_keeps_first_and_counts_drops(self):
+        tracer = RecordingTracer(max_events=3, clock=FakeClock())
+        for i in range(7):
+            tracer.event("e", i=i)
+        assert [e.fields["i"] for e in tracer.events] == [0, 1, 2]
+        assert tracer.dropped_events == 4
+        # Sequence numbers keep counting across the drop.
+        tracer.max_events = 10
+        tracer.event("late")
+        assert tracer.events[-1].seq == 7
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(TraceError):
+            RecordingTracer(max_events=-1)
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        tracer = RecordingTracer(clock=FakeClock())
+        tracer.count("moves")
+        tracer.count("moves", 4)
+        tracer.gauge("epsilon", 1e-9)
+        tracer.gauge("epsilon", 1e-6)
+        for v in (1.0, 3.0, 2.0):
+            tracer.observe("gain", v)
+        assert tracer.counters == {"moves": 5}
+        assert tracer.gauges == {"epsilon": 1e-6}
+        h = tracer.histograms["gain"]
+        assert (h.count, h.total, h.min, h.max) == (3, 6.0, 1.0, 3.0)
+        assert h.mean == pytest.approx(2.0)
+        assert h.to_dict() == {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0}

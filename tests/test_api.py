@@ -1,0 +1,126 @@
+"""The :mod:`repro.api` façade: solve(), Solution and the solver registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import SOLUTION_SCHEMA, Solution, solve
+from repro.baselines import CANONICAL_SOLVERS, resolve_solver_name, solver_by_name
+from repro.config import DeliveryConfig, GameConfig
+from repro.core.idde_g import IddeG
+from repro.core.instance import IDDEInstance
+from repro.errors import ConfigurationError, SolverLookupError
+from repro.obs import RecordingTracer
+
+
+@pytest.fixture(scope="module")
+def instance() -> IDDEInstance:
+    return IDDEInstance.generate(n=6, m=24, k=3, density=1.0, seed=3)
+
+
+class TestSolve:
+    def test_matches_direct_solver(self, instance):
+        sol = solve(instance, "idde-g", rng=3)
+        direct = IddeG().solve(instance, rng=3)
+        assert sol.r_avg == direct.r_avg
+        assert sol.l_avg_ms == direct.l_avg_ms
+        assert sol.solver == "IDDE-G"
+
+    def test_game_and_delivery_results_attached(self, instance):
+        sol = solve(instance, "idde-g", rng=3)
+        assert sol.game is not None and sol.game.moves > 0
+        assert sol.delivery_result is not None
+        assert sol.evaluation.allocated_users > 0
+
+    def test_baseline_has_no_game(self, instance):
+        sol = solve(instance, "cdp", rng=3)
+        assert sol.game is None and sol.delivery_result is None
+        assert sol.r_avg > 0
+
+    def test_name_is_case_insensitive(self, instance):
+        sol = solve(instance, "IDDE-G", rng=3)
+        assert sol.solver == "IDDE-G"
+
+    def test_batched_kernel_recorded_and_identical(self, instance):
+        ref = solve(instance, "idde-g", rng=3)
+        bat = solve(instance, "idde-g", game_config=GameConfig(kernel="batched"), rng=3)
+        assert bat.config["kernel"] == "batched"
+        assert bat.r_avg == ref.r_avg
+        assert bat.l_avg_ms == ref.l_avg_ms
+        assert bat.game.move_log == ref.game.move_log
+
+    def test_game_config_rejected_for_baselines(self, instance):
+        with pytest.raises(ConfigurationError, match="idde-g"):
+            solve(instance, "cdp", game_config=GameConfig(), rng=3)
+        with pytest.raises(ConfigurationError):
+            solve(instance, "saa", delivery_config=DeliveryConfig(), rng=3)
+
+    def test_tracer_observes_the_run(self, instance):
+        tracer = RecordingTracer()
+        solve(instance, "idde-g", tracer=tracer, rng=3)
+        names = [s.name for s in tracer.spans]
+        assert "api.solve" in names
+        assert "game.run" in names
+        assert "delivery.greedy" in names
+        assert tracer.counters["game.moves"] > 0
+
+    def test_tracer_does_not_perturb_results(self, instance):
+        quiet = solve(instance, "idde-g", rng=3)
+        traced = solve(instance, "idde-g", tracer=RecordingTracer(), rng=3)
+        assert traced.game.move_log == quiet.game.move_log
+        assert traced.r_avg == quiet.r_avg
+
+
+class TestSolutionDocument:
+    def test_to_dict_surfaces_certificate_fields(self, instance):
+        doc = solve(instance, "idde-g", rng=3).to_dict()
+        assert doc["schema"] == SOLUTION_SCHEMA
+        assert doc["game"]["effective_epsilon"] > 0
+        assert isinstance(doc["game"]["capped_users"], list)
+        assert doc["config"]["kernel"] == "reference"
+        assert doc["config"]["schedule"] == "round-robin"
+        assert doc["delivery"]["iterations"] == len(doc["delivery"]["placements"])
+        json.dumps(doc)
+
+    def test_baseline_document(self, instance):
+        doc = solve(instance, "saa", rng=3).to_dict()
+        assert doc["game"] is None and doc["delivery"] is None
+        assert doc["solver"] == "SAA"
+        json.dumps(doc)
+
+    def test_summary_line(self, instance):
+        line = solve(instance, "idde-g", rng=3).summary()
+        assert "IDDE-G" in line and "R_avg" in line and "game=" in line
+
+
+class TestRegistry:
+    def test_canonical_names_resolve(self):
+        for name in CANONICAL_SOLVERS:
+            assert resolve_solver_name(name) == name
+        assert resolve_solver_name("  IDDE-G ") == "idde-g"
+
+    def test_unknown_name_did_you_mean(self):
+        with pytest.raises(SolverLookupError) as err:
+            resolve_solver_name("ide-g")
+        assert "did you mean 'idde-g'" in err.value.args[0]
+        # The lookup error is a KeyError for callers catching that.
+        assert isinstance(err.value, KeyError)
+
+    def test_dropped_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="bogus_kw"):
+            solver = solver_by_name("cdp", bogus_kw=1)
+        assert solver.name == "CDP"
+
+    def test_accepted_kwargs_pass_through(self):
+        solver = solver_by_name("idde-ip", time_budget_s=0.5)
+        assert solver.time_budget_s == 0.5
+
+
+class TestSolutionConstruction:
+    def test_frozen(self, instance):
+        sol = solve(instance, "idde-g", rng=3)
+        with pytest.raises(AttributeError):
+            sol.solver = "other"
+        assert isinstance(sol, Solution)

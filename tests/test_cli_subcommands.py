@@ -1,0 +1,112 @@
+"""CLI smoke tests: exit codes and schema-valid JSON for the subcommands.
+
+Tiny instances throughout — these pin the command contracts (exit codes,
+document schemas, error channels), not solution quality.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import SCHEMA as TRACE_SCHEMA
+from repro.obs import load_trace
+
+TINY = ["--n", "5", "--m", "12", "--k", "2", "--seed", "0"]
+
+
+def _run(capsys, argv) -> tuple[int, str, str]:
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestSolve:
+    def test_json_document(self, capsys):
+        code, out, _ = _run(
+            capsys, ["solve", *TINY, "--solver", "idde-g", "--format", "json"]
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["schema"] == "idde-solution/1"
+        assert doc["instance"]["n"] == 5
+        (sol,) = doc["solutions"]
+        assert sol["solver"] == "IDDE-G"
+        assert sol["game"]["effective_epsilon"] > 0
+
+    def test_trace_emits_loadable_document(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, _, err = _run(
+            capsys,
+            ["solve", *TINY, "--solver", "idde-g", "--trace", str(trace)],
+        )
+        assert code == 0
+        assert str(trace) in err
+        doc = load_trace(trace)
+        assert doc.meta["command"] == "solve"
+        names = {s.name for s in doc.spans}
+        assert {"api.solve", "game.run", "delivery.greedy"} <= names
+
+    def test_batched_kernel_recorded(self, capsys):
+        code, out, _ = _run(
+            capsys,
+            [
+                "solve", *TINY, "--solver", "idde-g",
+                "--kernel", "batched", "--format", "json",
+            ],
+        )
+        assert code == 0
+        (sol,) = json.loads(out)["solutions"]
+        assert sol["config"]["kernel"] == "batched"
+
+    def test_unknown_solver_exits_2_with_suggestion(self, capsys):
+        code, _, err = _run(capsys, ["solve", *TINY, "--solver", "ide-g"])
+        assert code == 2
+        assert "did you mean 'idde-g'" in err
+
+
+class TestTheoryAndGap:
+    def test_theory(self, capsys):
+        code, out, _ = _run(capsys, ["theory", *TINY])
+        assert code == 0
+        assert "Theorem 4" in out and "PoA" in out
+
+    def test_gap(self, capsys):
+        code, out, _ = _run(capsys, ["gap", *TINY, "--trials", "1"])
+        assert code == 0
+        assert "mean gap" in out
+
+
+class TestTrace:
+    @pytest.fixture()
+    def trace_path(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        code, _, _ = _run(
+            capsys, ["solve", *TINY, "--solver", "idde-g", "--trace", str(path)]
+        )
+        assert code == 0
+        return path
+
+    def test_summarize_text(self, capsys, trace_path):
+        code, out, _ = _run(capsys, ["trace", "summarize", str(trace_path)])
+        assert code == 0
+        assert TRACE_SCHEMA in out
+        assert "game.run" in out
+
+    def test_summarize_json(self, capsys, trace_path):
+        code, out, _ = _run(
+            capsys, ["trace", "summarize", str(trace_path), "--format", "json"]
+        )
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["schema"] == TRACE_SCHEMA
+        assert summary["n_spans"] > 0
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        code, _, err = _run(
+            capsys, ["trace", "summarize", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "error" in err

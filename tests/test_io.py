@@ -83,3 +83,39 @@ class TestStrategyRoundTrip:
         path = save_instance(small_instance, tmp_path / "inst.npz")
         with pytest.raises(DatasetError):
             load_strategy(path)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        from repro.io import load_jsonl, save_jsonl
+
+        records = [{"kind": "a", "x": 1}, {"kind": "b", "nested": {"y": [1, 2]}}]
+        path = save_jsonl(records, tmp_path / "r.jsonl")
+        assert load_jsonl(path) == records
+        # One compact object per line, trailing newline.
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert len(text.splitlines()) == 2
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        from repro.io import load_jsonl
+
+        assert load_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_errors(self, tmp_path):
+        from repro.io import load_jsonl, save_jsonl
+
+        with pytest.raises(DatasetError):
+            save_jsonl([["not", "a", "dict"]], tmp_path / "bad.jsonl")
+        with pytest.raises(DatasetError):
+            load_jsonl(tmp_path / "missing.jsonl")
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(DatasetError, match=":2"):
+            load_jsonl(corrupt)
+        nonobj = tmp_path / "nonobj.jsonl"
+        nonobj.write_text("[1, 2]\n")
+        with pytest.raises(DatasetError):
+            load_jsonl(nonobj)
