@@ -54,6 +54,35 @@ class Baseline:
         return sum(self.counts.values())
 
     # ------------------------------------------------------------------
+    # shrink-only policy
+    # ------------------------------------------------------------------
+    def stale_entries(self, findings: Iterable[Finding]) -> Counter[str]:
+        """Fingerprint -> excess count no longer present in ``findings``.
+
+        A baseline entry is *stale* when its recorded count exceeds the
+        number of matching findings in the current tree: the violation was
+        (at least partly) fixed, so the baseline must shrink to match.
+        ``idde lint --check-baseline`` fails while any entry is stale;
+        ``--prune-baseline`` clamps the counts.
+        """
+        current = Counter(f.fingerprint for f in findings)
+        stale: Counter[str] = Counter()
+        for fp, n in self.counts.items():
+            excess = n - current.get(fp, 0)
+            if excess > 0:
+                stale[fp] = excess
+        return stale
+
+    def pruned(self, findings: Iterable[Finding]) -> "Baseline":
+        """A copy with every count clamped to its current occurrence count
+        (entries for fully fixed violations disappear).  Never grows."""
+        current = Counter(f.fingerprint for f in findings)
+        clamped = Counter(
+            {fp: min(n, current[fp]) for fp, n in self.counts.items() if current[fp] > 0}
+        )
+        return Baseline(counts=clamped)
+
+    # ------------------------------------------------------------------
     # (de)serialisation
     # ------------------------------------------------------------------
     def to_json(self) -> str:

@@ -1,7 +1,17 @@
-"""Lint engine: file discovery, parsing, suppression, baseline filtering.
+"""Lint engine: file discovery, parsing, suppression, caching, baselines.
 
 The engine is deliberately dependency-free (stdlib ``ast`` only) so it can
 run in CI images that install nothing beyond the package itself.
+
+Two rule passes run per lint (see :mod:`repro.analysis.registry`): the
+per-file pass hands each parsed file to every ``scope="file"`` rule, then
+the project pass builds one :class:`~repro.analysis.semantic.project.
+Project` (symbol table + call graph) over *all* parsed files and hands it
+to every ``scope="project"`` rule.  Findings from both passes respect
+``# idde: noqa[...]`` comments anywhere on the owning *statement's* line
+span — a suppression on the closing line of a wrapped call works — and
+can be served from the on-disk incremental cache
+(:mod:`repro.analysis.semantic.cache`) when file contents are unchanged.
 """
 
 from __future__ import annotations
@@ -10,11 +20,14 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from .baseline import Baseline
 from .findings import Finding
-from .registry import RULES
+from .registry import RULES, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .semantic.cache import LintCache
 
 __all__ = ["FileContext", "iter_python_files", "lint_paths", "lint_source"]
 
@@ -33,6 +46,7 @@ class FileContext:
     source: str
     tree: ast.Module
     lines: list[str] = field(default_factory=list)
+    _stmt_spans: list[tuple[int, int]] | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -87,6 +101,41 @@ class FileContext:
             path=self.path, line=line, col=col, code=code, message=message, snippet=snippet
         )
 
+    # ------------------------------------------------------------------
+    # suppression spans
+    # ------------------------------------------------------------------
+    def _effective_span(self, stmt: ast.stmt) -> tuple[int, int]:
+        """The line range a noqa comment for this statement may live on.
+
+        Simple statements span all their physical lines.  Compound
+        statements (defs, ifs, loops...) span only their *header* — from
+        the keyword line to the line before the first body statement — so
+        a noqa inside a function body never suppresses a finding on the
+        ``def`` line itself.
+        """
+        start = stmt.lineno
+        end = getattr(stmt, "end_lineno", None) or start
+        body = getattr(stmt, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            first = body[0].lineno
+            end = first - 1 if first > start else start
+        return start, max(start, end)
+
+    def suppression_span(self, line: int) -> tuple[int, int]:
+        """Line span of the innermost statement containing ``line``."""
+        if self._stmt_spans is None:
+            self._stmt_spans = [
+                self._effective_span(node)
+                for node in ast.walk(self.tree)
+                if isinstance(node, ast.stmt)
+            ]
+        best: tuple[int, int] | None = None
+        for start, end in self._stmt_spans:
+            if start <= line <= end:
+                if best is None or (end - start) < (best[1] - best[0]):
+                    best = (start, end)
+        return best if best is not None else (line, line)
+
 
 def parse_noqa(lines: Sequence[str]) -> dict[int, set[str]]:
     """Per-line suppression map: line number -> codes (or ``{"*"}``)."""
@@ -105,11 +154,66 @@ def parse_noqa(lines: Sequence[str]) -> dict[int, set[str]]:
     return out
 
 
-def _suppressed(finding: Finding, noqa: dict[int, set[str]]) -> bool:
-    codes = noqa.get(finding.line)
-    if not codes:
+def _suppressed(finding: Finding, noqa: dict[int, set[str]], ctx: FileContext) -> bool:
+    """Whether a noqa comment on the owning statement covers this finding.
+
+    Matches against every line of the innermost enclosing statement's
+    span, so a comment on the closing line of a wrapped call/def works.
+    """
+    if not noqa:
         return False
-    return _ALL in codes or finding.code in codes
+    start, end = ctx.suppression_span(finding.line)
+    for line in range(start, end + 1):
+        codes = noqa.get(line)
+        if codes and (_ALL in codes or finding.code in codes):
+            return True
+    return False
+
+
+def _selected_rules(rules: Iterable[str] | None) -> list[Rule]:
+    return list(RULES.values()) if rules is None else [RULES[name] for name in rules]
+
+
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=exc.lineno or 1,
+        col=exc.offset or 0,
+        code="IDDE000",
+        message=f"syntax error prevents analysis: {exc.msg}",
+    )
+
+
+def _run_file_rules(
+    ctx: FileContext, rules: list[Rule], noqa: dict[int, set[str]]
+) -> list[Finding]:
+    found: list[Finding] = []
+    for r in rules:
+        for f in r.func(ctx):
+            if not _suppressed(f, noqa, ctx):
+                found.append(f)
+    return found
+
+
+def _run_project_rules(
+    contexts: list[FileContext],
+    rules: list[Rule],
+    noqa_maps: dict[str, dict[int, set[str]]],
+) -> list[Finding]:
+    if not rules or not contexts:
+        return []
+    from .semantic.project import Project
+
+    project = Project.build(contexts)
+    by_path = {ctx.path: ctx for ctx in contexts}
+    found: list[Finding] = []
+    for r in rules:
+        for f in r.func(project):
+            ctx = by_path.get(f.path)
+            noqa = noqa_maps.get(f.path, {})
+            if ctx is None or not _suppressed(f, noqa, ctx):
+                found.append(f)
+    return found
 
 
 def lint_source(
@@ -120,30 +224,26 @@ def lint_source(
 ) -> list[Finding]:
     """Lint one source string; ``path`` drives layer-scoped rules.
 
-    ``rules`` optionally restricts the run to the named rules.  Syntax
-    errors are reported as an ``IDDE000`` finding rather than raised, so a
-    broken file cannot crash a whole-tree lint.
+    Both rule scopes run: project rules see a single-module project, so
+    purely-local interprocedural violations (a module-global generator, a
+    frozen instance aliased into a mutating function in the same file)
+    are still caught.  Syntax errors are reported as an ``IDDE000``
+    finding rather than raised, so a broken file cannot crash a whole-tree
+    lint.
     """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                code="IDDE000",
-                message=f"syntax error prevents analysis: {exc.msg}",
-            )
-        ]
+        return [_syntax_finding(path, exc)]
     ctx = FileContext(path=path, source=source, tree=tree)
-    selected = RULES.values() if rules is None else [RULES[name] for name in rules]
+    selected = _selected_rules(rules)
     noqa = parse_noqa(ctx.lines)
-    found: list[Finding] = []
-    for r in selected:
-        for f in r.func(ctx):
-            if not _suppressed(f, noqa):
-                found.append(f)
+    found = _run_file_rules(ctx, [r for r in selected if r.scope == "file"], noqa)
+    found.extend(
+        _run_project_rules(
+            [ctx], [r for r in selected if r.scope == "project"], {ctx.path: noqa}
+        )
+    )
     return sorted(found)
 
 
@@ -188,16 +288,77 @@ def lint_paths(
     *,
     baseline: Baseline | None = None,
     rules: Iterable[str] | None = None,
+    cache: "LintCache | str | Path | None" = None,
 ) -> list[Finding]:
     """Lint every Python file under ``paths``, returning new findings.
 
     Findings matching ``baseline`` (by fingerprint, count-aware) are
-    filtered out; the remainder is sorted by location.
+    filtered out; the remainder is sorted by location.  With ``cache``
+    (a path or a loaded :class:`~repro.analysis.semantic.cache.LintCache`),
+    unchanged files reuse their per-file findings and an unchanged *tree*
+    reuses the whole interprocedural pass; the updated cache document is
+    written back afterwards.  Restricting ``rules`` bypasses the cache —
+    cached findings always reflect the full rule set.
     """
-    found: list[Finding] = []
+    from .semantic.cache import LintCache, content_hash
+
+    if cache is not None and not isinstance(cache, LintCache):
+        cache = LintCache.load(cache)
+    use_cache = cache if rules is None else None
+
+    sources: list[tuple[str, str]] = []
     for file in iter_python_files(paths):
-        source = file.read_text(encoding="utf-8")
-        found.extend(lint_source(source, path=_display_path(file), rules=rules))
+        sources.append((_display_path(file), file.read_text(encoding="utf-8")))
+
+    selected = _selected_rules(rules)
+    file_rules = [r for r in selected if r.scope == "file"]
+    project_rules = [r for r in selected if r.scope == "project"]
+
+    digests = {path: content_hash(src) for path, src in sources}
+    tree_digest = LintCache.tree_hash(digests)
+    project_cached = use_cache.get_project(tree_digest) if use_cache else None
+
+    found: list[Finding] = []
+    contexts: list[FileContext] = []
+    noqa_maps: dict[str, dict[int, set[str]]] = {}
+    need_project = project_cached is None and bool(project_rules)
+
+    for path, source in sources:
+        cached = use_cache.get_file(path, digests[path]) if use_cache else None
+        if cached is not None and not need_project:
+            found.extend(cached)
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            file_found = [_syntax_finding(path, exc)]
+            found.extend(file_found)
+            if use_cache:
+                use_cache.put_file(path, digests[path], file_found)
+            continue
+        ctx = FileContext(path=path, source=source, tree=tree)
+        contexts.append(ctx)
+        noqa_maps[path] = parse_noqa(ctx.lines)
+        if cached is not None:
+            found.extend(cached)
+            continue
+        file_found = _run_file_rules(ctx, file_rules, noqa_maps[path])
+        found.extend(file_found)
+        if use_cache:
+            use_cache.put_file(path, digests[path], file_found)
+
+    if project_cached is not None:
+        found.extend(project_cached)
+    elif project_rules:
+        project_found = _run_project_rules(contexts, project_rules, noqa_maps)
+        found.extend(project_found)
+        if use_cache:
+            use_cache.put_project(tree_digest, project_found)
+
+    if use_cache:
+        use_cache.prune(set(digests))
+        use_cache.save()
+
     if baseline is not None:
         found = baseline.filter(found)
     return sorted(found)

@@ -1,18 +1,35 @@
 """Rule registry: every lint rule registers itself via the :func:`rule`
-decorator so the engine, the CLI ``--list-rules`` output and the docs test
-all see one authoritative table.
+decorator so the engine, the CLI ``--list-rules``/``--explain`` output and
+the docs drift test all see one authoritative table.
+
+Rules come in two scopes:
+
+* ``"file"`` — the function receives one :class:`~repro.analysis.engine.
+  FileContext` and is called once per linted file (IDDE001–IDDE009);
+* ``"project"`` — the function receives one :class:`~repro.analysis.
+  semantic.project.Project` built over *every* linted file and is called
+  once per run (the interprocedural families IDDE010–IDDE013).
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .engine import FileContext
     from .findings import Finding
+    from .semantic.project import Project
 
-RuleFunc = Callable[["FileContext"], Iterator["Finding"]]
+FileRuleFunc = Callable[["FileContext"], Iterator["Finding"]]
+ProjectRuleFunc = Callable[["Project"], Iterator["Finding"]]
+RuleFunc = FileRuleFunc  # backwards-compatible alias
+
+SCOPES = ("file", "project")
+
+_EMPTY_EXPLAIN: Mapping[str, str] = MappingProxyType({})
 
 
 @dataclass(frozen=True)
@@ -22,21 +39,38 @@ class Rule:
     name: str
     codes: tuple[str, ...]
     summary: str
-    func: RuleFunc = field(repr=False)
+    func: Callable = field(repr=False)
+    scope: str = "file"
+    #: optional per-code long-form documentation for ``--explain``
+    explain: Mapping[str, str] = field(
+        default_factory=lambda: _EMPTY_EXPLAIN, repr=False
+    )
 
 
 #: Registry of all rules, keyed by rule name, in registration order.
 RULES: dict[str, Rule] = {}
 
 
-def rule(name: str, codes: Iterable[str], summary: str) -> Callable[[RuleFunc], RuleFunc]:
+def rule(
+    name: str,
+    codes: Iterable[str],
+    summary: str,
+    *,
+    scope: str = "file",
+    explain: Mapping[str, str] | None = None,
+) -> Callable[[Callable], Callable]:
     """Register a rule function under ``name`` emitting ``codes``.
 
     Codes must be globally unique across rules (``IDDE001``-style) — the
-    suppression and baseline machinery is code-keyed.
+    suppression and baseline machinery is code-keyed.  ``scope`` selects
+    the engine pass the rule runs in; ``explain`` optionally maps each
+    code to the long-form text ``idde lint --explain CODE`` prints (the
+    rule module's docstring is the fallback).
     """
+    if scope not in SCOPES:
+        raise ValueError(f"rule {name!r} has unknown scope {scope!r}; use one of {SCOPES}")
 
-    def decorate(func: RuleFunc) -> RuleFunc:
+    def decorate(func: Callable) -> Callable:
         codes_t = tuple(codes)
         if name in RULES:
             raise ValueError(f"duplicate rule name {name!r}")
@@ -44,12 +78,54 @@ def rule(name: str, codes: Iterable[str], summary: str) -> Callable[[RuleFunc], 
         dup = taken.intersection(codes_t)
         if dup:
             raise ValueError(f"rule {name!r} reuses codes {sorted(dup)}")
-        RULES[name] = Rule(name=name, codes=codes_t, summary=summary, func=func)
+        RULES[name] = Rule(
+            name=name,
+            codes=codes_t,
+            summary=summary,
+            func=func,
+            scope=scope,
+            explain=MappingProxyType(dict(explain)) if explain else _EMPTY_EXPLAIN,
+        )
         return func
 
     return decorate
 
 
+def file_rules() -> list[Rule]:
+    return [r for r in RULES.values() if r.scope == "file"]
+
+
+def project_rules() -> list[Rule]:
+    return [r for r in RULES.values() if r.scope == "project"]
+
+
 def all_codes() -> list[str]:
     """Every registered rule code, sorted."""
     return sorted(c for r in RULES.values() for c in r.codes)
+
+
+def rule_for_code(code: str) -> Rule | None:
+    """The rule owning ``code`` (``IDDE0NN``), or ``None``."""
+    code = code.strip().upper()
+    for r in RULES.values():
+        if code in r.codes:
+            return r
+    return None
+
+
+def explain_code(code: str) -> str | None:
+    """Long-form documentation for one code, for ``--explain``.
+
+    Prefers the rule's per-code ``explain`` text; falls back to the rule
+    module's docstring, which documents every code the module emits.
+    """
+    r = rule_for_code(code)
+    if r is None:
+        return None
+    code = code.strip().upper()
+    header = f"{code} [{r.name}, scope={r.scope}] — {r.summary}"
+    body = r.explain.get(code)
+    if body is None:
+        mod = sys.modules.get(r.func.__module__)
+        body = (mod.__doc__ or "").strip() if mod else ""
+    return f"{header}\n\n{body.strip()}" if body else header

@@ -9,7 +9,19 @@ from typing import Iterable, Sequence
 from .findings import Finding
 from .registry import RULES
 
-__all__ = ["render_text", "render_json", "render_rule_table"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_rule_table",
+    "render_rule_catalog_md",
+    "doc_catalog_problems",
+    "CATALOG_BEGIN",
+    "CATALOG_END",
+]
+
+#: Markers delimiting the generated rule catalog in docs/STATIC_ANALYSIS.md.
+CATALOG_BEGIN = "<!-- BEGIN RULE CATALOG (generated: idde lint --doc-check) -->"
+CATALOG_END = "<!-- END RULE CATALOG -->"
 
 
 def render_text(findings: Sequence[Finding], *, baselined: int = 0) -> str:
@@ -48,4 +60,54 @@ def render_json(findings: Sequence[Finding], *, baselined: int = 0) -> str:
 def render_rule_table(names: Iterable[str] | None = None) -> str:
     """``--list-rules`` output: one line per registered rule."""
     rules = RULES.values() if names is None else [RULES[n] for n in names]
-    return "\n".join(f"{', '.join(r.codes):<18} {r.name:<20} {r.summary}" for r in rules)
+    return "\n".join(
+        f"{', '.join(r.codes):<18} {r.name:<18} {r.scope:<8} {r.summary}"
+        for r in rules
+    )
+
+
+def render_rule_catalog_md() -> str:
+    """The generated markdown rule-catalog table for the docs.
+
+    The exact text between :data:`CATALOG_BEGIN` and :data:`CATALOG_END` in
+    ``docs/STATIC_ANALYSIS.md`` — regenerate with ``idde lint --doc-check
+    --format json`` output or by pasting this function's result.
+    """
+    lines = [
+        "| codes | rule | scope | summary |",
+        "|---|---|---|---|",
+    ]
+    for r in RULES.values():
+        codes = ", ".join(r.codes)
+        lines.append(f"| {codes} | {r.name} | {r.scope} | {r.summary} |")
+    return "\n".join(lines)
+
+
+def doc_catalog_problems(doc_text: str) -> list[str]:
+    """Drift problems between the docs and the live registry, if any.
+
+    Checks that the generated catalog block exists and matches
+    :func:`render_rule_catalog_md` exactly, and that every registered code
+    has a ``### IDDE0NN`` section.  Returns human-readable problem strings;
+    empty means the docs are in sync.
+    """
+    problems: list[str] = []
+    begin = doc_text.find(CATALOG_BEGIN)
+    end = doc_text.find(CATALOG_END)
+    if begin == -1 or end == -1 or end < begin:
+        problems.append(
+            f"missing catalog markers {CATALOG_BEGIN!r} / {CATALOG_END!r}"
+        )
+    else:
+        block = doc_text[begin + len(CATALOG_BEGIN) : end].strip()
+        expected = render_rule_catalog_md()
+        if block != expected:
+            problems.append(
+                "rule catalog is out of date; regenerate it from "
+                "repro.analysis.report.render_rule_catalog_md()"
+            )
+    for r in RULES.values():
+        for code in r.codes:
+            if f"### {code}" not in doc_text:
+                problems.append(f"no '### {code}' section documents {code}")
+    return problems

@@ -1,6 +1,10 @@
 """Built-in lint rules.  Importing this package registers every rule with
 :mod:`repro.analysis.registry`; add new rule modules to the import list
 below and document their codes in ``docs/STATIC_ANALYSIS.md``.
+
+The first six modules are per-file (``scope="file"``); the last four are
+the interprocedural families built on :mod:`repro.analysis.semantic`
+(``scope="project"``).
 """
 
 from __future__ import annotations
@@ -8,17 +12,25 @@ from __future__ import annotations
 from . import (  # noqa: F401  (imported for registration side effects)
     determinism,
     float_equality,
+    frozen_flow,
     frozen_mutation,
     layering,
+    parallel_safety,
     rng_discipline,
+    rng_flow,
+    unit_flow,
     unit_honesty,
 )
 
 __all__ = [
     "determinism",
     "float_equality",
+    "frozen_flow",
     "frozen_mutation",
     "layering",
+    "parallel_safety",
     "rng_discipline",
+    "rng_flow",
+    "unit_flow",
     "unit_honesty",
 ]

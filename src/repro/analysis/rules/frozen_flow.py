@@ -1,0 +1,118 @@
+"""IDDE013 — interprocedural escape of frozen value objects.
+
+The per-file IDDE005 check flags mutation of a frozen instance *where the
+instance is visibly frozen* (constructed in the same function from a known
+frozen class).  The blind spot is aliasing: pass that instance into a
+helper whose parameter is untyped and the helper's ``item.attr = ...``
+looks like an innocent mutation of some mutable record.  This rule closes
+the gap at the *call site*: for every function whose body assigns to an
+attribute of one of its parameters (outside ``__post_init__``), every
+project-wide call that binds a known-frozen instance to that parameter is
+flagged.  The mutation itself would raise ``FrozenInstanceError`` at
+runtime — the lint catches it before an experiment burns minutes getting
+there.
+
+Frozen-ness comes from the symbol table (``@dataclass(frozen=True)``
+anywhere in the linted tree); argument types come from constructor
+assignments and annotations in the caller.  The blessed alternative is for
+the callee to return a new instance built with ``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import rule
+from ..semantic.callgraph import local_types, own_body
+from ..semantic.project import Project
+from ..semantic.symbols import FunctionInfo
+from ._ast_util import dotted_name
+
+
+def _mutated_params(fn: FunctionInfo) -> set[str]:
+    """Parameters of ``fn`` that its own body mutates via attribute store."""
+    if fn.name == "__post_init__":
+        return set()
+    params = {p for p in fn.params if p not in ("self", "cls")}
+    out: set[str] = set()
+    for node in own_body(fn.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for t in targets:
+            if (
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id in params
+            ):
+                out.add(t.value.id)
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("setattr", "object.__setattr__") and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Name) and first.id in params:
+                    out.add(first.id)
+    return out
+
+
+@rule(
+    "frozen-flow",
+    ["IDDE013"],
+    "frozen dataclass instances must not be aliased into callees that "
+    "mutate the bound parameter",
+    scope="project",
+    explain={
+        "IDDE013": (
+            "An interprocedural escape check for frozen value objects. For "
+            "every function that assigns to an attribute of one of its "
+            "parameters (or setattr's it) outside __post_init__, each call "
+            "site in the project that binds a known-frozen dataclass "
+            "instance to that parameter is flagged — the mutation would "
+            "raise FrozenInstanceError at runtime, typically deep inside an "
+            "experiment. Argument types are inferred from constructor "
+            "assignments and annotations in the caller; unresolvable types "
+            "are ignored. Have the callee build and return a new instance "
+            "with dataclasses.replace instead."
+        )
+    },
+)
+def check_frozen_flow(project: Project) -> Iterator[Finding]:
+    frozen = set(project.symbols.frozen_classes())
+    if not frozen:
+        return
+    mutated_cache: dict[str, set[str]] = {}
+
+    for fn in project.functions():
+        types = None  # computed lazily: most functions have no such call
+        for site in project.graph.sites_in(fn.qname):
+            if not site.resolved:
+                continue
+            callee = project.symbols.function(site.callee)
+            if callee is None:
+                continue
+            if callee.qname not in mutated_cache:
+                mutated_cache[callee.qname] = _mutated_params(callee)
+            mutated = mutated_cache[callee.qname]
+            if not mutated:
+                continue
+            if types is None:
+                types = local_types(fn, project.symbols)
+            for pname, arg in callee.bind_args(site.node).items():
+                if pname not in mutated or not isinstance(arg, ast.Name):
+                    continue
+                cls_q = types.get(arg.id)
+                if cls_q in frozen:
+                    cls_name = cls_q.rsplit(".", 1)[-1]
+                    yield project.finding(
+                        site.path,
+                        site.node,
+                        "IDDE013",
+                        f"frozen '{cls_name}' instance '{arg.id}' aliased into "
+                        f"'{callee.name}', which assigns to parameter "
+                        f"'{pname}'; this raises FrozenInstanceError at "
+                        "runtime — return a dataclasses.replace copy instead",
+                    )

@@ -14,7 +14,11 @@ solution methods:
 * ``obs/`` must not import any domain layer — ``core``, ``radio``,
   ``solvers``, ``baselines``, ``datasets``, ``topology``, ``bench``,
   ``experiments``, ``viz``, ``cli`` (the tracing substrate sits below
-  everything it observes; only ``io``/``units``/``errors`` are beneath it).
+  everything it observes; only ``io``/``units``/``errors`` are beneath it);
+* ``analysis/`` must not import any domain layer either — the linter
+  reasons *about* the codebase syntactically and must never execute it;
+  only the convention modules (``units``, ``parallel``) and ``errors``
+  are fair game.
 
 Both absolute (``repro.experiments``) and relative (``..experiments``)
 imports are resolved before checking.
@@ -48,6 +52,22 @@ FORBIDDEN: dict[str, frozenset[str]] = {
             "experiments",
             "viz",
             "cli",
+        }
+    ),
+    "analysis": frozenset(
+        {
+            "core",
+            "radio",
+            "solvers",
+            "baselines",
+            "datasets",
+            "topology",
+            "bench",
+            "experiments",
+            "viz",
+            "cli",
+            "dynamics",
+            "obs",
         }
     ),
 }

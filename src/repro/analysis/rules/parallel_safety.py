@@ -1,0 +1,219 @@
+"""IDDE012 — parallel-safety of fan-out workers.
+
+``parallel_map`` may cross a process boundary: the worker callable is
+pickled, runs in a child, and any state it mutates dies with that child.
+This rule resolves the worker argument of every fan-out call site
+(:data:`repro.parallel.pool.PARALLEL_ENTRY_POINTS`) through the symbol
+table and flags:
+
+* **unpicklable workers** — lambdas and nested (closure) functions cannot
+  cross a process boundary at all;
+* **module-state writes** — a worker using ``global`` to rebind, or
+  mutating a module-level container (``RESULTS.append(...)``,
+  ``CACHE[k] = v``): the write lands in the child's copy and silently
+  vanishes from the parent;
+* **captured tracers** — a worker touching a module-level tracer/observer
+  instance: events recorded in the child never reach the parent's sink.
+
+Workers that only *read* module constants, or that communicate purely via
+arguments and return values, pass.  Unresolvable worker references (e.g.
+a callable parameter) are conservatively ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.parallel.pool import PARALLEL_ENTRY_POINTS
+
+from ..findings import Finding
+from ..registry import rule
+from ..semantic.project import Project
+from ..semantic.symbols import LOCALS_MARK, FunctionInfo, ModuleInfo
+from ._ast_util import dotted_name
+
+#: Container methods that mutate the receiver in place.
+_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+}
+
+#: Constructors whose module-level result is an observer/tracer handle.
+_TRACER_FACTORIES = {"ensure_tracer", "Tracer", "JsonlTracer", "start_tracer"}
+
+
+def _module_mutables(mod: ModuleInfo) -> set[str]:
+    """Module-level names bound to (likely) mutable containers."""
+    out: set[str] = set()
+    for name, expr in mod.assigns.items():
+        if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp)):
+            out.add(name)
+        elif isinstance(expr, ast.Call):
+            base = (dotted_name(expr.func) or "").rsplit(".", 1)[-1]
+            if base in {"list", "dict", "set", "defaultdict", "deque", "Counter"}:
+                out.add(name)
+    return out
+
+
+def _module_tracers(mod: ModuleInfo) -> set[str]:
+    out: set[str] = set()
+    for name, expr in mod.assigns.items():
+        if isinstance(expr, ast.Call):
+            base = (dotted_name(expr.func) or "").rsplit(".", 1)[-1]
+            if base in _TRACER_FACTORIES:
+                out.add(name)
+    return out
+
+
+def _local_names(fn: FunctionInfo) -> set[str]:
+    """Names shadowed inside the worker (params + local bindings)."""
+    names = set(fn.params)
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for t in ast.walk(node.target):
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        elif isinstance(node, ast.Global):
+            names.difference_update(node.names)  # explicitly module-scoped
+    return names
+
+
+def _worker_findings(
+    project: Project, worker: FunctionInfo
+) -> Iterator[tuple[ast.AST, str]]:
+    mod = project.symbols.modules.get(worker.module)
+    if mod is None:
+        return
+    mutables = _module_mutables(mod)
+    tracers = _module_tracers(mod)
+    locals_ = _local_names(worker)
+    globals_declared: set[str] = set()
+
+    for node in ast.walk(worker.node):
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+
+    for node in ast.walk(worker.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                if isinstance(t, ast.Name) and t.id in globals_declared:
+                    yield (
+                        node,
+                        f"worker '{worker.name}' rebinds module-global "
+                        f"'{t.id}'; the write stays in the child process",
+                    )
+                elif (
+                    isinstance(t, ast.Subscript)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id in mutables
+                    and t.value.id not in locals_
+                ):
+                    yield (
+                        node,
+                        f"worker '{worker.name}' stores into captured "
+                        f"module-level container '{t.value.id}'; results "
+                        "must travel via return values",
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            recv = node.func.value
+            if (
+                isinstance(recv, ast.Name)
+                and recv.id not in locals_
+                and node.func.attr in _MUTATORS
+                and recv.id in mutables
+            ):
+                yield (
+                    node,
+                    f"worker '{worker.name}' mutates captured module-level "
+                    f"container '{recv.id}.{node.func.attr}(...)'; the "
+                    "mutation is lost when the child exits",
+                )
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in tracers and node.id not in locals_:
+                yield (
+                    node,
+                    f"worker '{worker.name}' captures module-level tracer "
+                    f"'{node.id}'; events recorded in a child process never "
+                    "reach the parent's sink",
+                )
+
+
+@rule(
+    "parallel-safety",
+    ["IDDE012"],
+    "parallel_map workers must be picklable and must not write captured "
+    "module state or tracers",
+    scope="project",
+    explain={
+        "IDDE012": (
+            "Callables fanned out via repro.parallel.parallel_map may run "
+            "in worker processes: they are pickled by reference, so lambdas "
+            "and nested functions fail outright, and any module state they "
+            "mutate is a child-process copy whose changes are silently "
+            "discarded. Flagged are unpicklable worker references, 'global' "
+            "rebinding or container mutation of captured module-level "
+            "names, and capture of module-level tracer handles. Communicate "
+            "through arguments and return values only — parallel_map "
+            "preserves result order for exactly this reason."
+        )
+    },
+)
+def check_parallel_safety(project: Project) -> Iterator[Finding]:
+    from ..semantic.callgraph import resolve_callable_ref
+
+    seen_workers: set[str] = set()
+    for site in project.graph.sites:
+        idx = PARALLEL_ENTRY_POINTS.get(site.callee.rsplit(".", 1)[-1])
+        if idx is None or len(site.node.args) <= idx:
+            continue
+        ref = site.node.args[idx]
+        if isinstance(ref, ast.Lambda):
+            yield project.finding(
+                site.path,
+                ref,
+                "IDDE012",
+                "lambda passed to a parallel entry point cannot be pickled "
+                "for process fan-out; define a module-level function",
+            )
+            continue
+        caller = project.symbols.function(site.caller)
+        if caller is None:
+            continue
+        worker_q = resolve_callable_ref(caller, project.symbols, ref)
+        if worker_q is None:
+            continue
+        if LOCALS_MARK in worker_q:
+            name = worker_q.rsplit(".", 1)[-1]
+            yield project.finding(
+                site.path,
+                ref,
+                "IDDE012",
+                f"nested function '{name}' passed to a parallel entry point "
+                "captures its closure and cannot be pickled; hoist it to "
+                "module level",
+            )
+            continue
+        worker = project.symbols.function(worker_q)
+        if worker is None or worker.qname in seen_workers:
+            continue
+        seen_workers.add(worker.qname)
+        for node, message in _worker_findings(project, worker):
+            yield project.finding(worker.path, node, "IDDE012", message)

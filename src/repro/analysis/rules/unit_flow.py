@@ -1,0 +1,239 @@
+"""IDDE011 — unit dataflow.
+
+The per-file IDDE003/IDDE004 checks catch magic literals and one-line
+suffix mismatches; this rule *infers* unit tags (``s``, ``ms``, ``MB``,
+``B``, ``MB/s``, ``W``, ``dBm``) and propagates them through assignments,
+branches, returns and call boundaries using the dataflow interpreter over
+the project call graph.  Tags come from three sources, all declared in
+:mod:`repro.units`: parameter/variable name suffixes (``UNIT_SUFFIXES``),
+the converter signatures (``CONVERTER_UNITS``), and callee return
+summaries computed to fixpoint.  Flagged are:
+
+* **cross-unit arithmetic/comparison**: ``deadline_s - elapsed_ms``,
+  ``if latency_ms > timeout_s`` — adding or ordering values whose
+  inferred tags cannot agree;
+* **mis-tagged call arguments**: passing an ``s``-tagged value to a
+  parameter declared ``*_ms`` of a project function, or feeding a
+  converter a value already carrying its *output* unit
+  (``seconds_to_ms(x_ms)``);
+* **tag-dishonest returns**: a function whose name promises one unit
+  (``def latency_ms``) returning a value tagged with a conflicting one.
+
+Multiplication/division intentionally clear tags (unit algebra such as
+``MB / MBps -> s`` is out of scope), so rate conversions never false-fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.units import CONVERTER_UNITS, unit_for_name
+
+from ..findings import Finding
+from ..registry import rule
+from ..semantic.dataflow import NO_TAGS, TagInterpreter, fixpoint_summaries
+from ..semantic.project import Project
+from ..semantic.symbols import FunctionInfo
+
+#: Modules whose whole business is crossing units.
+_EXEMPT_MODULES = {"repro.units"}
+
+
+def _fmt(tags: frozenset) -> str:
+    return "/".join(sorted(tags))
+
+
+def _conflict(a: frozenset, b: frozenset) -> bool:
+    return bool(a) and bool(b) and not (a & b)
+
+
+def _name_tags(name: str) -> frozenset:
+    tag = unit_for_name(name)
+    return frozenset({tag}) if tag else NO_TAGS
+
+
+class _UnitInterp(TagInterpreter):
+    """One function's unit-tag interpretation.
+
+    With ``report=None`` the run only computes the return-tag summary (the
+    fixpoint phase); with a list it also appends ``(node, message)`` pairs
+    for every conflict observed (the reporting phase).
+    """
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        project: Project,
+        summaries: dict[str, frozenset],
+        report: list | None = None,
+    ) -> None:
+        super().__init__(fn)
+        self.project = project
+        self.summaries = summaries
+        self.report = report
+        self.sites = {id(s.node): s for s in project.graph.sites_in(fn.qname)}
+
+    def _emit(self, node: ast.AST, message: str) -> None:
+        if self.report is not None:
+            self.report.append((node, message))
+
+    # ------------------------------------------------------------------
+    def initial_env(self) -> dict[str, frozenset]:
+        return {p: _name_tags(p) for p in self.fn.params if unit_for_name(p)}
+
+    def eval_expr(self, node: ast.expr, env: dict[str, frozenset]) -> frozenset:
+        if isinstance(node, ast.Name):
+            return env[node.id] if node.id in env else _name_tags(node.id)
+        if isinstance(node, ast.Attribute):
+            self.eval_expr(node.value, env)
+            return _name_tags(node.attr)
+        if isinstance(node, ast.Constant):
+            return NO_TAGS
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.Compare):
+            tags = [self.eval_expr(node.left, env)]
+            tags.extend(self.eval_expr(c, env) for c in node.comparators)
+            for a, b in zip(tags, tags[1:]):
+                if _conflict(a, b):
+                    self._emit(
+                        node,
+                        f"comparison mixes units: {_fmt(a)} vs {_fmt(b)}; "
+                        "convert via repro.units first",
+                    )
+            return NO_TAGS
+        if isinstance(node, ast.BoolOp):
+            out = NO_TAGS
+            for v in node.values:
+                out = out | self.eval_expr(v, env)
+            return out
+        if isinstance(node, ast.IfExp):
+            self.eval_expr(node.test, env)
+            return self.eval_expr(node.body, env) | self.eval_expr(node.orelse, env)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval_expr(node.operand, env)
+        if isinstance(node, (ast.NamedExpr,)):
+            tags = self.eval_expr(node.value, env)
+            self._bind(node.target, tags, env)
+            return tags
+        # anything else: walk children so nested calls are still checked
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child, env)
+        return NO_TAGS
+
+    # ------------------------------------------------------------------
+    def _eval_binop(self, node: ast.BinOp, env: dict) -> frozenset:
+        left = self.eval_expr(node.left, env)
+        right = self.eval_expr(node.right, env)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if _conflict(left, right):
+                self._emit(
+                    node,
+                    f"arithmetic mixes units: {_fmt(left)} "
+                    f"{'+' if isinstance(node.op, ast.Add) else '-'} "
+                    f"{_fmt(right)}; convert via repro.units first",
+                )
+                return NO_TAGS
+            return left | right
+        return NO_TAGS  # *, /, ... change dimensions; out of scope
+
+    def _eval_call(self, node: ast.Call, env: dict) -> frozenset:
+        evaluated: dict[int, frozenset] = {}
+        for arg in node.args:
+            if not isinstance(arg, ast.Starred):
+                evaluated[id(arg)] = self.eval_expr(arg, env)
+        for kw in node.keywords:
+            evaluated[id(kw.value)] = self.eval_expr(kw.value, env)
+
+        site = self.sites.get(id(node))
+        callee = site.callee if site is not None else ""
+        base = callee.rsplit(".", 1)[-1]
+
+        if base in CONVERTER_UNITS:
+            inp, outp = CONVERTER_UNITS[base]
+            if node.args and not isinstance(node.args[0], ast.Starred):
+                got = evaluated.get(id(node.args[0]), NO_TAGS)
+                if _conflict(got, frozenset({inp})):
+                    self._emit(
+                        node,
+                        f"{base}() expects a {inp}-tagged value but receives "
+                        f"{_fmt(got)}",
+                    )
+            return frozenset({outp})
+
+        if site is not None and site.resolved:
+            info = self.project.symbols.function(site.callee)
+            if info is not None:
+                for pname, arg in info.bind_args(node).items():
+                    want = _name_tags(pname)
+                    got = evaluated.get(id(arg), NO_TAGS)
+                    if _conflict(got, want):
+                        self._emit(
+                            arg,
+                            f"argument tagged {_fmt(got)} bound to parameter "
+                            f"'{pname}' of {info.name}() which declares "
+                            f"{_fmt(want)}",
+                        )
+                return self.summaries.get(site.callee, NO_TAGS)
+
+        return _name_tags(base)
+
+    # ------------------------------------------------------------------
+    def on_return(self, node: ast.Return, tags: frozenset, env: dict) -> None:
+        want = _name_tags(self.fn.name)
+        if _conflict(tags, want):
+            self._emit(
+                node,
+                f"'{self.fn.name}' promises {_fmt(want)} by name but returns "
+                f"a {_fmt(tags)}-tagged value",
+            )
+
+
+def _return_summaries(project: Project) -> dict[str, frozenset]:
+    functions = {fn.qname: fn for fn in project.functions()}
+
+    def analyze(fn: FunctionInfo, summaries: dict[str, frozenset]) -> frozenset:
+        tags = _UnitInterp(fn, project, summaries).run()
+        return tags if tags else _name_tags(fn.name)
+
+    return project.shared(
+        "unit_flow.summaries",
+        lambda: fixpoint_summaries(
+            functions, project.graph, analyze, initial=lambda fn: _name_tags(fn.name)
+        ),
+    )  # type: ignore[return-value]
+
+
+@rule(
+    "unit-flow",
+    ["IDDE011"],
+    "inferred s/ms/MB/MB-per-s tags must agree across arithmetic, "
+    "call boundaries and returns",
+    scope="project",
+    explain={
+        "IDDE011": (
+            "Unit tags are inferred from name suffixes (repro.units."
+            "UNIT_SUFFIXES), converter signatures (CONVERTER_UNITS) and "
+            "callee return summaries, then propagated through assignments, "
+            "branches and the call graph to fixpoint. Adding/subtracting/"
+            "comparing values with disagreeing tags, binding a mis-tagged "
+            "argument to a unit-suffixed parameter, feeding a converter the "
+            "wrong unit, or returning a tag that contradicts the function's "
+            "own name suffix are all flagged. Multiplication and division "
+            "clear tags, so rate algebra (size_mb / rate_mbps) is exempt."
+        )
+    },
+)
+def check_unit_flow(project: Project) -> Iterator[Finding]:
+    summaries = _return_summaries(project)
+    for fn in project.functions():
+        if fn.module in _EXEMPT_MODULES:
+            continue
+        report: list = []
+        _UnitInterp(fn, project, summaries, report=report).run()
+        for node, message in report:
+            yield project.finding(fn.path, node, "IDDE011", message)

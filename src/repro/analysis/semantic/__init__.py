@@ -1,0 +1,57 @@
+"""IDDE-Lint's whole-program layer: symbols, call graph, dataflow, cache.
+
+The per-file rules (IDDE001–IDDE009) see one AST at a time.  This
+subpackage provides the *project* view the interprocedural rule families
+(IDDE010–IDDE013) are built on:
+
+* :mod:`.symbols` — package-wide symbol table with aliased-import and
+  re-export resolution, classes (frozen-ness), methods, nested functions;
+* :mod:`.callgraph` — resolved call edges, including method calls on
+  locals with inferable types and references passed as callables;
+* :mod:`.dataflow` — a work-list fixpoint for per-function summaries plus
+  a structured abstract interpreter over tag-set lattices;
+* :mod:`.project` — the :class:`~repro.analysis.semantic.project.Project`
+  object handed to project-scoped rules;
+* :mod:`.cache` — the on-disk incremental cache keyed by content hashes
+  that keeps warm ``idde lint`` runs fast in CI.
+
+Everything is stdlib-``ast`` based: nothing is imported or executed, and
+unresolvable references degrade to "no finding", never to a crash.
+"""
+
+from __future__ import annotations
+
+from .cache import DEFAULT_CACHE_NAME, LintCache, content_hash, rules_signature
+from .callgraph import CallGraph, CallSite, build_call_graph, local_types, own_body
+from .dataflow import NO_TAGS, TagInterpreter, fixpoint_summaries
+from .project import Project
+from .symbols import (
+    LOCALS_MARK,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+    module_name_for,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "DEFAULT_CACHE_NAME",
+    "FunctionInfo",
+    "LintCache",
+    "LOCALS_MARK",
+    "ModuleInfo",
+    "NO_TAGS",
+    "Project",
+    "SymbolTable",
+    "TagInterpreter",
+    "build_call_graph",
+    "content_hash",
+    "fixpoint_summaries",
+    "local_types",
+    "module_name_for",
+    "own_body",
+    "rules_signature",
+]

@@ -1,0 +1,149 @@
+"""On-disk incremental cache for lint runs, keyed by file content hash.
+
+The cache document stores, per file, the content hash and the per-file
+findings produced last run, plus one *project* entry keyed by the hash of
+every ``(path, content-hash)`` pair: the interprocedural findings are only
+valid for an exact tree state, so any changed/added/removed file re-runs
+the semantic pass while untouched files still skip their per-file rules.
+
+Entries are invalidated wholesale when the *rule signature* (registered
+rule names, codes and scopes, plus a format version) changes, so editing
+a rule never serves stale findings.  Cache files are an optimisation
+only: corrupt or unreadable documents are ignored, never fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..findings import Finding
+
+__all__ = ["LintCache", "DEFAULT_CACHE_NAME", "content_hash", "rules_signature"]
+
+DEFAULT_CACHE_NAME = ".idde-lint-cache.json"
+
+#: Bump when the cache layout (not the rules) changes incompatibly.
+_FORMAT = 2
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:24]
+
+
+def rules_signature() -> str:
+    """A fingerprint of the registered rule set (names, codes, scopes)."""
+    from ..registry import RULES
+
+    spec = ";".join(
+        f"{r.name}:{','.join(r.codes)}:{r.scope}" for r in RULES.values()
+    )
+    return hashlib.sha256(f"v{_FORMAT}|{spec}".encode("utf-8")).hexdigest()[:24]
+
+
+def _findings_to_json(findings: list[Finding]) -> list[dict[str, object]]:
+    return [f.to_dict() for f in findings]
+
+
+def _findings_from_json(entries: object) -> list[Finding]:
+    out: list[Finding] = []
+    if not isinstance(entries, list):
+        return out
+    for e in entries:
+        out.append(
+            Finding(
+                path=str(e["path"]),
+                line=int(e["line"]),
+                col=int(e["col"]),
+                code=str(e["code"]),
+                message=str(e["message"]),
+                snippet=str(e.get("snippet", "")),
+            )
+        )
+    return out
+
+
+@dataclass
+class LintCache:
+    """One loaded cache document bound to its path."""
+
+    path: Path
+    signature: str = field(default_factory=rules_signature)
+    files: dict[str, dict] = field(default_factory=dict)
+    project: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    # ------------------------------------------------------------------
+    # load/save
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "LintCache":
+        path = Path(path)
+        cache = cls(path=path)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(doc, dict) or doc.get("signature") != cache.signature:
+            return cache  # rule set changed: start fresh
+        files = doc.get("files")
+        if isinstance(files, dict):
+            cache.files = files
+        project = doc.get("project")
+        if isinstance(project, dict):
+            cache.project = project
+        return cache
+
+    def save(self) -> None:
+        doc = {
+            "schema": "idde-lint-cache/1",
+            "signature": self.signature,
+            "files": self.files,
+            "project": self.project,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:  # read-only checkout: the cache is best-effort
+            pass
+
+    # ------------------------------------------------------------------
+    # per-file findings
+    # ------------------------------------------------------------------
+    def get_file(self, path: str, digest: str) -> list[Finding] | None:
+        entry = self.files.get(path)
+        if entry is None or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _findings_from_json(entry.get("findings"))
+
+    def put_file(self, path: str, digest: str, findings: list[Finding]) -> None:
+        self.files[path] = {"hash": digest, "findings": _findings_to_json(findings)}
+
+    # ------------------------------------------------------------------
+    # project (interprocedural) findings
+    # ------------------------------------------------------------------
+    @staticmethod
+    def tree_hash(digests: dict[str, str]) -> str:
+        joined = ";".join(f"{p}={h}" for p, h in sorted(digests.items()))
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:24]
+
+    def get_project(self, tree_digest: str) -> list[Finding] | None:
+        if self.project.get("hash") != tree_digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _findings_from_json(self.project.get("findings"))
+
+    def put_project(self, tree_digest: str, findings: list[Finding]) -> None:
+        self.project = {"hash": tree_digest, "findings": _findings_to_json(findings)}
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files no longer part of the linted tree."""
+        for stale in set(self.files) - live_paths:
+            del self.files[stale]

@@ -1,0 +1,276 @@
+"""Project call graph over the symbol table.
+
+Each function body is walked once (without descending into nested defs —
+those are nodes of their own); every ``ast.Call`` is resolved through the
+:class:`~repro.analysis.semantic.symbols.SymbolTable`:
+
+* bare names — local nested defs, module functions, import aliases;
+* dotted names — module-attribute chains through aliased imports and
+  re-exports (``core.IddeUGame(...)``);
+* ``self.method(...)`` — the enclosing class's method;
+* ``var.method(...)`` — methods on locals whose type is known from a
+  constructor assignment (``eng = SinrEngine(...)``) or an annotation.
+
+Calls that construct a known class resolve to the class qname (the edge
+target for ``__init__``-style reasoning); unresolvable calls keep their
+dotted spelling (``numpy.einsum``) with ``resolved=False`` so rules can
+still pattern-match external targets conservatively.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .symbols import LOCALS_MARK, FunctionInfo, SymbolTable
+
+__all__ = ["CallSite", "CallGraph", "build_call_graph", "local_types", "own_body"]
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    caller: str  #: qualified name of the enclosing function
+    callee: str  #: canonical qname (resolved) or dotted spelling (not)
+    node: ast.Call
+    path: str
+    resolved: bool = False
+    #: for ``var.method()`` calls: the receiver variable name, else None
+    receiver: str | None = None
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges plus every raw call site."""
+
+    sites: list[CallSite] = field(default_factory=list)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    reverse: dict[str, set[str]] = field(default_factory=dict)
+    _by_caller: dict[str, list[CallSite]] = field(default_factory=dict, repr=False)
+
+    def add(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self._by_caller.setdefault(site.caller, []).append(site)
+        if site.resolved:
+            self.edges.setdefault(site.caller, set()).add(site.callee)
+            self.reverse.setdefault(site.callee, set()).add(site.caller)
+
+    def callees(self, qname: str) -> set[str]:
+        return self.edges.get(qname, set())
+
+    def callers(self, qname: str) -> set[str]:
+        return self.reverse.get(qname, set())
+
+    def sites_in(self, qname: str) -> list[CallSite]:
+        return self._by_caller.get(qname, [])
+
+    def sites_calling(self, callee: str) -> Iterator[CallSite]:
+        for site in self.sites:
+            if site.callee == callee:
+                yield site
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        nodes = sorted(set(self.edges) | {c for cs in self.edges.values() for c in cs})
+        return {
+            "schema": "idde-callgraph/1",
+            "nodes": nodes,
+            "edges": [
+                {"from": src, "to": dst}
+                for src in sorted(self.edges)
+                for dst in sorted(self.edges[src])
+            ],
+            "unresolved_calls": sum(1 for s in self.sites if not s.resolved),
+        }
+
+    def to_dot(self) -> str:
+        lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box, fontsize=9];"]
+        for src in sorted(self.edges):
+            for dst in sorted(self.edges[src]):
+                lines.append(f'  "{src}" -> "{dst}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def own_body(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/lambdas."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    """The dotted class reference inside an annotation, unwrapping
+    ``Optional[X]``/``X | None`` and string annotations."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            name = _annotation_name(side)
+            if name is not None and name != "None":
+                return name
+        return None
+    if isinstance(node, ast.Subscript):
+        outer = _dotted(node.value)
+        if outer and outer.split(".")[-1] in ("Optional", "Annotated"):
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return _annotation_name(inner)
+        return None
+    name = _dotted(node)
+    return None if name == "None" else name
+
+
+def local_types(
+    fn: FunctionInfo, table: SymbolTable
+) -> dict[str, str]:
+    """Map of local variable name -> class qname, where inferable.
+
+    Sources: parameter annotations, ``x: C = ...`` / ``x = C(...)``
+    assignments whose class resolves in the symbol table, and ``self``
+    inside methods.  A name assigned twice with different types (or later
+    from an unknown expression) is dropped — only stable bindings count.
+    """
+    out: dict[str, str] = {}
+    poisoned: set[str] = set()
+
+    def record(name: str, cls_q: str | None) -> None:
+        if cls_q is None or table.class_(cls_q) is None:
+            poisoned.add(name)
+            out.pop(name, None)
+            return
+        if name in poisoned or (name in out and out[name] != cls_q):
+            poisoned.add(name)
+            out.pop(name, None)
+            return
+        out[name] = cls_q
+
+    if fn.is_method and fn.cls and fn.params and fn.params[0] == "self":
+        out["self"] = fn.cls
+
+    for p in fn.params:
+        ann = _annotation_name(fn.param_annotation(p))
+        if ann is not None:
+            cls_q = table.resolve(fn.module, ann)
+            if table.class_(cls_q) is not None:
+                out[p] = cls_q  # annotations are declarations, not poisoned
+    for node in own_body(fn.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            t = node.targets[0]
+            if not isinstance(t, ast.Name):
+                continue
+            if isinstance(node.value, ast.Call):
+                callee = table.resolve(fn.module, _dotted(node.value.func) or "")
+                record(t.id, callee if table.class_(callee) else None)
+            else:
+                record(t.id, None)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            ann = _annotation_name(node.annotation)
+            cls_q = table.resolve(fn.module, ann) if ann else None
+            if table.class_(cls_q) is not None:
+                out[node.target.id] = cls_q  # type: ignore[index]
+    return out
+
+
+def resolve_callable_ref(
+    fn: FunctionInfo, table: SymbolTable, node: ast.expr
+) -> str | None:
+    """Canonical qname a *reference* (not call) points at, e.g. the first
+    argument of ``parallel_map(run_trial, ...)``.  Checks nested defs in
+    the lexical chain, then module scope/imports."""
+    name = _dotted(node)
+    if name is None:
+        if isinstance(node, ast.Call):
+            # functools.partial(f, ...) delegates to f
+            inner = _dotted(node.func)
+            if inner and inner.split(".")[-1] == "partial" and node.args:
+                return resolve_callable_ref(fn, table, node.args[0])
+        return None
+    head = name.split(".")[0]
+    # lexically enclosing nested defs: fn's own nested functions first
+    scope: FunctionInfo | None = fn
+    while scope is not None:
+        candidate = table.function(f"{scope.qname}.{LOCALS_MARK}.{head}")
+        if candidate is not None and "." not in name:
+            return candidate.qname
+        scope = table.function(scope.parent) if scope.parent else None
+    return table.resolve(fn.module, name)
+
+
+def _resolve_call(
+    fn: FunctionInfo,
+    table: SymbolTable,
+    types: dict[str, str],
+    call: ast.Call,
+) -> tuple[str, bool, str | None]:
+    """(callee qname or dotted spelling, resolved?, receiver var)."""
+    name = _dotted(call.func)
+    if name is None:
+        return "<dynamic>", False, None
+    parts = name.split(".")
+    # var.method(...) / self.method(...) on a known type
+    if len(parts) >= 2 and parts[0] in types:
+        cls = table.class_(types[parts[0]])
+        if cls is not None and len(parts) == 2 and parts[1] in cls.methods:
+            return cls.methods[parts[1]].qname, True, parts[0]
+        return name, False, parts[0]
+    # nested function in the lexical chain (bare name only)
+    if len(parts) == 1:
+        scope: FunctionInfo | None = fn
+        while scope is not None:
+            nested = table.function(f"{scope.qname}.{LOCALS_MARK}.{parts[0]}")
+            if nested is not None:
+                return nested.qname, True, None
+            scope = table.function(scope.parent) if scope.parent else None
+    resolved = table.resolve(fn.module, name)
+    if resolved is None:
+        return name, False, None
+    if table.function(resolved) is not None or table.class_(resolved) is not None:
+        return resolved, True, None
+    return resolved, False, None
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    """Resolve every call site of every function in the table."""
+    graph = CallGraph()
+    for fn in table.all_functions():
+        types = local_types(fn, table)
+        for node in own_body(fn.node):
+            if isinstance(node, ast.Call):
+                callee, resolved, receiver = _resolve_call(fn, table, types, node)
+                graph.add(
+                    CallSite(
+                        caller=fn.qname,
+                        callee=callee,
+                        node=node,
+                        path=fn.path,
+                        resolved=resolved,
+                        receiver=receiver,
+                    )
+                )
+    return graph

@@ -1,0 +1,223 @@
+"""A small forward dataflow framework over the call graph.
+
+Two layers:
+
+* :func:`fixpoint_summaries` — interprocedural: compute one *summary* per
+  function with a work-list that re-analyzes callers whenever a callee's
+  summary changes.  Summaries must be comparable (``==``) and the analyze
+  function monotone, so recursion and mutual recursion converge; a
+  generous iteration cap guards against a non-monotone analyzer looping.
+
+* :class:`TagInterpreter` — intraprocedural: an abstract interpreter over
+  a lattice of *tag sets* (``frozenset[str]``).  Statements are walked in
+  source order; branches are analyzed with copies of the environment and
+  joined (set union) at the merge point; loop bodies run twice so a tag
+  flowing around the back edge is observed.  Subclasses override
+  :meth:`eval_expr` to give expressions meaning and may emit findings via
+  the hooks while walking.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Generic, Iterable, TypeVar
+
+from .callgraph import CallGraph
+from .symbols import FunctionInfo
+
+__all__ = ["fixpoint_summaries", "TagInterpreter", "Tags", "NO_TAGS"]
+
+S = TypeVar("S")
+
+#: The lattice element: a set of abstract tags; union is the join.
+Tags = frozenset
+NO_TAGS: frozenset[str] = frozenset()
+
+#: Safety cap: no real project needs anywhere near this many rounds.
+_MAX_ROUNDS_PER_FUNCTION = 50
+
+
+def fixpoint_summaries(
+    functions: dict[str, FunctionInfo],
+    graph: CallGraph,
+    analyze: Callable[[FunctionInfo, dict[str, S]], S],
+    *,
+    initial: Callable[[FunctionInfo], S],
+) -> dict[str, S]:
+    """Run ``analyze`` over every function until summaries stabilise.
+
+    ``analyze(fn, summaries)`` may consult any callee's current summary;
+    when a function's summary changes, all its in-graph callers are
+    re-queued.  Convergence is guaranteed for monotone analyzers on
+    finite lattices; a per-function round cap backstops the rest.
+    """
+    summaries: dict[str, S] = {q: initial(fn) for q, fn in functions.items()}
+    rounds: dict[str, int] = {}
+    worklist: list[str] = sorted(functions)
+    queued = set(worklist)
+    while worklist:
+        qname = worklist.pop()
+        queued.discard(qname)
+        fn = functions[qname]
+        rounds[qname] = rounds.get(qname, 0) + 1
+        if rounds[qname] > _MAX_ROUNDS_PER_FUNCTION:
+            continue
+        new = analyze(fn, summaries)
+        if new != summaries[qname]:
+            summaries[qname] = new
+            for caller in graph.callers(qname):
+                if caller in functions and caller not in queued:
+                    worklist.append(caller)
+                    queued.add(caller)
+    return summaries
+
+
+class TagInterpreter(Generic[S]):
+    """Structured abstract interpretation of one function body.
+
+    Drives the statement walk and environment bookkeeping; subclasses
+    provide expression evaluation (:meth:`eval_expr`) and may override the
+    statement hooks (:meth:`on_assign`, :meth:`on_return`, :meth:`on_stmt`)
+    to emit findings.  The environment maps local names to tag sets.
+    """
+
+    def __init__(self, fn: FunctionInfo) -> None:
+        self.fn = fn
+        self.return_tags: frozenset[str] = NO_TAGS
+
+    # ------------------------------------------------------------------
+    # subclass surface
+    # ------------------------------------------------------------------
+    def initial_env(self) -> dict[str, frozenset[str]]:
+        return {}
+
+    def eval_expr(self, node: ast.expr, env: dict[str, frozenset[str]]) -> frozenset[str]:
+        raise NotImplementedError
+
+    def on_assign(
+        self,
+        target: ast.expr,
+        value: ast.expr,
+        tags: frozenset[str],
+        env: dict[str, frozenset[str]],
+        node: ast.stmt,
+    ) -> frozenset[str]:
+        """Hook before binding; returns the tags actually bound."""
+        return tags
+
+    def on_return(
+        self, node: ast.Return, tags: frozenset[str], env: dict[str, frozenset[str]]
+    ) -> None:
+        pass
+
+    def on_stmt(self, node: ast.stmt, env: dict[str, frozenset[str]]) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self) -> frozenset[str]:
+        """Interpret the function body; returns the joined return tags."""
+        env = self.initial_env()
+        self._exec_block(self.fn.node.body, env)
+        return self.return_tags
+
+    def _bind(self, target: ast.expr, tags: frozenset[str], env: dict) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, NO_TAGS, env)
+        # attribute/subscript targets don't enter the local environment
+
+    @staticmethod
+    def _join_env(a: dict[str, frozenset[str]], b: dict[str, frozenset[str]]) -> dict:
+        out = dict(a)
+        for k, v in b.items():
+            out[k] = out.get(k, NO_TAGS) | v
+        return out
+
+    def _exec_block(self, body: Iterable[ast.stmt], env: dict) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.stmt, env: dict) -> None:
+        self.on_stmt(stmt, env)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are separate functions in the table
+        if isinstance(stmt, ast.Assign):
+            tags = self.eval_expr(stmt.value, env)
+            for target in stmt.targets:
+                bound = self.on_assign(target, stmt.value, tags, env, stmt)
+                self._bind(target, bound, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                tags = self.eval_expr(stmt.value, env)
+                bound = self.on_assign(stmt.target, stmt.value, tags, env, stmt)
+                self._bind(stmt.target, bound, env)
+        elif isinstance(stmt, ast.AugAssign):
+            tags = self.eval_expr(
+                ast.BinOp(left=stmt.target, op=stmt.op, right=stmt.value), env
+            ) if isinstance(stmt.target, ast.Name) else self.eval_expr(stmt.value, env)
+            self._bind(stmt.target, tags, env)
+        elif isinstance(stmt, ast.Return):
+            tags = self.eval_expr(stmt.value, env) if stmt.value is not None else NO_TAGS
+            self.on_return(stmt, tags, env)
+            self.return_tags = self.return_tags | tags
+        elif isinstance(stmt, (ast.Expr, ast.Assert)):
+            value = stmt.value if isinstance(stmt, ast.Expr) else stmt.test
+            self.eval_expr(value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval_expr(stmt.test, env)
+            then_env = dict(env)
+            else_env = dict(env)
+            self._exec_block(stmt.body, then_env)
+            self._exec_block(stmt.orelse, else_env)
+            merged = self._join_env(then_env, else_env)
+            env.clear()
+            env.update(merged)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_tags = self.eval_expr(stmt.iter, env)
+            for _ in range(2):  # twice: observe tags around the back edge
+                self._bind(stmt.target, iter_tags, env)
+                body_env = dict(env)
+                self._exec_block(stmt.body, body_env)
+                merged = self._join_env(env, body_env)
+                env.clear()
+                env.update(merged)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            for _ in range(2):
+                self.eval_expr(stmt.test, env)
+                body_env = dict(env)
+                self._exec_block(stmt.body, body_env)
+                merged = self._join_env(env, body_env)
+                env.clear()
+                env.update(merged)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tags = self.eval_expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, tags, env)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self._exec_block(stmt.body, body_env)
+            merged = self._join_env(env, body_env)
+            for handler in stmt.handlers:
+                h_env = dict(merged)
+                self._exec_block(handler.body, h_env)
+                merged = self._join_env(merged, h_env)
+            env.clear()
+            env.update(merged)
+            self._exec_block(stmt.orelse, env)
+            self._exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval_expr(stmt.exc, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # Pass/Break/Continue/Import/Global/Nonlocal: no dataflow effect

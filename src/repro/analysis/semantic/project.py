@@ -1,0 +1,61 @@
+"""The whole-program context handed to project-scoped lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..engine import FileContext
+from .callgraph import CallGraph, build_call_graph
+from .symbols import FunctionInfo, SymbolTable, module_name_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import ast
+
+    from ..findings import Finding
+
+__all__ = ["Project"]
+
+
+@dataclass
+class Project:
+    """Symbol table + call graph over every parsed file of one lint run.
+
+    Project-scoped rules receive exactly one :class:`Project` per run and
+    emit findings through :meth:`finding`, which routes location and
+    snippet extraction through the owning file's :class:`FileContext`.
+    Expensive shared analyses can memoise on the project instance via
+    :meth:`shared` (e.g. two rules consulting the same summary table).
+    """
+
+    files: dict[str, FileContext]  #: path -> context
+    symbols: SymbolTable
+    graph: CallGraph
+    _shared: dict[str, object] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(cls, contexts: list[FileContext]) -> "Project":
+        table = SymbolTable.build(contexts)
+        graph = build_call_graph(table)
+        return cls(
+            files={ctx.path: ctx for ctx in contexts}, symbols=table, graph=graph
+        )
+
+    # ------------------------------------------------------------------
+    # rule conveniences
+    # ------------------------------------------------------------------
+    def finding(self, path: str, node: "ast.AST", code: str, message: str) -> "Finding":
+        return self.files[path].finding(node, code, message)
+
+    def functions(self) -> Iterator[FunctionInfo]:
+        """Every function in the project, in deterministic qname order."""
+        return iter(sorted(self.symbols.all_functions(), key=lambda f: f.qname))
+
+    def module_of(self, ctx: FileContext) -> str:
+        return module_name_for(ctx)
+
+    def shared(self, key: str, compute) -> object:
+        """Memoise a cross-rule analysis result on this project."""
+        if key not in self._shared:
+            self._shared[key] = compute()
+        return self._shared[key]

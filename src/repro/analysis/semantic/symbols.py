@@ -1,0 +1,373 @@
+"""Package-wide symbol table: modules, functions, classes, imports.
+
+The per-file rules of :mod:`repro.analysis.rules` see one AST at a time;
+the interprocedural rules (IDDE010–IDDE013) need to answer questions like
+"which function does ``sp(...)`` call when ``sp`` was imported via ``from
+..rng import spawn_rng as sp``" or "is ``GameResult`` frozen" across the
+whole linted tree.  This module extracts, per module, the facts those
+questions need — definitions, import aliases, re-exports — and resolves
+dotted references against them.
+
+Resolution is deliberately *syntactic*: nothing is imported or executed,
+so linting broken or heavy modules stays safe and fast.  Unresolvable
+references (external libraries, dynamic dispatch) resolve to ``None`` and
+every downstream rule treats ``None`` conservatively (no finding).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..engine import FileContext
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "SymbolTable",
+    "LOCALS_MARK",
+    "module_name_for",
+]
+
+#: Separator marking a nested (closure) function in a qualified name, e.g.
+#: ``repro.experiments.sweep.run_sweep.<locals>.worker``.
+LOCALS_MARK = "<locals>"
+
+
+def module_name_for(ctx: FileContext) -> str:
+    """Dotted module name for a file context.
+
+    Files under a ``repro`` anchor map into the real package namespace
+    (``repro.core.game``); anything else gets a private ``<file>``-rooted
+    name so single-file lints still build a one-module table.
+    """
+    parts = ctx.module_parts
+    if ctx.repro_parts:
+        return ".".join(("repro", *parts)) if parts else "repro"
+    stem = ctx.path.rsplit("/", 1)[-1]
+    return f"<file>.{stem[:-3] if stem.endswith('.py') else stem}"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    cls: str | None = None  #: qualified class name for methods
+    parent: str | None = None  #: qualified name of the enclosing function
+
+    @property
+    def params(self) -> list[str]:
+        a = self.node.args
+        return [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+    @property
+    def is_nested(self) -> bool:
+        return self.parent is not None
+
+    def param_annotation(self, name: str) -> ast.expr | None:
+        a = self.node.args
+        for p in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+            if p.arg == name:
+                return p.annotation
+        return None
+
+    def bind_args(self, call: ast.Call) -> dict[str, ast.expr]:
+        """Map a call's arguments onto this function's parameter names.
+
+        Starred arguments and surplus positionals are dropped (conservative:
+        rules simply see fewer bound parameters).  Methods skip ``self``.
+        """
+        params = self.params
+        if self.is_method and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        bound: dict[str, ast.expr] = {}
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if i < len(params):
+                bound[params[i]] = arg
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in self.params:
+                bound[kw.arg] = kw.value
+        return bound
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its immediate methods."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    frozen: bool = False
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    base_names: list[str] = field(default_factory=list)  #: unresolved base refs
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the resolver knows about one module."""
+
+    name: str
+    path: str
+    ctx: FileContext
+    #: local name -> absolute dotted target (``np`` -> ``numpy``,
+    #: ``spawn_rng`` -> ``repro.rng.spawn_rng``).
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level ``name = expr`` bindings (last assignment wins).
+    assigns: dict[str, ast.expr] = field(default_factory=dict)
+
+
+def _is_frozen_classdef(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Call):
+            name = _dotted(dec.func)
+            if name and name.split(".")[-1] == "dataclass":
+                for kw in dec.keywords:
+                    if (
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _package_of(module: str, ctx: FileContext) -> str:
+    """The package a module's relative imports resolve against."""
+    filename = ctx.repro_parts[-1] if ctx.repro_parts else ctx.path.rsplit("/", 1)[-1]
+    if filename == "__init__.py":
+        return module
+    return module.rsplit(".", 1)[0] if "." in module else ""
+
+
+def _absolute_import_target(
+    module: str, ctx: FileContext, node: ast.ImportFrom
+) -> str | None:
+    """The absolute dotted module an ``ImportFrom`` statement names."""
+    if node.level == 0:
+        return node.module
+    package = _package_of(module, ctx)
+    parts = package.split(".") if package else []
+    up = node.level - 1
+    if up > len(parts):
+        return None  # beyond the package root
+    base = parts[: len(parts) - up]
+    if node.module:
+        base = [*base, *node.module.split(".")]
+    return ".".join(base) if base else None
+
+
+class SymbolTable:
+    """All modules of one linted tree, with reference resolution."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._functions: dict[str, FunctionInfo] = {}
+        self._classes: dict[str, ClassInfo] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, contexts: list[FileContext]) -> "SymbolTable":
+        table = cls()
+        for ctx in contexts:
+            table._add_module(ctx)
+        return table
+
+    def _add_module(self, ctx: FileContext) -> None:
+        name = module_name_for(ctx)
+        info = ModuleInfo(name=name, path=ctx.path, ctx=ctx)
+        self.modules[name] = info
+        self._collect_imports(info)
+        self._collect_definitions(info)
+
+    def _collect_imports(self, info: ModuleInfo) -> None:
+        for node in ast.walk(info.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    info.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                target_mod = _absolute_import_target(info.name, info.ctx, node)
+                if target_mod is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    info.imports[local] = f"{target_mod}.{alias.name}"
+
+    def _collect_definitions(self, info: ModuleInfo) -> None:
+        for stmt in info.ctx.tree.body:
+            self._collect_stmt(info, stmt, prefix=info.name, cls=None, parent=None)
+
+    def _collect_stmt(
+        self,
+        info: ModuleInfo,
+        stmt: ast.stmt,
+        *,
+        prefix: str,
+        cls: str | None,
+        parent: str | None,
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qname = f"{prefix}.{stmt.name}"
+            fn = FunctionInfo(
+                qname=qname,
+                module=info.name,
+                name=stmt.name,
+                node=stmt,
+                path=info.path,
+                cls=cls,
+                parent=parent,
+            )
+            self._functions[qname] = fn
+            if cls is not None and parent is None:
+                self._classes[cls].methods[stmt.name] = fn
+            elif parent is None:
+                info.functions[stmt.name] = fn
+            # nested defs: their own nodes, qualified through <locals>
+            nested_prefix = f"{qname}.{LOCALS_MARK}"
+            for sub in stmt.body:
+                self._collect_stmt(
+                    info, sub, prefix=nested_prefix, cls=None, parent=qname
+                )
+        elif isinstance(stmt, ast.ClassDef):
+            qname = f"{prefix}.{stmt.name}"
+            ci = ClassInfo(
+                qname=qname,
+                module=info.name,
+                name=stmt.name,
+                node=stmt,
+                path=info.path,
+                frozen=_is_frozen_classdef(stmt),
+                base_names=[b for b in (_dotted(base) for base in stmt.bases) if b],
+            )
+            self._classes[qname] = ci
+            if parent is None and cls is None:
+                info.classes[stmt.name] = ci
+            for sub in stmt.body:
+                self._collect_stmt(info, sub, prefix=qname, cls=qname, parent=parent)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)) and parent is None and cls is None:
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            if value is None:
+                return
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    info.assigns[t.id] = value
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # typing guards (`if TYPE_CHECKING:`) and import fallbacks still
+            # contribute definitions/imports; walk their bodies at same level.
+            bodies = [stmt.body, stmt.orelse]
+            if isinstance(stmt, ast.Try):
+                bodies = [stmt.body, stmt.orelse, stmt.finalbody]
+                bodies.extend(h.body for h in stmt.handlers)
+            for body in bodies:
+                for sub in body:
+                    self._collect_stmt(info, sub, prefix=prefix, cls=cls, parent=parent)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def function(self, qname: str | None) -> FunctionInfo | None:
+        if qname is None:
+            return None
+        fn = self._functions.get(qname)
+        if fn is not None:
+            return fn
+        # method reference spelled through a re-exported class name
+        if "." in qname:
+            cls_q, _, meth = qname.rpartition(".")
+            ci = self._classes.get(cls_q)
+            if ci is not None:
+                return ci.methods.get(meth)
+        return None
+
+    def class_(self, qname: str | None) -> ClassInfo | None:
+        if qname is None:
+            return None
+        return self._classes.get(qname)
+
+    def all_functions(self) -> Iterator[FunctionInfo]:
+        yield from self._functions.values()
+
+    def frozen_classes(self) -> dict[str, ClassInfo]:
+        return {q: c for q, c in self._classes.items() if c.frozen}
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def canonical(self, target: str | None, *, _depth: int = 0) -> str | None:
+        """Chase import aliases and re-exports to a defining site.
+
+        ``repro.core.IddeUGame`` (re-exported via ``core/__init__``) becomes
+        ``repro.core.game.IddeUGame``.  External targets (``numpy.random``)
+        pass through unchanged — they are canonical as far as we can see.
+        """
+        if target is None or _depth > 16:
+            return target
+        if target in self.modules or target in self._functions or target in self._classes:
+            return target
+        # Find the longest known-module prefix, then chase the next segment
+        # through that module's imports (the re-export case).
+        parts = target.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            head = ".".join(parts[:i])
+            mod = self.modules.get(head)
+            if mod is None:
+                continue
+            first, rest = parts[i], parts[i + 1 :]
+            if first in mod.imports:
+                base = self.canonical(mod.imports[first], _depth=_depth + 1)
+                if not rest:
+                    return base
+                return self.canonical(".".join([base, *rest]), _depth=_depth + 1)
+            return target  # defined (or unknown) in this module: canonical as-is
+        return target
+
+    def resolve(self, module: str, dotted: str | None) -> str | None:
+        """Canonical qualified name for a dotted reference in ``module``."""
+        if dotted is None:
+            return None
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in mod.imports:
+            base = mod.imports[head]
+            full = f"{base}.{rest}" if rest else base
+        elif head in mod.functions or head in mod.classes or head in mod.assigns:
+            full = f"{module}.{dotted}"
+        else:
+            return None  # builtin, local variable, or unknown
+        return self.canonical(full)

@@ -21,7 +21,11 @@ The hot paths, mapped to the paper:
   (Eq. 17, Theorems 6–7);
 * ``topology.all-pairs-dijkstra`` — the pure-Python reference Dijkstra
   over all sources (the compiled scipy path is too fast to gate);
-* ``datasets.eua-sample`` — EUA-style per-trial scenario generation.
+* ``datasets.eua-sample`` — EUA-style per-trial scenario generation;
+* ``analysis.selflint.*`` — the IDDE-Lint self-lint of ``src/repro`` as a
+  cold/warm cache pair: ``cold`` times the full semantic analysis,
+  ``warm`` the incremental path, and their ratio gates the cache's
+  effectiveness (``tests/bench/test_self_lint.py`` requires ≥5x).
 """
 
 from __future__ import annotations
@@ -256,6 +260,59 @@ def _bench_all_pairs_dijkstra(scale: str, seed: int) -> Callable[[], object]:
             out = all_pairs_path_cost(cost, method="dijkstra-py")
         assert out is not None
         return float(out[0, -1])
+
+    return run
+
+
+def _repro_src_root():
+    """The ``src/repro`` tree this package was imported from."""
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[1]
+
+
+@benchmark(
+    "analysis.selflint.cold",
+    "full IDDE-Lint self-lint of src/repro with an empty incremental cache",
+)
+def _bench_selflint_cold(scale: str, seed: int) -> Callable[[], object]:
+    import tempfile
+    from pathlib import Path
+
+    from ..analysis import lint_paths
+
+    root = _repro_src_root()
+
+    def run() -> object:
+        # A fresh cache directory per call: every file and the whole
+        # interprocedural pass miss, so this times the full analysis.
+        with tempfile.TemporaryDirectory() as tmp:
+            findings = lint_paths([root], cache=Path(tmp) / "cache.json")
+        return len(findings)
+
+    return run
+
+
+@benchmark(
+    "analysis.selflint.warm",
+    "the same self-lint served from a primed cache (incremental-path pair)",
+)
+def _bench_selflint_warm(scale: str, seed: int) -> Callable[[], object]:
+    import tempfile
+    from pathlib import Path
+
+    from ..analysis import lint_paths
+
+    root = _repro_src_root()
+    # Prime the cache outside the timed region; the tree never changes
+    # between repeats, so every call hits both cache tiers and the timed
+    # cost is discovery + hashing + cache lookups.
+    tmp = tempfile.mkdtemp(prefix="idde-selflint-")
+    cache = Path(tmp) / "cache.json"
+    lint_paths([root], cache=cache)
+
+    def run() -> object:
+        return len(lint_paths([root], cache=cache))
 
     return run
 

@@ -139,7 +139,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot current findings into the baseline file and exit 0",
     )
     p_lint.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="also fail if any baseline entry is stale (the baseline may "
+        "only ever shrink; run --prune-baseline to fix)",
+    )
+    p_lint.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="clamp baseline counts to the current findings and exit",
+    )
+    p_lint.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    p_lint.add_argument(
+        "--explain",
+        default=None,
+        metavar="IDDE0NN",
+        help="print the long-form documentation for one rule code and exit",
+    )
+    p_lint.add_argument(
+        "--graph",
+        choices=["dot", "json"],
+        default=None,
+        help="export the project call graph instead of linting",
+    )
+    p_lint.add_argument(
+        "--doc-check",
+        action="store_true",
+        help="also fail if docs/STATIC_ANALYSIS.md drifted from the registry",
+    )
+    p_lint.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="incremental cache file (default: .idde-lint-cache.json)",
+    )
+    p_lint.add_argument(
+        "--no-cache", action="store_true", help="disable the incremental cache"
     )
 
     p_bench = sub.add_parser(
@@ -441,6 +478,7 @@ def _cmd_theory(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
     from .analysis import (
@@ -451,10 +489,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         write_baseline,
     )
     from .analysis.baseline import DEFAULT_BASELINE_NAME
-    from .analysis.report import render_rule_table
+    from .analysis.registry import explain_code
+    from .analysis.report import doc_catalog_problems, render_rule_table
+    from .analysis.semantic.cache import DEFAULT_CACHE_NAME
 
     if args.list_rules:
         print(render_rule_table())
+        return 0
+    if args.explain:
+        text = explain_code(args.explain)
+        if text is None:
+            print(f"idde lint: error: unknown rule code {args.explain!r}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+    if args.graph:
+        try:
+            graph = _build_call_graph(args.paths)
+        except FileNotFoundError as exc:
+            print(f"idde lint: error: {exc}", file=sys.stderr)
+            return 2
+        print(graph.to_dot() if args.graph == "dot" else json.dumps(graph.to_dict(), indent=2))
         return 0
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
@@ -462,8 +517,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if not args.no_baseline and not args.write_baseline and baseline_path.exists():
         baseline = load_baseline(baseline_path)
 
+    cache = None if args.no_cache else (args.cache or DEFAULT_CACHE_NAME)
     try:
-        findings = lint_paths(args.paths)
+        findings = lint_paths(args.paths, cache=cache)
     except FileNotFoundError as exc:
         print(f"idde lint: error: {exc}", file=sys.stderr)
         return 2
@@ -471,6 +527,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         written = write_baseline(baseline_path, findings)
         print(f"wrote {len(written)} finding(s) to {baseline_path}")
         return 0
+    if args.prune_baseline:
+        if baseline is None:
+            print("idde lint: no baseline to prune", file=sys.stderr)
+            return 2
+        pruned = baseline.pruned(findings)
+        baseline_path.write_text(pruned.to_json(), encoding="utf-8")
+        print(
+            f"pruned baseline {baseline_path}: {len(baseline)} -> {len(pruned)} entries"
+        )
+        return 0
+
+    failures = 0
+    if args.check_baseline and baseline is not None:
+        stale = baseline.stale_entries(findings)
+        if stale:
+            for fp, n in sorted(stale.items()):
+                print(f"stale baseline entry (x{n}): {fp}", file=sys.stderr)
+            print(
+                f"idde lint: {sum(stale.values())} stale baseline count(s); the "
+                "baseline may only ever shrink — run `idde lint --prune-baseline`",
+                file=sys.stderr,
+            )
+            failures = 1
+    if args.doc_check:
+        docs = Path(__file__).resolve().parents[2] / "docs" / "STATIC_ANALYSIS.md"
+        if docs.exists():
+            problems = doc_catalog_problems(docs.read_text(encoding="utf-8"))
+        else:
+            problems = [f"docs file not found: {docs}"]
+        for problem in problems:
+            print(f"doc drift: {problem}", file=sys.stderr)
+        if problems:
+            failures = 1
 
     baselined = 0
     if baseline is not None:
@@ -479,7 +568,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         findings = kept
     render = render_json if args.format == "json" else render_text
     print(render(findings, baselined=baselined))
-    return 1 if findings else 0
+    return 1 if findings or failures else 0
+
+
+def _build_call_graph(paths):
+    """Parse ``paths`` and build the project call graph (for ``--graph``)."""
+    import ast as _ast
+
+    from .analysis.engine import FileContext, _display_path, iter_python_files
+    from .analysis.semantic import Project
+
+    contexts = []
+    for file in iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = _ast.parse(source, filename=str(file))
+        except SyntaxError:
+            continue
+        contexts.append(
+            FileContext(path=_display_path(file), source=source, tree=tree)
+        )
+    return Project.build(contexts).graph
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -604,7 +713,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     from .logging_util import configure_logging
 
     configure_logging(args.verbose)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # report piped into `head` and the like: a closed pipe is not an
+        # error worth a traceback, but stdout is unusable — detach it so
+        # interpreter shutdown does not raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -34,7 +34,14 @@ __all__ = [
     "default_workers",
     "force_serial",
     "serial_forced",
+    "PARALLEL_ENTRY_POINTS",
 ]
+
+#: Fan-out entry points: callable name -> positional index of the worker
+#: callable argument.  The IDDE010/IDDE012 lint rules consult this instead
+#: of hard-coding knowledge of this module, so adding a new pool API here
+#: automatically extends the parallel-safety checks to it.
+PARALLEL_ENTRY_POINTS: dict[str, int] = {"parallel_map": 0}
 
 #: Per-thread depth counter for nested :func:`force_serial` regions.
 _serial_state = threading.local()

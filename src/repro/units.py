@@ -29,7 +29,58 @@ __all__ = [
     "bytes_to_mb",
     "MB",
     "MS_PER_S",
+    "UNIT_SUFFIXES",
+    "CONVERTER_UNITS",
+    "unit_for_name",
 ]
+
+#: Name-suffix -> unit tag, the machine-readable form of the conventions
+#: above.  The IDDE011 lint rule seeds its dataflow from these suffixes, so
+#: naming a parameter ``latency_ms`` *is* declaring its unit.
+UNIT_SUFFIXES: dict[str, str] = {
+    "_seconds": "s",
+    "_sec": "s",
+    "_s": "s",
+    "_millis": "ms",
+    "_ms": "ms",
+    "_mb": "MB",
+    "_bytes": "B",
+    "_mbps": "MB/s",
+    "_dbm": "dBm",
+    "_watts": "W",
+}
+
+#: Converter function name -> (input unit, output unit).  Applying one to a
+#: value tagged with a different input unit is an IDDE011 violation; the
+#: result carries the output tag.
+CONVERTER_UNITS: dict[str, tuple[str, str]] = {
+    "dbm_to_watts": ("dBm", "W"),
+    "watts_to_dbm": ("W", "dBm"),
+    "seconds_to_ms": ("s", "ms"),
+    "ms_to_seconds": ("ms", "s"),
+    "mb_to_bytes": ("MB", "B"),
+    "bytes_to_mb": ("B", "MB"),
+}
+
+#: Suffixes sorted longest-first so ``_ms`` wins over ``_s``.
+_SUFFIXES_BY_LENGTH = sorted(UNIT_SUFFIXES, key=len, reverse=True)
+
+
+def unit_for_name(name: str) -> str | None:
+    """The unit tag a variable/parameter/function name declares, if any.
+
+    >>> unit_for_name("latency_ms")
+    'ms'
+    >>> unit_for_name("total_seconds")
+    's'
+    >>> unit_for_name("n_items") is None
+    True
+    """
+    for suffix in _SUFFIXES_BY_LENGTH:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return UNIT_SUFFIXES[suffix]
+    return None
+
 
 #: Bytes per megabyte (decimal convention, as in storage marketing and the
 #: paper's MB/MBps figures).

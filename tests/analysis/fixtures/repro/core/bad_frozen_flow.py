@@ -1,0 +1,22 @@
+"""Seeded IDDE013 violation: a frozen instance aliased into a callee that
+mutates its (untyped) parameter — invisible to the per-file IDDE005."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Placement:
+    server: int
+    cost: float
+
+
+def rescore(placement, cost):
+    # the parameter is untyped: per-file analysis cannot see it is frozen
+    placement.cost = cost
+    return placement
+
+
+def evaluate():
+    best = Placement(server=0, cost=1.0)
+    # aliases the frozen instance into a mutating callee
+    return rescore(best, 0.5)

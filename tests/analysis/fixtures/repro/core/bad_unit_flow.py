@@ -1,0 +1,34 @@
+"""Seeded IDDE011 violations: cross-unit dataflow the per-file
+IDDE003/IDDE004 checks cannot see (no magic literals, no one-line
+suffix-mismatched assignments)."""
+
+from repro.units import seconds_to_ms
+
+
+def mixed_arithmetic(deadline_s, elapsed_ms):
+    # s minus ms without a conversion
+    return deadline_s - elapsed_ms
+
+
+def mixed_comparison(timeout_s, latency_ms):
+    # ordering values of different units
+    return latency_ms > timeout_s
+
+
+def record(latency_ms):
+    return latency_ms
+
+
+def mis_bound_argument(wait_s):
+    # an s-tagged value bound to a parameter declared *_ms
+    return record(wait_s)
+
+
+def wrong_converter_input(duration_ms):
+    # feeding seconds_to_ms a value already in ms
+    return seconds_to_ms(duration_ms)
+
+
+def total_ms(a_s, b_s):
+    # name promises ms, body returns seconds
+    return a_s + b_s

@@ -1,0 +1,33 @@
+"""Near-miss counterpart to ``bad_frozen_flow``: the callee returns a
+``dataclasses.replace`` copy instead of mutating — IDDE013 stays silent."""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Placement:
+    server: int
+    cost: float
+
+
+def rescore(placement, cost):
+    return dataclasses.replace(placement, cost=cost)
+
+
+def touch_mutable(record, cost):
+    # mutating a parameter is fine when no frozen instance is bound to it
+    record.cost = cost
+    return record
+
+
+class MutableRecord:
+    def __init__(self, cost):
+        self.cost = cost
+
+
+def evaluate():
+    best = Placement(server=0, cost=1.0)
+    rescored = rescore(best, 0.5)
+    scratch = MutableRecord(cost=2.0)
+    return rescored, touch_mutable(scratch, 0.25)

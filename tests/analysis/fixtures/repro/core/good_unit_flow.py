@@ -1,0 +1,29 @@
+"""Near-miss counterpart to ``bad_unit_flow``: the same computations with
+units converted at the boundary — IDDE011 must stay silent."""
+
+from repro.units import ms_to_seconds, seconds_to_ms
+
+
+def mixed_arithmetic(deadline_s, elapsed_ms):
+    return deadline_s - ms_to_seconds(elapsed_ms)
+
+
+def mixed_comparison(timeout_s, latency_ms):
+    return latency_ms > seconds_to_ms(timeout_s)
+
+
+def record(latency_ms):
+    return latency_ms
+
+
+def well_bound_argument(wait_s):
+    return record(seconds_to_ms(wait_s))
+
+
+def rate_algebra(size_mb, rate_mbps):
+    # division changes dimensions: MB / (MB/s) -> s is fine untagged
+    return size_mb / rate_mbps
+
+
+def total_ms(a_s, b_s):
+    return seconds_to_ms(a_s + b_s)

@@ -1,0 +1,28 @@
+"""Seeded IDDE012 violations: workers that cannot survive (or silently
+lie across) a process boundary."""
+
+from repro.parallel import parallel_map
+
+RESULTS = []
+
+
+def accumulating_worker(x):
+    # mutates a captured module-level container: lost in the child
+    RESULTS.append(x)
+    return x
+
+
+def fan_out_accumulating(items):
+    return parallel_map(accumulating_worker, items)
+
+
+def fan_out_nested(items):
+    def closure_worker(x):
+        return x + 1
+
+    # nested function: unpicklable under process fan-out
+    return parallel_map(closure_worker, items)
+
+
+def fan_out_lambda(items):
+    return parallel_map(lambda x: x * 2, items)

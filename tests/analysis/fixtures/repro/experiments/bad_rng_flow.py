@@ -1,0 +1,34 @@
+"""Seeded IDDE010 violations: every anti-pattern of interprocedural RNG
+stream flow, written to stay silent under the per-file IDDE001/IDDE002."""
+
+from repro.parallel import parallel_map
+from repro.rng import ensure_rng, spawn_rng
+
+# module-global generator: one stream shared by every caller
+_SHARED = spawn_rng(7, "module")
+
+
+def draw(scale, rng=None):
+    g = ensure_rng(rng)
+    return g.random() * scale
+
+
+def reseed_mid_chain(x, rng):
+    # constant re-seed: the caller's stream is thrown away
+    child = spawn_rng(42, "sub")
+    return child, x
+
+
+def stochastic_worker(item):
+    # transitively stochastic (draw falls back to fresh entropy) but
+    # spawn-free and without an rng/seed parameter of its own
+    return draw(item)
+
+
+def fan_out(items):
+    return parallel_map(stochastic_worker, items)
+
+
+def unthreaded(x, rng):
+    # holds a stream but does not pass it on; draw() defaults to None
+    return draw(x)

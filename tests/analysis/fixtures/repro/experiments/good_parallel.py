@@ -1,0 +1,24 @@
+"""Near-miss counterpart to ``bad_parallel``: module-level workers that
+communicate only via arguments and return values — IDDE012 stays silent."""
+
+from repro.parallel import parallel_map
+
+SCALE = 3  # reading a module constant is fine
+
+
+def pure_worker(x):
+    local = []  # locals named like containers are not captured state
+    local.append(x * SCALE)
+    return local[0]
+
+
+def fan_out(items):
+    return parallel_map(pure_worker, items)
+
+
+def aggregate(items):
+    # mutation happens in the parent, after the fan-out returns
+    results = parallel_map(pure_worker, items)
+    RESULTS = []
+    RESULTS.extend(results)
+    return RESULTS

@@ -1,0 +1,30 @@
+"""Near-miss counterpart to ``bad_rng_flow``: the same call shapes with
+streams threaded correctly — IDDE010 must stay silent on every line."""
+
+from repro.parallel import parallel_map
+from repro.rng import ensure_rng, spawn_rng
+
+
+def draw(scale, rng=None):
+    g = ensure_rng(rng)
+    return g.random() * scale
+
+
+def derive_child(x, seed):
+    # spawning from the caller-provided seed keeps provenance
+    child = spawn_rng(seed, "sub")
+    return child, x
+
+
+def spawning_worker(item):
+    # per-item stream derived from the spec's own seed
+    rng = spawn_rng(item.seed, "worker")
+    return draw(item.scale, rng=rng)
+
+
+def fan_out(items):
+    return parallel_map(spawning_worker, items)
+
+
+def threaded(x, rng):
+    return draw(x, rng=rng)

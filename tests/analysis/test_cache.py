@@ -1,0 +1,127 @@
+"""Incremental-cache behaviour: content-hash hits and misses, rule-set
+signature invalidation, tree-hash project caching, and pruning of
+removed files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.semantic.cache import LintCache, content_hash, rules_signature
+
+BAD_UNITS = "def f(size_mb):\n    return size_mb * 1e6\n"
+BAD_RNG_GLOBAL = (
+    "from repro.rng import ensure_rng\n"
+    "_SHARED = ensure_rng(0)\n"
+)
+
+
+def make_tree(root: Path) -> Path:
+    pkg = root / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "m.py").write_text(BAD_UNITS, encoding="utf-8")
+    (root / "repro" / "experiments").mkdir()
+    (root / "repro" / "experiments" / "g.py").write_text(
+        BAD_RNG_GLOBAL, encoding="utf-8"
+    )
+    return root
+
+
+class TestPrimitives:
+    def test_content_hash_tracks_content_not_identity(self):
+        assert content_hash("x = 1\n") == content_hash("x = 1\n")
+        assert content_hash("x = 1\n") != content_hash("x = 2\n")
+
+    def test_rules_signature_is_stable(self):
+        assert rules_signature() == rules_signature()
+
+    def test_round_trip(self, tmp_path):
+        cache = LintCache(path=tmp_path / "c.json")
+        cache.put_file("a.py", "h1", [])
+        cache.put_project("tree1", [])
+        cache.save()
+        loaded = LintCache.load(tmp_path / "c.json")
+        assert loaded.get_file("a.py", "h1") == []
+        assert loaded.get_project("tree1") == []
+
+    def test_signature_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "c.json"
+        cache = LintCache(path=path)
+        cache.put_file("a.py", "h1", [])
+        cache.save()
+        doc = json.loads(path.read_text())
+        doc["signature"] = "something-else"
+        path.write_text(json.dumps(doc))
+        assert LintCache.load(path).files == {}
+
+    def test_corrupt_document_is_ignored(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{not json")
+        assert LintCache.load(path).files == {}
+
+    def test_stale_hash_misses(self, tmp_path):
+        cache = LintCache(path=tmp_path / "c.json")
+        cache.put_file("a.py", "h1", [])
+        assert cache.get_file("a.py", "h2") is None
+        assert cache.get_file("b.py", "h1") is None
+        assert cache.misses == 2
+
+    def test_prune_drops_dead_files(self, tmp_path):
+        cache = LintCache(path=tmp_path / "c.json")
+        cache.put_file("a.py", "h1", [])
+        cache.put_file("b.py", "h2", [])
+        cache.prune({"a.py"})
+        assert set(cache.files) == {"a.py"}
+
+
+class TestLintPathsIntegration:
+    def test_warm_run_serves_everything_from_cache(self, tmp_path):
+        tree = make_tree(tmp_path / "t")
+        cache_path = tmp_path / "cache.json"
+        cold = lint_paths([tree], cache=cache_path)
+        assert {f.code for f in cold} == {"IDDE003", "IDDE010"}
+        assert cache_path.exists()
+
+        warm_cache = LintCache.load(cache_path)
+        warm = lint_paths([tree], cache=warm_cache)
+        assert warm == cold
+        # two file hits + one project hit, nothing recomputed
+        assert warm_cache.hits == 3
+        assert warm_cache.misses == 0
+
+    def test_edited_file_invalidates_file_and_project(self, tmp_path):
+        tree = make_tree(tmp_path / "t")
+        cache_path = tmp_path / "cache.json"
+        lint_paths([tree], cache=cache_path)
+
+        target = tree / "repro" / "core" / "m.py"
+        target.write_text("def f(size_mb):\n    return size_mb\n", encoding="utf-8")
+        warm_cache = LintCache.load(cache_path)
+        findings = lint_paths([tree], cache=warm_cache)
+        assert {f.code for f in findings} == {"IDDE010"}
+        # edited file + changed tree hash both miss; untouched file still hits
+        assert warm_cache.misses == 2
+        assert warm_cache.hits == 1
+
+    def test_removed_file_is_pruned_from_cache(self, tmp_path):
+        tree = make_tree(tmp_path / "t")
+        cache_path = tmp_path / "cache.json"
+        lint_paths([tree], cache=cache_path)
+        (tree / "repro" / "core" / "m.py").unlink()
+        lint_paths([tree], cache=cache_path)
+        doc = json.loads(cache_path.read_text())
+        assert all("m.py" not in path for path in doc["files"])
+
+    def test_rule_restriction_bypasses_cache(self, tmp_path):
+        tree = make_tree(tmp_path / "t")
+        cache_path = tmp_path / "cache.json"
+        findings = lint_paths([tree], rules=["unit-honesty"], cache=cache_path)
+        assert {f.code for f in findings} == {"IDDE003"}
+        assert not cache_path.exists()
+
+    def test_cached_findings_match_uncached(self, tmp_path):
+        tree = make_tree(tmp_path / "t")
+        cache_path = tmp_path / "cache.json"
+        lint_paths([tree], cache=cache_path)  # populate
+        assert lint_paths([tree], cache=cache_path) == lint_paths([tree])

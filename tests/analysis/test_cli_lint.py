@@ -50,3 +50,95 @@ def test_single_file_target(capsys):
     bad = FIXTURES / "repro" / "core" / "bad_units.py"
     assert main(["lint", str(bad)]) == 1
     assert "IDDE003" in capsys.readouterr().out
+
+
+def test_explain_known_code(capsys):
+    assert main(["lint", "--explain", "IDDE011"]) == 0
+    out = capsys.readouterr().out
+    assert "IDDE011" in out and "unit-flow" in out
+
+
+def test_explain_unknown_code(capsys):
+    assert main(["lint", "--explain", "IDDE999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_graph_json_export(capsys):
+    assert main(["lint", "--graph", "json", str(SRC / "experiments")]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "idde-callgraph/1"
+    assert doc["nodes"] and doc["edges"]
+
+
+def test_graph_dot_export(capsys):
+    assert main(["lint", "--graph", "dot", str(SRC / "experiments")]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph callgraph {")
+
+
+def test_doc_check_in_sync(capsys):
+    assert main(["lint", str(SRC), "--doc-check", "--no-cache"]) == 0
+
+
+BAD_TWICE = "def f(size_mb):\n    a = size_mb * 1e6\n    b = size_mb * 1e6\n    return a + b\n"
+BAD_ONCE = "def f(size_mb):\n    a = size_mb * 1e6\n    return a\n"
+
+
+def _write_tree(root: Path, source: str) -> Path:
+    pkg = root / "repro" / "core"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "m.py").write_text(source, encoding="utf-8")
+    return root
+
+
+def test_stale_baseline_fails_check_until_pruned(tmp_path, capsys):
+    tree = _write_tree(tmp_path / "t", BAD_TWICE)
+    baseline = tmp_path / "baseline.json"
+    common = ["--baseline", str(baseline), "--no-cache"]
+    assert main(["lint", str(tree), "--write-baseline", *common]) == 0
+    assert main(["lint", str(tree), "--check-baseline", *common]) == 0
+    capsys.readouterr()
+
+    # fix one of the two grandfathered violations: the baseline is stale
+    _write_tree(tmp_path / "t", BAD_ONCE)
+    assert main(["lint", str(tree), "--check-baseline", *common]) == 1
+    err = capsys.readouterr().err
+    assert "stale baseline" in err and "only ever shrink" in err
+
+    # --prune-baseline clamps the counts; the check passes again
+    assert main(["lint", str(tree), "--prune-baseline", *common]) == 0
+    assert "2 -> 1 entries" in capsys.readouterr().out
+    assert main(["lint", str(tree), "--check-baseline", *common]) == 0
+
+    # regression (re-adding the violation) still fails the plain lint
+    _write_tree(tmp_path / "t", BAD_TWICE)
+    assert main(["lint", str(tree), *common]) == 1
+
+
+def test_prune_without_baseline_errors(tmp_path, capsys):
+    tree = _write_tree(tmp_path / "t", BAD_ONCE)
+    assert (
+        main(
+            ["lint", str(tree), "--prune-baseline", "--baseline",
+             str(tmp_path / "none.json"), "--no-cache"]
+        )
+        == 2
+    )
+    assert "no baseline to prune" in capsys.readouterr().err
+
+
+def test_cache_flag_writes_and_reuses(tmp_path, capsys):
+    tree = _write_tree(tmp_path / "t", BAD_ONCE)
+    cache = tmp_path / "cache.json"
+    assert main(["lint", str(tree), "--cache", str(cache)]) == 1
+    assert cache.exists()
+    first = capsys.readouterr().out
+    assert main(["lint", str(tree), "--cache", str(cache)]) == 1
+    assert capsys.readouterr().out == first
+
+
+def test_no_cache_leaves_no_file(tmp_path, monkeypatch):
+    tree = _write_tree(tmp_path / "t", BAD_ONCE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", str(tree), "--no-cache"]) == 1
+    assert not (tmp_path / ".idde-lint-cache.json").exists()

@@ -43,6 +43,55 @@ class TestNoqa:
         found = lint_source(src, path="src/repro/core/x.py")
         assert [f.code for f in found] == ["IDDE003"]
 
+    def test_noqa_on_closing_line_of_wrapped_statement(self):
+        # the finding anchors inside the statement, the comment sits on the
+        # closing line: the owning statement's full span is consulted
+        src = (
+            "def f(size_mb):\n"
+            "    return float(\n"
+            "        size_mb * 1e6,\n"
+            "    )  # idde: noqa[IDDE003]\n"
+        )
+        assert lint_source(src, path="src/repro/core/x.py") == []
+
+    def test_wrong_code_on_closing_line_does_not_suppress(self):
+        src = (
+            "def f(size_mb):\n"
+            "    return float(\n"
+            "        size_mb * 1e6,\n"
+            "    )  # idde: noqa[IDDE001]\n"
+        )
+        found = lint_source(src, path="src/repro/core/x.py")
+        assert [f.code for f in found] == ["IDDE003"]
+
+    def test_compound_statement_span_is_header_only(self):
+        # a noqa inside a function body must never be attributed to the
+        # `def` line: the def's suppression span stops before the body
+        import ast
+
+        from repro.analysis.engine import FileContext
+
+        src = (
+            "def f(\n"
+            "    size_mb,\n"
+            "):\n"
+            "    return size_mb  # idde: noqa\n"
+        )
+        ctx = FileContext(path="src/repro/core/x.py", source=src, tree=ast.parse(src))
+        assert ctx.suppression_span(1) == (1, 3)  # wrapped def header
+        assert ctx.suppression_span(4) == (4, 4)  # body statement, not the def
+
+    def test_project_scope_finding_respects_statement_span(self):
+        # IDDE010 module-global finding, suppressed from the wrapped
+        # statement's second line
+        src = (
+            "from repro.rng import ensure_rng\n"
+            "_SHARED = ensure_rng(\n"
+            "    0,\n"
+            ")  # idde: noqa[IDDE010]\n"
+        )
+        assert lint_source(src, path="src/repro/experiments/x.py") == []
+
     def test_parse_noqa_multiple_codes(self):
         noqa = parse_noqa(["x = 1  # idde: noqa[IDDE001, IDDE003]"])
         assert noqa == {1: {"IDDE001", "IDDE003"}}
@@ -138,5 +187,9 @@ class TestEngine:
         assert [x.code for x in first] == ["IDDE003"]
 
     def test_rule_codes_unique_and_complete(self):
-        assert all_codes() == [f"IDDE00{i}" for i in range(1, 10)]
-        assert len(RULES) == 6
+        expected = [f"IDDE00{i}" for i in range(1, 10)]
+        expected += [f"IDDE01{i}" for i in range(0, 4)]
+        assert all_codes() == expected
+        assert len(RULES) == 10
+        scopes = {r.scope for r in RULES.values()}
+        assert scopes == {"file", "project"}

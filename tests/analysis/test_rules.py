@@ -30,7 +30,12 @@ class TestRngDiscipline:
     def test_rng_module_is_exempt(self):
         src = "import numpy as np\nrng = np.random.default_rng(0)\n"
         assert lint_source(src, path="src/repro/rng.py") == []
-        assert codes(lint_source(src, path="src/repro/dynamics/churn.py")) == {"IDDE001"}
+        # outside rng.py both the per-file ban (IDDE001) and the
+        # interprocedural module-global check (IDDE010) fire
+        assert codes(lint_source(src, path="src/repro/dynamics/churn.py")) == {
+            "IDDE001",
+            "IDDE010",
+        }
 
     def test_generator_annotations_allowed(self):
         src = (
@@ -187,19 +192,54 @@ class TestLayering:
         assert lint_source(src, path="src/repro/core/idde_g.py") == []
 
 
+class TestRngFlow:
+    def test_fixture_violations(self):
+        found = lint_fixture("repro/experiments/bad_rng_flow.py")
+        assert codes(found) == {"IDDE010"}
+        # module global, constant re-seed, spawn-free fan-out, unthreaded rng
+        assert len(found) == 4
+
+    def test_near_miss_is_clean(self):
+        assert lint_fixture("repro/experiments/good_rng_flow.py") == []
+
+
+class TestUnitFlow:
+    def test_fixture_violations(self):
+        found = lint_fixture("repro/core/bad_unit_flow.py")
+        assert codes(found) == {"IDDE011"}
+        # arithmetic, comparison, arg binding, converter input, return tag
+        assert len(found) == 5
+
+    def test_near_miss_is_clean(self):
+        assert lint_fixture("repro/core/good_unit_flow.py") == []
+
+
+class TestParallelSafety:
+    def test_fixture_violations(self):
+        found = lint_fixture("repro/experiments/bad_parallel.py")
+        assert codes(found) == {"IDDE012"}
+        # container mutation, nested closure worker, lambda worker
+        assert len(found) == 3
+
+    def test_near_miss_is_clean(self):
+        assert lint_fixture("repro/experiments/good_parallel.py") == []
+
+
+class TestFrozenFlow:
+    def test_fixture_violations(self):
+        found = lint_fixture("repro/core/bad_frozen_flow.py")
+        assert codes(found) == {"IDDE013"}
+        assert len(found) == 1
+
+    def test_near_miss_is_clean(self):
+        assert lint_fixture("repro/core/good_frozen_flow.py") == []
+
+
 class TestFixtureTreeOverall:
     def test_whole_fixture_tree_has_all_codes(self):
         found = lint_paths([FIXTURES])
-        assert codes(found) == {
-            "IDDE001",
-            "IDDE002",
-            "IDDE003",
-            "IDDE004",
-            "IDDE005",
-            "IDDE006",
-            "IDDE007",
-            "IDDE008",
-            "IDDE009",
+        assert codes(found) == {f"IDDE00{i}" for i in range(1, 10)} | {
+            f"IDDE01{i}" for i in range(0, 4)
         }
 
     def test_noqa_fixture_is_clean(self):

@@ -43,3 +43,37 @@ def test_baseline_only_shrinks():
     # also has to relax this test, making the decision reviewable.
     if BASELINE.exists():
         assert len(load_baseline(BASELINE)) == 0
+
+
+def test_rule_catalog_docs_in_sync():
+    # Same drift check as ``idde lint --doc-check`` / CI.
+    from repro.analysis.report import doc_catalog_problems
+
+    problems = doc_catalog_problems(DOCS.read_text(encoding="utf-8"))
+    assert problems == []
+
+
+def test_doc_drift_is_detected():
+    from repro.analysis.report import CATALOG_BEGIN, doc_catalog_problems
+
+    text = DOCS.read_text(encoding="utf-8")
+    # edit inside the generated block: must be reported as drift
+    edited = text.replace("| unit-flow |", "| unit-flow-renamed |")
+    assert any("out of date" in p for p in doc_catalog_problems(edited))
+    # dropping a marker is also drift
+    assert any(
+        "markers" in p for p in doc_catalog_problems(text.replace(CATALOG_BEGIN, ""))
+    )
+    # as is losing a per-code section
+    assert any(
+        "IDDE011" in p for p in doc_catalog_problems(text.replace("### IDDE011", "### X"))
+    )
+
+
+def test_analysis_layer_is_in_the_import_dag():
+    # The linter must never import (and thereby execute) the code it
+    # analyses; only units/parallel/errors sit beneath it.
+    from repro.analysis.rules.layering import FORBIDDEN
+
+    assert "analysis" in FORBIDDEN
+    assert {"core", "radio", "experiments", "dynamics", "obs"} <= FORBIDDEN["analysis"]

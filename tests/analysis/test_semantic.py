@@ -1,0 +1,331 @@
+"""Semantic-layer unit tests: symbol-table resolution (aliases and
+re-exports), call-graph construction (methods, nested defs, callable
+references), and dataflow fixpoint convergence on recursive chains."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import FileContext
+from repro.analysis.semantic import Project
+from repro.analysis.semantic.callgraph import (
+    build_call_graph,
+    local_types,
+    resolve_callable_ref,
+)
+from repro.analysis.semantic.dataflow import NO_TAGS, TagInterpreter, fixpoint_summaries
+from repro.analysis.semantic.symbols import SymbolTable, module_name_for
+
+
+def ctx(path: str, source: str) -> FileContext:
+    return FileContext(path=path, source=source, tree=ast.parse(source, filename=path))
+
+
+def table_for(files: dict[str, str]) -> SymbolTable:
+    return SymbolTable.build([ctx(p, s) for p, s in files.items()])
+
+
+class TestModuleNaming:
+    def test_repro_anchored_path(self):
+        c = ctx("src/repro/core/game.py", "x = 1\n")
+        assert module_name_for(c) == "repro.core.game"
+
+    def test_package_init_maps_to_package(self):
+        c = ctx("src/repro/core/__init__.py", "x = 1\n")
+        assert module_name_for(c) == "repro.core"
+
+    def test_unanchored_file_gets_private_namespace(self):
+        c = ctx("scratch/tool.py", "x = 1\n")
+        assert module_name_for(c) == "<file>.tool"
+
+
+class TestSymbolResolution:
+    def test_aliased_relative_import(self):
+        table = table_for(
+            {
+                "src/repro/rng.py": "def spawn_rng(seed, key):\n    return seed\n",
+                "src/repro/experiments/sweep.py": (
+                    "from ..rng import spawn_rng as sp\n"
+                    "def run():\n    return sp(0, 'x')\n"
+                ),
+            }
+        )
+        q = table.resolve("repro.experiments.sweep", "sp")
+        assert q == "repro.rng.spawn_rng"
+        assert table.function(q) is not None
+
+    def test_aliased_module_import(self):
+        table = table_for(
+            {
+                "src/repro/core/game.py": "def step():\n    pass\n",
+                "src/repro/experiments/x.py": (
+                    "import repro.core.game as g\n"
+                    "def run():\n    return g.step()\n"
+                ),
+            }
+        )
+        assert table.resolve("repro.experiments.x", "g.step") == "repro.core.game.step"
+
+    def test_reexport_chased_to_defining_module(self):
+        table = table_for(
+            {
+                "src/repro/core/game.py": (
+                    "class IddeUGame:\n    def solve(self):\n        pass\n"
+                ),
+                "src/repro/core/__init__.py": "from .game import IddeUGame\n",
+                "src/repro/experiments/x.py": (
+                    "from repro.core import IddeUGame\n"
+                    "def run():\n    return IddeUGame()\n"
+                ),
+            }
+        )
+        q = table.resolve("repro.experiments.x", "IddeUGame")
+        assert q == "repro.core.game.IddeUGame"
+        assert table.class_(q) is not None
+
+    def test_unknown_name_resolves_to_none(self):
+        table = table_for({"src/repro/core/x.py": "def f():\n    return len([])\n"})
+        assert table.resolve("repro.core.x", "len") is None
+        assert table.resolve("repro.core.x", "numpy.einsum") is None
+
+    def test_frozen_class_detection(self):
+        table = table_for(
+            {
+                "src/repro/core/t.py": (
+                    "from dataclasses import dataclass\n"
+                    "@dataclass(frozen=True)\n"
+                    "class P:\n    x: float\n"
+                    "@dataclass\n"
+                    "class Q:\n    x: float\n"
+                )
+            }
+        )
+        assert set(table.frozen_classes()) == {"repro.core.t.P"}
+
+
+class TestCallGraph:
+    def test_aliased_call_is_resolved_edge(self):
+        table = table_for(
+            {
+                "src/repro/rng.py": "def ensure_rng(seed):\n    return seed\n",
+                "src/repro/core/x.py": (
+                    "from ..rng import ensure_rng as er\n"
+                    "def f(seed):\n    return er(seed)\n"
+                ),
+            }
+        )
+        graph = build_call_graph(table)
+        assert graph.callees("repro.core.x.f") == {"repro.rng.ensure_rng"}
+        assert graph.callers("repro.rng.ensure_rng") == {"repro.core.x.f"}
+
+    def test_method_call_via_constructor_type(self):
+        table = table_for(
+            {
+                "src/repro/radio/sinr.py": (
+                    "class SinrEngine:\n"
+                    "    def snapshot(self):\n        pass\n"
+                ),
+                "src/repro/core/x.py": (
+                    "from ..radio.sinr import SinrEngine\n"
+                    "def f():\n"
+                    "    eng = SinrEngine()\n"
+                    "    return eng.snapshot()\n"
+                ),
+            }
+        )
+        graph = build_call_graph(table)
+        assert "repro.radio.sinr.SinrEngine.snapshot" in graph.callees("repro.core.x.f")
+        (site,) = [s for s in graph.sites_in("repro.core.x.f") if s.receiver == "eng"]
+        assert site.resolved
+
+    def test_self_method_call(self):
+        table = table_for(
+            {
+                "src/repro/core/x.py": (
+                    "class Game:\n"
+                    "    def step(self):\n        return self.cost()\n"
+                    "    def cost(self):\n        return 0.0\n"
+                )
+            }
+        )
+        graph = build_call_graph(table)
+        assert graph.callees("repro.core.x.Game.step") == {"repro.core.x.Game.cost"}
+
+    def test_nested_def_call_resolves_through_locals_mark(self):
+        table = table_for(
+            {
+                "src/repro/core/x.py": (
+                    "def outer():\n"
+                    "    def inner():\n        return 1\n"
+                    "    return inner()\n"
+                )
+            }
+        )
+        graph = build_call_graph(table)
+        assert graph.callees("repro.core.x.outer") == {
+            "repro.core.x.outer.<locals>.inner"
+        }
+
+    def test_unresolved_external_call_keeps_spelling(self):
+        table = table_for(
+            {"src/repro/core/x.py": "import numpy as np\ndef f(a):\n    return np.sum(a)\n"}
+        )
+        graph = build_call_graph(table)
+        (site,) = graph.sites_in("repro.core.x.f")
+        assert not site.resolved
+        assert site.callee == "numpy.sum"
+
+    def test_local_types_poisoned_by_rebinding(self):
+        table = table_for(
+            {
+                "src/repro/core/x.py": (
+                    "class C:\n    def m(self):\n        pass\n"
+                    "def f(other):\n"
+                    "    c = C()\n"
+                    "    c = other\n"
+                    "    d = C()\n"
+                    "    return d\n"
+                )
+            }
+        )
+        fn = table.function("repro.core.x.f")
+        types = local_types(fn, table)
+        assert "c" not in types
+        assert types["d"] == "repro.core.x.C"
+
+    def test_callable_ref_unwraps_partial_and_nested_defs(self):
+        table = table_for(
+            {
+                "src/repro/experiments/x.py": (
+                    "import functools\n"
+                    "def worker(item):\n    return item\n"
+                    "def driver(items):\n"
+                    "    def local(item):\n        return item\n"
+                    "    a = functools.partial(worker, 1)\n"
+                    "    return local, a\n"
+                )
+            }
+        )
+        fn = table.function("repro.experiments.x.driver")
+        partial_node = None
+        local_ref = None
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call) and getattr(node.func, "attr", "") == "partial":
+                partial_node = node
+            if isinstance(node, ast.Tuple):
+                local_ref = node.elts[0]
+        assert (
+            resolve_callable_ref(fn, table, partial_node)
+            == "repro.experiments.x.worker"
+        )
+        assert (
+            resolve_callable_ref(fn, table, local_ref)
+            == "repro.experiments.x.driver.<locals>.local"
+        )
+
+
+REC_SRC = """\
+def base():
+    return draw()
+
+def rec(n):
+    if n:
+        return rec(n - 1)
+    return base()
+
+def ping(n):
+    return pong(n)
+
+def pong(n):
+    if n:
+        return ping(n - 1)
+    return base()
+
+def pure(n):
+    return pure(n - 1) if n else 0
+"""
+
+
+class TestFixpoint:
+    def _summaries(self):
+        table = table_for({"src/repro/core/m.py": REC_SRC})
+        graph = build_call_graph(table)
+        functions = {fn.qname: fn for fn in table.all_functions()}
+
+        def analyze(fn, summaries):
+            tags = frozenset()
+            for site in graph.sites_in(fn.qname):
+                if site.callee.rsplit(".", 1)[-1] == "draw":
+                    tags |= {"stochastic"}
+                if site.resolved:
+                    tags |= summaries.get(site.callee, frozenset())
+            return tags
+
+        return fixpoint_summaries(
+            functions, graph, analyze, initial=lambda fn: frozenset()
+        )
+
+    def test_direct_recursion_converges(self):
+        s = self._summaries()
+        assert s["repro.core.m.rec"] == {"stochastic"}
+
+    def test_mutual_recursion_propagates_tags(self):
+        s = self._summaries()
+        assert s["repro.core.m.ping"] == {"stochastic"}
+        assert s["repro.core.m.pong"] == {"stochastic"}
+
+    def test_clean_recursion_stays_empty(self):
+        s = self._summaries()
+        assert s["repro.core.m.pure"] == frozenset()
+
+
+class _Interp(TagInterpreter):
+    """Minimal concrete interpreter: ``source()`` introduces tag ``t``."""
+
+    def eval_expr(self, node, env):
+        if isinstance(node, ast.Name):
+            return env.get(node.id, NO_TAGS)
+        if isinstance(node, ast.Call) and getattr(node.func, "id", "") == "source":
+            return frozenset({"t"})
+        tags = NO_TAGS
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                tags |= self.eval_expr(child, env)
+        return tags
+
+
+class TestTagInterpreter:
+    def _run(self, body: str) -> frozenset:
+        src = "def f(flag, xs):\n" + "".join(
+            f"    {line}\n" for line in body.splitlines()
+        )
+        table = table_for({"src/repro/core/i.py": src})
+        return _Interp(table.function("repro.core.i.f")).run()
+
+    def test_branch_join_unions_tags(self):
+        tags = self._run("x = 0\nif flag:\n    x = source()\nreturn x")
+        assert tags == {"t"}
+
+    def test_loop_back_edge_observed(self):
+        # `out` only picks up the tag via `cur` on the second body pass
+        tags = self._run(
+            "cur = 0\nout = 0\nfor i in xs:\n    out = out + cur\n    cur = source()\nreturn out"
+        )
+        assert tags == {"t"}
+
+    def test_rebinding_clears_tags(self):
+        tags = self._run("x = source()\nx = 0\nreturn x")
+        assert tags == NO_TAGS
+
+
+class TestProject:
+    def test_functions_sorted_and_shared_memoised(self):
+        project = Project.build(
+            [ctx("src/repro/core/a.py", "def b():\n    pass\ndef a():\n    pass\n")]
+        )
+        names = [fn.qname for fn in project.functions()]
+        assert names == sorted(names)
+        calls = []
+        assert project.shared("k", lambda: calls.append(1) or "v") == "v"
+        assert project.shared("k", lambda: calls.append(1) or "v") == "v"
+        assert len(calls) == 1

@@ -25,6 +25,8 @@ EXPECTED = {
     "delivery.greedy",
     "topology.all-pairs-dijkstra",
     "datasets.eua-sample",
+    "analysis.selflint.cold",
+    "analysis.selflint.warm",
 }
 
 

@@ -25,3 +25,27 @@ def test_bench_subsystem_lints_clean():
 def test_bench_layer_is_in_the_import_dag():
     # The measurement substrate must stay below the reporting harness.
     assert FORBIDDEN["bench"] == frozenset({"experiments", "viz", "cli"})
+
+
+def test_selflint_warm_cache_is_5x_faster_than_cold():
+    # The acceptance criterion for the incremental cache: a warm self-lint
+    # of src/repro must be at least 5x faster than a cold one.  The real
+    # margin is two orders of magnitude, so 5x is flake-proof.
+    import time
+
+    from repro.bench import get_benchmark
+
+    cold = get_benchmark("analysis.selflint.cold").make("S", 0)
+    warm = get_benchmark("analysis.selflint.warm").make("S", 0)
+
+    t0 = time.perf_counter()
+    cold_findings = cold()
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_findings = warm()
+    t_warm = time.perf_counter() - t0
+
+    assert cold_findings == warm_findings  # the cache never changes results
+    assert t_warm * 5 <= t_cold, (
+        f"warm self-lint {t_warm:.3f}s not 5x faster than cold {t_cold:.3f}s"
+    )

@@ -1,0 +1,65 @@
+"""Tests for the repo-level helper scripts in ``tools/``."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parents[1] / "tools"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+MYPY_REPORT = """\
+src/repro/core/game.py:10: error: Incompatible return value  [return-value]
+src/repro/core/game.py:11: note: See https://example
+src/repro/radio/sinr.py:5:17: error: Argument 1 has incompatible type  [arg-type]
+Found 2 errors in 2 files (checked 10 source files)
+"""
+
+
+class TestMypyBudget:
+    def test_count_errors_ignores_notes_and_summary(self):
+        mod = _load("check_mypy_budget")
+        assert mod.count_errors(MYPY_REPORT) == 2
+        assert mod.count_errors("Success: no issues found in 10 files\n") == 0
+
+    def test_budget_file_is_well_formed(self):
+        mod = _load("check_mypy_budget")
+        budget = mod.load_budget()
+        assert budget["target"] == "src/repro"
+        assert isinstance(budget["max_errors"], int)
+
+    def test_skips_when_mypy_missing(self, monkeypatch, capsys):
+        mod = _load("check_mypy_budget")
+        monkeypatch.setattr(mod, "run_mypy", lambda target: None)
+        assert mod.main([]) == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_fails_over_budget_and_passes_under(self, monkeypatch, capsys):
+        mod = _load("check_mypy_budget")
+        monkeypatch.setattr(mod, "run_mypy", lambda target: (1, MYPY_REPORT))
+        monkeypatch.setattr(
+            mod, "load_budget", lambda path=None: {"max_errors": 1}
+        )
+        assert mod.main([]) == 1
+        assert "budget exceeded" in capsys.readouterr().out
+        monkeypatch.setattr(
+            mod, "load_budget", lambda path=None: {"max_errors": 5}
+        )
+        assert mod.main([]) == 0
+        assert "slack" in capsys.readouterr().out
+
+    def test_update_refuses_to_grow(self, monkeypatch, capsys):
+        mod = _load("check_mypy_budget")
+        monkeypatch.setattr(mod, "run_mypy", lambda target: (1, MYPY_REPORT))
+        monkeypatch.setattr(
+            mod, "load_budget", lambda path=None: {"max_errors": 1}
+        )
+        assert mod.main(["--update"]) == 1
+        assert "refusing to grow" in capsys.readouterr().out

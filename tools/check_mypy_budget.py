@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Gate ``mypy src/repro`` against a committed error budget.
+
+The repo is typed incrementally: instead of blocking on a clean mypy run,
+CI enforces that the *number* of errors never grows past the budget in
+``tools/mypy_budget.json``.  Policy mirrors the lint baseline: the budget
+may only ever shrink.  Run with ``--update`` after a typing cleanup to
+ratchet it down (the script refuses to ratchet up).
+
+mypy is a dev-extra, not a runtime dependency; when it is not installed
+(e.g. a minimal local checkout) the check degrades to a skip so the
+script is safe to call from any environment.
+
+Usage::
+
+    python tools/check_mypy_budget.py            # gate against the budget
+    python tools/check_mypy_budget.py --update   # shrink the budget to now
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BUDGET_FILE = REPO_ROOT / "tools" / "mypy_budget.json"
+
+#: ``path:line: error: message  [code]`` — the per-error mypy report line.
+_ERROR_LINE = re.compile(r"^.+?:\d+(?::\d+)?: error: ")
+
+
+def load_budget(path: Path = BUDGET_FILE) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def count_errors(output: str) -> int:
+    """Number of error lines in a mypy report (0 for a clean run)."""
+    return sum(1 for line in output.splitlines() if _ERROR_LINE.match(line))
+
+
+def run_mypy(target: str) -> tuple[int, str] | None:
+    """(exit code, combined output), or None when mypy is not installed."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return None
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", target],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="shrink the budget to the current error count (never grows it)",
+    )
+    args = parser.parse_args(argv)
+
+    budget = load_budget()
+    target = budget.get("target", "src/repro")
+    max_errors = int(budget["max_errors"])
+
+    result = run_mypy(target)
+    if result is None:
+        print("mypy is not installed; skipping the budget check "
+              "(install the dev extras: pip install -e '.[dev]')")
+        return 0
+    code, output = result
+    errors = count_errors(output)
+    if code not in (0, 1):  # crash/usage error, not a type report
+        print(output)
+        print(f"mypy exited with unexpected status {code}")
+        return 2
+
+    if args.update:
+        if errors > max_errors:
+            print(f"refusing to grow the budget: {errors} > {max_errors}")
+            return 1
+        budget["max_errors"] = errors
+        BUDGET_FILE.write_text(json.dumps(budget, indent=2) + "\n", encoding="utf-8")
+        print(f"budget updated: max_errors = {errors}")
+        return 0
+
+    print(f"mypy {target}: {errors} error(s), budget {max_errors}")
+    if errors > max_errors:
+        print(output)
+        print(
+            f"error budget exceeded by {errors - max_errors}; fix the new "
+            "errors (or, after a deliberate decision, edit tools/mypy_budget.json)"
+        )
+        return 1
+    if errors < max_errors:
+        print(
+            f"budget has slack ({max_errors - errors}); consider ratcheting: "
+            "python tools/check_mypy_budget.py --update"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
