@@ -11,6 +11,9 @@ solution methods:
 * ``bench/`` must not import ``experiments``, ``viz``, ``cli`` (the
   measurement substrate times kernels, never the reporting harness that
   wraps them);
+* ``sharding/`` must not import ``experiments``, ``viz``, ``cli``,
+  ``bench`` (the decomposition solver is model code: the harness and the
+  benchmarks drive it, never the other way around);
 * ``obs/`` must not import any domain layer — ``core``, ``radio``,
   ``solvers``, ``baselines``, ``datasets``, ``topology``, ``bench``,
   ``experiments``, ``viz``, ``cli`` (the tracing substrate sits below
@@ -40,6 +43,7 @@ FORBIDDEN: dict[str, frozenset[str]] = {
     "datasets": frozenset({"solvers", "baselines"}),
     "topology": frozenset({"solvers", "baselines"}),
     "bench": frozenset({"experiments", "viz", "cli"}),
+    "sharding": frozenset({"experiments", "viz", "cli", "bench"}),
     "obs": frozenset(
         {
             "core",

@@ -36,6 +36,7 @@ from .core.profiles import AllocationProfile, DeliveryProfile
 from .errors import ConfigurationError
 from .obs.tracer import Tracer, ensure_tracer
 from .rng import ensure_rng
+from .sharding import ShardConfig, ShardedIddeG
 
 __all__ = ["SOLUTION_SCHEMA", "Solution", "solve"]
 
@@ -48,6 +49,10 @@ def _json_scalarish(value: Any) -> bool:
         return True
     if isinstance(value, (list, tuple)):
         return all(_json_scalarish(v) for v in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(k, str) and _json_scalarish(v) for k, v in value.items()
+        )
     return False
 
 
@@ -154,6 +159,7 @@ def solve(
     *,
     game_config: GameConfig | None = None,
     delivery_config: DeliveryConfig | None = None,
+    sharding: ShardConfig | None = None,
     tracer: Tracer | None = None,
     rng: Any = None,
     ip_time_budget_s: float | None = None,
@@ -177,6 +183,13 @@ def solve(
         solver raises :class:`~repro.errors.ConfigurationError` — baselines
         have no such phases, and silently ignoring the configs would
         mislabel the run.
+    sharding:
+        Optional :class:`~repro.sharding.ShardConfig`: phase 1 then runs
+        through the interference-domain decomposition solver
+        (:class:`~repro.sharding.ShardedIddeG`) — shards solved
+        concurrently, boundary users reconciled globally, certificate on
+        the whole instance.  Only meaningful for ``"idde-g"``; any other
+        solver raises :class:`~repro.errors.ConfigurationError`.
     tracer:
         Optional IDDE-Trace tracer threaded through every layer the run
         touches; defaults to the shared no-op.
@@ -195,12 +208,22 @@ def solve(
     name = resolve_solver_name(solver)
     opts = dict(solver_options or {})
     if name == "idde-g":
-        s = IddeG(game_config, delivery_config, tracer=tracer, **opts)
+        if sharding is not None:
+            s = ShardedIddeG(
+                game_config, delivery_config, sharding=sharding, tracer=tracer, **opts
+            )
+        else:
+            s = IddeG(game_config, delivery_config, tracer=tracer, **opts)
     else:
         if game_config is not None or delivery_config is not None:
             raise ConfigurationError(
                 f"game_config/delivery_config apply only to 'idde-g'; "
                 f"solver {name!r} has no game or greedy-delivery phase"
+            )
+        if sharding is not None:
+            raise ConfigurationError(
+                f"sharding applies only to 'idde-g'; solver {name!r} "
+                f"has no game phase to decompose"
             )
         if name == "idde-ip" and ip_time_budget_s is not None:
             opts.setdefault("time_budget_s", ip_time_budget_s)
@@ -216,6 +239,8 @@ def solve(
             max_rounds=gc.max_rounds,
             ratio_rule=dc.ratio_rule,
         )
+        if sharding is not None:
+            config["shards"] = sharding.n_shards if sharding.n_shards else "auto"
     elif name == "idde-ip":
         config["time_budget_s"] = float(opts.get("time_budget_s", 10.0))
 

@@ -20,7 +20,11 @@ Pieces:
   (``idde bench --compare OLD NEW``);
 * :mod:`~repro.bench.parity` — the kernel-pair parity harness proving the
   batched best-response kernel replays the reference move-for-move
-  (``idde bench --verify-parity``).
+  (``idde bench --verify-parity``);
+* :mod:`~repro.bench.shard_parity` — the sharded-vs-global harness
+  proving the decomposition solver certifies on the whole instance and
+  stitches bit-identically where the theory demands it
+  (``idde bench --verify-shard-parity``).
 
 See ``docs/BENCHMARKING.md`` for the workflow and the CI gate.
 """
@@ -51,6 +55,12 @@ from .parity import (
     verify_kernel_pair,
 )
 from .registry import Benchmark, all_benchmarks, benchmark, get_benchmark, select_benchmarks
+from .shard_parity import (
+    ShardPairCase,
+    ShardParityReport,
+    render_shard_parity_text,
+    verify_sharded_pair,
+)
 from .runner import BenchRunConfig, run_benchmarks, run_one
 from .timer import BenchStats, summarize, time_callable
 
@@ -67,6 +77,8 @@ __all__ = [
     "PARITY_SEEDS",
     "ParityReport",
     "ScaleSpec",
+    "ShardPairCase",
+    "ShardParityReport",
     "all_benchmarks",
     "benchmark",
     "build_document",
@@ -78,6 +90,7 @@ __all__ = [
     "load_document",
     "render_compare_text",
     "render_parity_text",
+    "render_shard_parity_text",
     "render_text",
     "run_benchmarks",
     "run_one",
@@ -88,4 +101,5 @@ __all__ = [
     "time_callable",
     "validate_document",
     "verify_kernel_pair",
+    "verify_sharded_pair",
 ]

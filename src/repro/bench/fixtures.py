@@ -16,6 +16,12 @@ Scales
 ``L``
     A stress point beyond the paper's largest setting, for optimisation
     PRs whose wins only show at scale.
+``XL``
+    A metropolitan instance: six CBD-sized districts tiled with a gap
+    wider than any coverage diameter (:func:`repro.datasets.synthetic_metro`),
+    so the interference graph decomposes naturally — the regime the
+    ``shard.*`` benchmarks measure.  Too slow for the full registry in CI;
+    the bench-trajectory job runs it filtered to ``shard``.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from dataclasses import dataclass
 
 from ..core.instance import IDDEInstance
 from ..core.profiles import AllocationProfile
-from ..datasets.eua import EuaPool, synthetic_eua
+from ..datasets.eua import EuaPool, synthetic_eua, synthetic_metro
 from ..errors import BenchError
 
 __all__ = [
@@ -40,19 +46,26 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ScaleSpec:
-    """Instance dimensions for one benchmark scale."""
+    """Instance dimensions for one benchmark scale.
+
+    ``districts > 1`` samples from a :func:`~repro.datasets.synthetic_metro`
+    pool instead of the single-CBD EUA pool, producing a naturally
+    decomposable interference graph.
+    """
 
     name: str
     n: int
     m: int
     k: int
     density: float
+    districts: int = 1
 
 
 SCALES: dict[str, ScaleSpec] = {
     "S": ScaleSpec("S", n=10, m=60, k=3, density=1.5),
     "M": ScaleSpec("M", n=30, m=200, k=5, density=1.0),
     "L": ScaleSpec("L", n=60, m=450, k=8, density=1.0),
+    "XL": ScaleSpec("XL", n=96, m=2400, k=8, density=1.0, districts=6),
 }
 
 #: Process-local memo of expensive fixture objects, keyed by (kind, scale, seed).
@@ -74,8 +87,9 @@ def instance_for(scale: str, seed: int) -> IDDEInstance:
     spec = scale_spec(scale)
     key = ("instance", spec.name, seed)
     if key not in _CACHE:
+        pool = synthetic_metro(seed, districts=spec.districts) if spec.districts > 1 else None
         _CACHE[key] = IDDEInstance.generate(
-            n=spec.n, m=spec.m, k=spec.k, density=spec.density, seed=seed
+            n=spec.n, m=spec.m, k=spec.k, density=spec.density, seed=seed, pool=pool
         )
     inst = _CACHE[key]
     assert isinstance(inst, IDDEInstance)

@@ -25,9 +25,11 @@ Subcommands
                ``idde-trace/1`` JSONL file (see docs/OBSERVABILITY.md).
 
 ``solve``, ``sweep`` and ``reproduce`` accept ``--trace out.jsonl`` to
-record a full execution trace, and ``solve``/``sweep`` accept ``--kernel
-batched`` to run the IDDE-G game on the batched evaluation kernel.  All
-solving routes through :func:`repro.api.solve`.
+record a full execution trace; ``solve``/``sweep`` accept ``--kernel
+batched`` to run the IDDE-G game on the batched evaluation kernel and
+``--shards auto|N`` to route IDDE-G through the interference-domain
+decomposition solver (see docs/SHARDING.md).  All solving routes through
+:func:`repro.api.solve`.
 """
 
 from __future__ import annotations
@@ -74,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--map", action="store_true", help="draw the scenario and IDDE-G allocation"
     )
     _add_kernel_arg(p_solve)
+    _add_shards_arg(p_solve)
     _add_trace_arg(p_solve)
     p_solve.add_argument(
         "--format", choices=["text", "json"], default="text",
@@ -84,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("set", choices=["1", "2", "3", "4"], help="Table 2 set number")
     _add_sweep_args(p_sweep)
     _add_kernel_arg(p_sweep)
+    _add_shards_arg(p_sweep)
     _add_trace_arg(p_sweep)
 
     p_rep = sub.add_parser("reproduce", help="run every set; emit the markdown report")
@@ -186,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--filter", default=None, help="run only benchmarks whose name contains this"
     )
     p_bench.add_argument(
-        "--scale", choices=["S", "M", "L"], default="S", help="fixture scale"
+        "--scale", choices=["S", "M", "L", "XL"], default="S", help="fixture scale"
     )
     p_bench.add_argument("--repeats", type=int, default=5, help="timed runs per bench")
     p_bench.add_argument("--warmup", type=int, default=1, help="discarded warmup runs")
@@ -213,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-parity", action="store_true",
         help="verify reference/batched kernel-pair parity; exit 1 on mismatch",
     )
+    p_bench.add_argument(
+        "--verify-shard-parity", action="store_true",
+        help="verify sharded-vs-global solver parity; exit 1 on mismatch",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="inspect IDDE-Trace (idde-trace/1) JSONL documents"
@@ -234,6 +242,32 @@ def _add_kernel_arg(p: argparse.ArgumentParser) -> None:
         choices=["reference", "batched"],
         default="reference",
         help="IDDE-G game evaluation kernel (the verified pair; identical results)",
+    )
+
+
+def _shards_value(text: str) -> int | str:
+    """Parse ``--shards``: the literal ``auto`` or a positive shard count."""
+    if text == "auto":
+        return "auto"
+    try:
+        n = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {text!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"shard count must be >= 1, got {n}")
+    return n
+
+
+def _add_shards_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--shards",
+        type=_shards_value,
+        default=None,
+        metavar="auto|N",
+        help="solve IDDE-G by interference-domain decomposition: 'auto' "
+        "(natural coverage domains) or a target shard count",
     )
 
 
@@ -259,6 +293,15 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--ip-budget", type=float, default=3.0, help="IDDE-IP seconds per trial")
     p.add_argument("--workers", type=int, default=None, help="worker processes")
+
+
+def _shard_config(shards: int | str | None):
+    """Map a parsed ``--shards`` value to a :class:`ShardConfig` (or None)."""
+    if shards is None:
+        return None
+    from .sharding import ShardConfig
+
+    return ShardConfig() if shards == "auto" else ShardConfig(n_shards=int(shards))
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -297,14 +340,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = IDDEInstance.generate(
         n=args.n, m=args.m, k=args.k, density=args.density, seed=args.seed
     )
+    sharding = _shard_config(args.shards)
     tracer = _make_tracer(args)
     solutions = []
     for name in names:
+        is_g = name == "idde-g"
         solutions.append(
             solve(
                 instance,
                 name,
-                game_config=GameConfig(kernel=args.kernel) if name == "idde-g" else None,
+                game_config=GameConfig(kernel=args.kernel) if is_g else None,
+                sharding=sharding if is_g else None,
                 ip_time_budget_s=args.ip_budget,
                 tracer=tracer,
                 rng=args.seed,
@@ -312,7 +358,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
     _save_trace(
         tracer, args, command="solve", solver=args.solver, kernel=args.kernel,
-        seed=args.seed,
+        seed=args.seed, shards=args.shards,
     )
 
     if args.format == "json":
@@ -361,10 +407,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ip_time_budget_s=args.ip_budget,
         parallel=ParallelConfig(n_workers=args.workers),
         kernel=args.kernel,
+        shards=args.shards,
         tracer=tracer,
     )
     _save_trace(
-        tracer, args, command="sweep", set=args.set, kernel=args.kernel, seed=args.seed
+        tracer, args, command="sweep", set=args.set, kernel=args.kernel, seed=args.seed,
+        shards=args.shards,
     )
     for metric in ("r_avg", "l_avg_ms", "time_s"):
         print(render_sweep_markdown(result, metric))
@@ -623,6 +671,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             report = verify_kernel_pair(scale=args.scale)
             print(render_parity_text(report))
             return 0 if report.ok else 1
+
+        if args.verify_shard_parity:
+            from .bench import render_shard_parity_text, verify_sharded_pair
+
+            shard_report = verify_sharded_pair(scale=args.scale)
+            print(render_shard_parity_text(shard_report))
+            return 0 if shard_report.ok else 1
 
         if args.compare is not None:
             old_path, new_path = args.compare

@@ -229,6 +229,7 @@ class IddeUGame:
                 schedule=schedule,
                 kernel=self.cfg.kernel,
                 users=self.instance.n_users,
+                warm_start=initial is not None,
             ) as span:
                 if schedule == "round-robin":
                     sweep = (

@@ -13,7 +13,7 @@ other quantity per Section 4.2.  This subpackage provides:
   and power provisioning.
 """
 
-from .eua import EuaPool, load_eua_csv, sample_scenario, synthetic_eua
+from .eua import EuaPool, load_eua_csv, sample_scenario, synthetic_eua, synthetic_metro
 from .melbourne import CBD_REGION, EUA_SERVER_COUNT, EUA_USER_COUNT
 from .synthetic import place_servers, place_users
 from .workload import (
@@ -28,6 +28,7 @@ from .workload import (
 __all__ = [
     "EuaPool",
     "synthetic_eua",
+    "synthetic_metro",
     "load_eua_csv",
     "sample_scenario",
     "CBD_REGION",

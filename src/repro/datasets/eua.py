@@ -35,7 +35,7 @@ from .workload import (
     request_matrix,
 )
 
-__all__ = ["EuaPool", "synthetic_eua", "load_eua_csv", "sample_scenario"]
+__all__ = ["EuaPool", "synthetic_eua", "synthetic_metro", "load_eua_csv", "sample_scenario"]
 
 
 @dataclass(frozen=True)
@@ -98,6 +98,50 @@ def synthetic_eua(
     )
     user_xy = place_users(server_xy, radius, n_users, rng)
     return EuaPool(server_xy=server_xy, radius=radius, user_xy=user_xy, name="synthetic-eua")
+
+
+def synthetic_metro(
+    seed: int = 0,
+    *,
+    districts: int = 6,
+    gap: float = 800.0,
+    n_servers: int = EUA_SERVER_COUNT,
+    n_users: int = EUA_USER_COUNT,
+    placement: str = "grid",
+) -> EuaPool:
+    """A metropolitan pool: several CBD-sized districts tiled along x.
+
+    Each district is an independent :func:`synthetic_eua` pool (seeded
+    ``seed * 1000 + d``) offset by the CBD width plus ``gap`` metres.  With
+    the default ``gap`` well above twice the maximum coverage radius, no
+    coverage circle spans two districts, so the interference graph of any
+    sampled scenario decomposes into per-district components — the
+    city-scale regime :mod:`repro.sharding` targets.  Deterministic in
+    ``seed``.
+    """
+    if districts < 1:
+        raise DatasetError(f"districts must be >= 1, got {districts}")
+    if gap < 0:
+        raise DatasetError(f"gap must be >= 0, got {gap}")
+    width = CBD_REGION.width
+    server_xy, radius, user_xy = [], [], []
+    for d in range(districts):
+        district = synthetic_eua(
+            seed * 1000 + d,
+            n_servers=n_servers,
+            n_users=n_users,
+            placement=placement,
+        )
+        offset = np.array([d * (width + gap), 0.0])
+        server_xy.append(district.server_xy + offset)
+        radius.append(district.radius)
+        user_xy.append(district.user_xy + offset)
+    return EuaPool(
+        server_xy=np.concatenate(server_xy),
+        radius=np.concatenate(radius),
+        user_xy=np.concatenate(user_xy),
+        name=f"synthetic-metro-{districts}",
+    )
 
 
 def load_eua_csv(

@@ -21,6 +21,7 @@ __all__ = [
     "ExperimentError",
     "DatasetError",
     "BenchError",
+    "ShardingError",
     "TraceError",
     "SolverLookupError",
 ]
@@ -78,6 +79,11 @@ class DatasetError(ReproError, ValueError):
 class BenchError(ReproError, ValueError):
     """The IDDE-Bench harness was driven with inconsistent parameters, or
     a benchmark document failed schema validation."""
+
+
+class ShardingError(ReproError, ValueError):
+    """The interference-domain decomposition layer was driven with an
+    inconsistent plan (mismatched shard/user maps, an unsolvable split)."""
 
 
 class TraceError(ReproError, ValueError):

@@ -20,6 +20,7 @@ from ..datasets.eua import EuaPool, synthetic_eua
 from ..errors import ExperimentError
 from ..obs.tracer import Tracer, ensure_tracer
 from ..rng import spawn_rng
+from ..sharding import ShardConfig, ShardedIddeG
 
 __all__ = ["SOLVER_NAMES", "TrialSpec", "TrialResult", "run_trial", "build_solver"]
 
@@ -45,6 +46,9 @@ class TrialSpec:
     #: Game evaluation kernel for the IDDE-G runs ("reference"/"batched");
     #: the kernel pair is move-for-move identical, so results match either way.
     kernel: str = "reference"
+    #: Interference-domain decomposition for the IDDE-G runs: ``None`` (off),
+    #: ``"auto"`` (natural coverage domains), or a target shard count.
+    shards: int | str | None = None
 
     def __post_init__(self) -> None:
         if self.n <= 0 or self.m < 0 or self.k <= 0:
@@ -58,6 +62,27 @@ class TrialSpec:
             raise ExperimentError(
                 f"unknown kernel {self.kernel!r}; choose from {GameConfig._KERNELS}"
             )
+        if not (
+            self.shards is None
+            or self.shards == "auto"
+            or (isinstance(self.shards, int) and self.shards >= 1)
+        ):
+            raise ExperimentError(
+                f"shards must be None, 'auto' or a positive int, got {self.shards!r}"
+            )
+
+    def shard_config(self) -> ShardConfig | None:
+        """The :class:`ShardConfig` this spec asks for (``None`` = unsharded).
+
+        Trials inside a sweep may already run in worker processes, so the
+        shard fan-out itself is pinned serial (``n_workers=0``) — nested
+        process pools would oversubscribe the host.
+        """
+        if self.shards is None:
+            return None
+        if self.shards == "auto":
+            return ShardConfig(n_workers=0)
+        return ShardConfig(n_shards=int(self.shards), n_workers=0)
 
 
 @dataclass
@@ -86,6 +111,9 @@ def build_solver(name: str, spec: TrialSpec) -> Solver:
     if name == "IDDE-IP":
         return IddeIP(time_budget_s=spec.ip_time_budget_s)
     if name == "IDDE-G":
+        shard_cfg = spec.shard_config()
+        if shard_cfg is not None:
+            return ShardedIddeG(GameConfig(kernel=spec.kernel), sharding=shard_cfg)
         return IddeG(GameConfig(kernel=spec.kernel))
     if name == "SAA":
         return SAA()
@@ -125,11 +153,12 @@ def run_trial(spec: TrialSpec, tracer: Tracer | None = None) -> TrialResult:
         "trial", n=spec.n, m=spec.m, k=spec.k, seed=spec.seed, kernel=spec.kernel
     ):
         for name in spec.solver_names:
-            game_config = GameConfig(kernel=spec.kernel) if name == "IDDE-G" else None
+            is_g = name == "IDDE-G"
             solution = solve(
                 instance,
                 name.lower(),
-                game_config=game_config,
+                game_config=GameConfig(kernel=spec.kernel) if is_g else None,
+                sharding=spec.shard_config() if is_g else None,
                 ip_time_budget_s=spec.ip_time_budget_s,
                 tracer=tracer,
                 rng=spawn_rng(spec.seed, "solver", name),

@@ -119,6 +119,7 @@ def run_sweep(
     parallel: ParallelConfig | None = None,
     keep_raw: bool = False,
     kernel: str = "reference",
+    shards: int | str | None = None,
     tracer: Tracer | None = None,
 ) -> SweepResult:
     """Run one Table 2 sweep and aggregate it.
@@ -127,7 +128,9 @@ def run_sweep(
     seed is spawned from ``(seed, set name, value, rep)`` so adding points
     or repetitions never perturbs existing trials.  ``kernel`` selects the
     IDDE-G evaluation kernel per trial (results are identical either way —
-    the pair is move-for-move verified — only the speed differs).
+    the pair is move-for-move verified — only the speed differs), and
+    ``shards`` routes the IDDE-G trials through the interference-domain
+    decomposition solver (``"auto"`` or a target count; ``None`` = off).
 
     When a recording ``tracer`` is attached, trials run serially in this
     process — a tracer cannot aggregate across worker processes — so
@@ -153,6 +156,7 @@ def run_sweep(
                     ip_time_budget_s=ip_time_budget_s,
                     solver_names=solver_names,
                     kernel=kernel,
+                    shards=shards,
                 )
             )
             layout.append((value, rep))

@@ -16,12 +16,17 @@ def chunk_sized(items: Sequence[T], size: int) -> list[list[T]]:
     return [list(items[i : i + size]) for i in range(0, len(items), size)]
 
 
-def chunk_evenly(items: Sequence[T], n_chunks: int) -> list[list[T]]:
+def chunk_evenly(
+    items: Sequence[T], n_chunks: int, *, exact: bool = False
+) -> list[list[T]]:
     """Split ``items`` into ``n_chunks`` near-equal consecutive chunks.
 
-    Earlier chunks are at most one element longer; empty chunks are
-    dropped, so fewer than ``n_chunks`` lists may be returned when there
-    are fewer items than chunks.
+    Earlier chunks are at most one element longer.  By default empty
+    chunks are *dropped*, so fewer than ``n_chunks`` lists may be returned
+    when there are fewer items than chunks — a silent-shrink hazard for
+    callers that zip the chunks against a fixed-size resource list (e.g. a
+    per-shard worker table).  Pass ``exact=True`` to always get exactly
+    ``n_chunks`` lists, padding with empty ones.
     """
     if n_chunks < 1:
         raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
@@ -32,6 +37,8 @@ def chunk_evenly(items: Sequence[T], n_chunks: int) -> list[list[T]]:
     for c in range(n_chunks):
         size = base + (1 if c < extra else 0)
         if size == 0:
+            if exact:
+                out.append([])
             continue
         out.append(list(items[start : start + size]))
         start += size

@@ -1,0 +1,29 @@
+"""Interference-domain decomposition: solve the IDDE-U game shard-by-shard.
+
+SINR coverage is spatially local, so the coverage-overlap graph splits a
+city-scale instance into weakly-coupled interference domains.  This
+package extracts those domains (:mod:`~repro.sharding.domains`), slices
+each into a self-contained sub-instance (:mod:`~repro.sharding.extract`),
+solves shards concurrently with independent RNG streams, and reconciles
+the stitched profile with global best-response sweeps so the result
+certifies as an ε-Nash on the whole instance
+(:mod:`~repro.sharding.solver`).  See ``docs/SHARDING.md``.
+"""
+
+from .config import ShardConfig
+from .domains import Domain, ShardPlan, build_plan
+from .extract import SubInstance, extract_subinstance
+from .solver import ShardedIddeG, ShardOutcome, ShardTask, solve_sharded_game
+
+__all__ = [
+    "ShardConfig",
+    "Domain",
+    "ShardPlan",
+    "build_plan",
+    "SubInstance",
+    "extract_subinstance",
+    "ShardTask",
+    "ShardOutcome",
+    "ShardedIddeG",
+    "solve_sharded_game",
+]

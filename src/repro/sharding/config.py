@@ -1,0 +1,97 @@
+"""Configuration for the interference-domain decomposition solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GameConfig
+from ..errors import ConfigurationError
+
+__all__ = ["ShardConfig"]
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ConfigurationError(msg)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How to decompose an instance into interference domains and solve them.
+
+    The default configuration shards along the *natural* coverage-overlap
+    components only — an exact decomposition (no boundary users, no
+    approximation; see :mod:`repro.sharding.domains`).  Size controls turn
+    on the two heuristics:
+
+    Attributes
+    ----------
+    n_shards:
+        Target shard count (the CLI's ``--shards N``).  Domains larger
+        than ``ceil(M / n_shards)`` users are geometrically bisected, then
+        all domains are packed into at most ``n_shards`` shards
+        (first-fit-decreasing).  ``None`` (the CLI's ``--shards auto``)
+        keeps the natural domains.
+    max_users:
+        Explicit per-domain size cap: any domain with more interior users
+        is bisected until it fits.  Splitting a connected domain creates
+        *boundary users* (covering sets spanning two sides); they are
+        deferred to the reconciliation sweeps.  ``None`` disables the cap.
+        When both ``n_shards`` and ``max_users`` are given the tighter cap
+        wins.
+    min_users:
+        Domains smaller than this are packed together with others into a
+        shared shard, amortising per-shard setup.  ``1`` (default) never
+        merges on its own (packing still happens under ``n_shards``).
+    n_workers:
+        Worker processes for the shard fan-out (``repro.parallel``
+        semantics: ``None`` = auto, ``0``/``1`` = serial).  Benchmarks pin
+        this serial via :func:`repro.parallel.force_serial` regardless.
+    reconcile_schedule:
+        Update schedule for the whole-instance reconciliation sweeps.
+        Round-robin (default) settles all boundary users in one pass per
+        sweep; the winner schedules would pay one full sweep per move.
+    reconcile_max_rounds:
+        Round cap for the reconciliation game (a safety net — a clean
+        decomposition reconciles in a single quiescent sweep).
+    """
+
+    n_shards: int | None = None
+    max_users: int | None = None
+    min_users: int = 1
+    n_workers: int | None = None
+    reconcile_schedule: str = "round-robin"
+    reconcile_max_rounds: int = 1000
+
+    def __post_init__(self) -> None:
+        _require(
+            self.n_shards is None or self.n_shards >= 1,
+            f"n_shards must be >= 1 or None, got {self.n_shards}",
+        )
+        _require(
+            self.max_users is None or self.max_users >= 1,
+            f"max_users must be >= 1 or None, got {self.max_users}",
+        )
+        _require(self.min_users >= 1, f"min_users must be >= 1, got {self.min_users}")
+        _require(
+            self.n_workers is None or self.n_workers >= 0,
+            f"n_workers must be >= 0 or None, got {self.n_workers}",
+        )
+        _require(
+            self.reconcile_schedule in GameConfig._SCHEDULES,
+            f"reconcile_schedule must be one of {GameConfig._SCHEDULES}, "
+            f"got {self.reconcile_schedule!r}",
+        )
+        _require(
+            self.reconcile_max_rounds >= 1,
+            f"reconcile_max_rounds must be >= 1, got {self.reconcile_max_rounds}",
+        )
+
+    def user_cap(self, n_users: int) -> int | None:
+        """The effective per-domain user cap for an ``n_users`` instance."""
+        caps = []
+        if self.max_users is not None:
+            caps.append(self.max_users)
+        if self.n_shards is not None:
+            caps.append(-(-n_users // self.n_shards))  # ceil division
+        return min(caps) if caps else None

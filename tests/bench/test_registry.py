@@ -82,7 +82,7 @@ class TestRegistry:
 
 class TestFixtures:
     def test_scales_defined(self):
-        assert set(SCALES) == {"S", "M", "L"}
+        assert set(SCALES) == {"S", "M", "L", "XL"}
         small, medium = scale_spec("S"), scale_spec("M")
         assert small.m < medium.m and small.n < medium.n
         # M is the paper's Section 4.2 operating point.

@@ -41,3 +41,18 @@ class TestChunkEvenly:
     def test_bad_count(self):
         with pytest.raises(ValueError):
             chunk_evenly([1], 0)
+
+    def test_default_drops_empty_chunks(self):
+        # Historical contract: fewer items than chunks silently shrinks the
+        # output — callers that index chunks positionally must pass exact.
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+
+    def test_exact_keeps_empty_chunks(self):
+        assert chunk_evenly([1, 2], 5, exact=True) == [[1], [2], [], [], []]
+
+    def test_exact_matches_default_when_items_suffice(self):
+        items = list(range(23))
+        assert chunk_evenly(items, 7, exact=True) == chunk_evenly(items, 7)
+
+    def test_exact_on_empty_input(self):
+        assert chunk_evenly([], 3, exact=True) == [[], [], []]

@@ -1,0 +1,1 @@
+"""Interference-domain decomposition solver tests."""

@@ -1,0 +1,127 @@
+"""Shard planning: components, size-capped splits, packing, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import IDDEInstance
+from repro.errors import ConfigurationError, ShardingError
+from repro.sharding import Domain, ShardConfig, ShardPlan, build_plan
+
+from ..conftest import make_instance, make_scenario
+
+
+@pytest.fixture(scope="module")
+def two_cluster_instance() -> IDDEInstance:
+    """Two coverage islands 3 km apart — exactly two natural domains."""
+    server_xy = [[0.0, 0.0], [200.0, 0.0], [3000.0, 0.0], [3200.0, 0.0]]
+    user_xy = [[float(50 + 30 * i), 10.0] for i in range(6)] + [
+        [float(3050 + 30 * i), -10.0] for i in range(6)
+    ]
+    return make_instance(make_scenario(server_xy, user_xy, radius=400.0), seed=0)
+
+
+class TestShardConfig:
+    def test_defaults_are_valid(self):
+        cfg = ShardConfig()
+        assert cfg.n_shards is None and cfg.user_cap(1000) is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_shards": 0},
+            {"max_users": 0},
+            {"min_users": 0},
+            {"n_workers": -1},
+            {"reconcile_schedule": "fastest"},
+            {"reconcile_max_rounds": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ShardConfig(**kwargs)
+
+    def test_user_cap_takes_the_tighter_bound(self):
+        assert ShardConfig(n_shards=4).user_cap(100) == 25
+        assert ShardConfig(max_users=10).user_cap(100) == 10
+        assert ShardConfig(n_shards=4, max_users=10).user_cap(100) == 10
+        assert ShardConfig(n_shards=4, max_users=50).user_cap(100) == 25
+
+
+class TestBuildPlan:
+    def test_natural_domains(self, two_cluster_instance):
+        plan = build_plan(two_cluster_instance)
+        assert plan.n_domains == 2
+        assert len(plan.shards) == 2
+        assert plan.boundary_users.size == 0
+        assert plan.uncovered_users.size == 0
+        assert not plan.is_trivial
+        all_users = np.sort(np.concatenate([d.users for d in plan.shards]))
+        np.testing.assert_array_equal(all_users, np.arange(12))
+
+    def test_deterministic(self, two_cluster_instance):
+        a = build_plan(two_cluster_instance, ShardConfig(n_shards=3))
+        b = build_plan(two_cluster_instance, ShardConfig(n_shards=3))
+        assert len(a.shards) == len(b.shards)
+        for da, db in zip(a.shards, b.shards):
+            np.testing.assert_array_equal(da.servers, db.servers)
+            np.testing.assert_array_equal(da.users, db.users)
+        np.testing.assert_array_equal(a.boundary_users, b.boundary_users)
+
+    def test_single_component_is_trivial(self, tiny_instance):
+        plan = build_plan(tiny_instance)
+        assert plan.n_domains == 1
+        assert plan.is_trivial
+
+    def test_uncovered_users_set_aside(self):
+        server_xy = [[0.0, 0.0], [200.0, 0.0]]
+        user_xy = [[50.0, 10.0], [150.0, -10.0], [9999.0, 9999.0]]
+        instance = make_instance(make_scenario(server_xy, user_xy, radius=400.0))
+        plan = build_plan(instance)
+        np.testing.assert_array_equal(plan.uncovered_users, [2])
+        assert all(2 not in d.users for d in plan.shards)
+
+    def test_packing_respects_target_count(self, two_cluster_instance):
+        plan = build_plan(two_cluster_instance, ShardConfig(n_shards=1))
+        # ceil(12/1)=12 users cap never splits; both domains pack into one.
+        assert len(plan.shards) == 1
+        assert plan.shards[0].n_users == 12
+
+    def test_split_produces_boundary_users(self, tiny_instance):
+        # Every user covers all three servers, so any cut strands them all:
+        # the cap empties the shards and defers everyone to reconciliation.
+        plan = build_plan(tiny_instance, ShardConfig(max_users=2))
+        assert sum(d.n_users for d in plan.shards) + plan.boundary_users.size == 6
+        assert plan.boundary_users.size > 0
+        assert not plan.is_trivial
+
+    def test_min_users_merges_small_domains(self, two_cluster_instance):
+        plan = build_plan(two_cluster_instance, ShardConfig(min_users=12))
+        assert len(plan.shards) == 1
+
+    def test_plan_validate_catches_bad_partition(self, two_cluster_instance):
+        good = build_plan(two_cluster_instance)
+        bad = ShardPlan(
+            shards=good.shards[:1],  # drop one shard's users entirely
+            boundary_users=good.boundary_users,
+            uncovered_users=good.uncovered_users,
+            n_domains=good.n_domains,
+            n_users=good.n_users,
+            n_servers=good.n_servers,
+        )
+        with pytest.raises(ShardingError, match="partition"):
+            bad.validate()
+
+    def test_summary_mentions_counts(self, two_cluster_instance):
+        text = build_plan(two_cluster_instance).summary()
+        assert "2 shard(s)" in text and "boundary=0" in text
+
+
+class TestDomain:
+    def test_sizes(self):
+        d = Domain(
+            servers=np.array([0, 2], dtype=np.int64),
+            users=np.array([1, 3, 5], dtype=np.int64),
+        )
+        assert d.n_servers == 2 and d.n_users == 3

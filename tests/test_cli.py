@@ -23,6 +23,21 @@ class TestParser:
         args = build_parser().parse_args(["fig1", "--days", "3"])
         assert args.days == 3
 
+    def test_shards_accepts_auto_and_counts(self):
+        assert build_parser().parse_args(["solve"]).shards is None
+        assert build_parser().parse_args(["solve", "--shards", "auto"]).shards == "auto"
+        assert build_parser().parse_args(["solve", "--shards", "4"]).shards == 4
+        assert build_parser().parse_args(["sweep", "1", "--shards", "2"]).shards == 2
+
+    def test_shards_rejects_garbage(self):
+        for bad in ("0", "-1", "many"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["solve", "--shards", bad])
+
+    def test_bench_shard_parity_flag(self):
+        args = build_parser().parse_args(["bench", "--verify-shard-parity"])
+        assert args.verify_shard_parity
+
 
 class TestCommands:
     def test_solve_single(self, capsys):
@@ -31,6 +46,14 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "IDDE-G" in out
         assert "R_avg" in out
+
+    def test_solve_sharded(self, capsys):
+        rc = main(
+            ["solve", "--n", "6", "--m", "15", "--k", "2",
+             "--solver", "idde-g", "--shards", "auto"]
+        )
+        assert rc == 0
+        assert "IDDE-G" in capsys.readouterr().out
 
     def test_solve_all(self, capsys):
         rc = main(
