@@ -43,6 +43,7 @@ FORBIDDEN: dict[str, frozenset[str]] = {
     "datasets": frozenset({"solvers", "baselines"}),
     "topology": frozenset({"solvers", "baselines"}),
     "bench": frozenset({"experiments", "viz", "cli"}),
+    "workload": frozenset({"experiments", "viz", "cli", "bench"}),
     "sharding": frozenset({"experiments", "viz", "cli", "bench"}),
     "obs": frozenset(
         {

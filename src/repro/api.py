@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from .baselines import IddeG, resolve_solver_name, solver_by_name
 from .config import DeliveryConfig, GameConfig
 from .core.delivery import DeliveryResult
@@ -33,6 +35,7 @@ from .core.game import GameResult
 from .core.instance import IDDEInstance
 from .core.objectives import Evaluation
 from .core.profiles import AllocationProfile, DeliveryProfile
+from .core.repair import repair_allocation
 from .errors import ConfigurationError
 from .obs.tracer import Tracer, ensure_tracer
 from .rng import ensure_rng
@@ -160,6 +163,8 @@ def solve(
     game_config: GameConfig | None = None,
     delivery_config: DeliveryConfig | None = None,
     sharding: ShardConfig | None = None,
+    warm_start: "Solution | AllocationProfile | None" = None,
+    active: np.ndarray | None = None,
     tracer: Tracer | None = None,
     rng: Any = None,
     ip_time_budget_s: float | None = None,
@@ -190,6 +195,23 @@ def solve(
         concurrently, boundary users reconciled globally, certificate on
         the whole instance.  Only meaningful for ``"idde-g"``; any other
         solver raises :class:`~repro.errors.ConfigurationError`.
+    warm_start:
+        A prior :class:`Solution` (or bare
+        :class:`~repro.core.profiles.AllocationProfile`) to re-enter the
+        IDDE-U game from instead of cold-solving — the incremental
+        re-solve path of the streaming engine.  The profile is first
+        *repaired* against this instance
+        (:func:`~repro.core.repair.repair_allocation`): users whose server
+        no longer covers them, whose channel no longer exists, or who fell
+        out of ``active`` are detached; the game then plays on from there
+        and re-certifies ε-Nash on the full instance (the certificate is
+        as strong as a cold solve's).  Composes with ``sharding``
+        (shard-local warm starts, boundary carry-over) and any
+        kernel/schedule.  Only meaningful for ``"idde-g"``.
+    active:
+        Optional boolean ``(M,)`` participant mask (churn): inactive users
+        never allocate and never move in the game.  Only meaningful for
+        ``"idde-g"``.
     tracer:
         Optional IDDE-Trace tracer threaded through every layer the run
         touches; defaults to the shared no-op.
@@ -207,13 +229,40 @@ def solve(
     tracer = ensure_tracer(tracer)
     name = resolve_solver_name(solver)
     opts = dict(solver_options or {})
+    warm_detached: int | None = None
     if name == "idde-g":
+        initial: AllocationProfile | None = None
+        if warm_start is not None:
+            prior = (
+                warm_start.allocation
+                if isinstance(warm_start, Solution)
+                else warm_start
+            )
+            with tracer.span("api.warm_start") as span:
+                initial, warm_detached = repair_allocation(instance, prior, active)
+                span.set(
+                    detached=warm_detached,
+                    carried=int(initial.allocated.sum()),
+                )
         if sharding is not None:
             s = ShardedIddeG(
-                game_config, delivery_config, sharding=sharding, tracer=tracer, **opts
+                game_config,
+                delivery_config,
+                sharding=sharding,
+                tracer=tracer,
+                initial=initial,
+                active=active,
+                **opts,
             )
         else:
-            s = IddeG(game_config, delivery_config, tracer=tracer, **opts)
+            s = IddeG(
+                game_config,
+                delivery_config,
+                tracer=tracer,
+                initial=initial,
+                active=active,
+                **opts,
+            )
     else:
         if game_config is not None or delivery_config is not None:
             raise ConfigurationError(
@@ -224,6 +273,11 @@ def solve(
             raise ConfigurationError(
                 f"sharding applies only to 'idde-g'; solver {name!r} "
                 f"has no game phase to decompose"
+            )
+        if warm_start is not None or active is not None:
+            raise ConfigurationError(
+                f"warm_start/active apply only to 'idde-g'; solver {name!r} "
+                f"has no game to re-enter"
             )
         if name == "idde-ip" and ip_time_budget_s is not None:
             opts.setdefault("time_budget_s", ip_time_budget_s)
@@ -241,6 +295,9 @@ def solve(
         )
         if sharding is not None:
             config["shards"] = sharding.n_shards if sharding.n_shards else "auto"
+        config["warm_start"] = warm_start is not None
+        if active is not None:
+            config["active_users"] = int(np.asarray(active, dtype=bool).sum())
     elif name == "idde-ip":
         config["time_budget_s"] = float(opts.get("time_budget_s", 10.0))
 
@@ -250,6 +307,8 @@ def solve(
         span.set(r_avg=strategy.r_avg, l_avg_ms=strategy.l_avg_ms)
 
     extras = dict(strategy.extras)
+    if warm_detached is not None:
+        extras["warm_detached"] = warm_detached
     evaluation: Evaluation = strategy.evaluation
     game: GameResult | None = extras.pop("game_result", None)
     delivery_result: DeliveryResult | None = extras.pop("delivery_result", None)

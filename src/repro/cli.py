@@ -10,6 +10,12 @@ Subcommands
 ``theory``     Print the theoretical bounds for a generated instance.
 ``dynamics``   Run the mobility extension: warm/cold/static re-solve
                policies over moving users.
+``replay``     Run the streaming workload engine: a Poisson/Zipf event
+               stream (or a saved ``idde-events/1`` trace) batched into
+               epochs, each re-solved through the façade under a
+               warm/cold/static policy; ``--verify`` re-certifies the
+               warm and cold end-states at ``effective_epsilon``
+               (see docs/STREAMING.md).
 ``gap``        Measure the Phase 2 greedy's optimality gap against the
                exact MILP delivery oracle.
 ``lint``       Run IDDE-Lint, the AST invariant checker guarding RNG
@@ -115,6 +121,44 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["warm", "cold", "static", "all"],
         help="re-solve policy",
     )
+
+    p_replay = sub.add_parser(
+        "replay", help="streaming workload replay with incremental re-solve"
+    )
+    _add_instance_args(p_replay)
+    p_replay.add_argument(
+        "--events", type=int, default=1000, help="events to generate"
+    )
+    p_replay.add_argument(
+        "--epoch-events", type=int, default=100, help="events per epoch batch"
+    )
+    p_replay.add_argument(
+        "--policy",
+        default="warm",
+        choices=["warm", "cold", "static"],
+        help="re-solve policy",
+    )
+    p_replay.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="replay a saved idde-events/1 JSONL trace instead of generating",
+    )
+    p_replay.add_argument(
+        "--save-events",
+        default=None,
+        metavar="PATH",
+        help="save the generated stream as idde-events/1 JSONL",
+    )
+    p_replay.add_argument(
+        "--verify",
+        action="store_true",
+        help="run warm AND cold over the same batches; re-certify both "
+        "end-states as ε-Nash on the final instance (exit 1 on failure)",
+    )
+    _add_kernel_arg(p_replay)
+    _add_shards_arg(p_replay)
+    _add_trace_arg(p_replay)
 
     p_gap = sub.add_parser("gap", help="greedy vs exact MILP delivery gap")
     _add_instance_args(p_gap)
@@ -473,6 +517,137 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+
+    try:
+        return _replay_impl(args)
+    except ReproError as exc:
+        print(f"idde replay: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _replay_impl(args: argparse.Namespace) -> int:
+    from .config import GameConfig
+    from .dynamics import DynamicSimulation
+    from .workload import (
+        WorkloadState,
+        batch_by_count,
+        load_events,
+        poisson_zipf_stream,
+        save_events,
+    )
+
+    instance = IDDEInstance.generate(
+        n=args.n, m=args.m, k=args.k, density=args.density, seed=args.seed
+    )
+    game_cfg = GameConfig(kernel=args.kernel)
+    shard_cfg = _shard_config(args.shards)
+    tracer = _make_tracer(args)
+
+    def _events():
+        if args.input:
+            return load_events(
+                args.input,
+                expect_users=instance.n_users,
+                expect_data=instance.n_data,
+            )
+        return poisson_zipf_stream(
+            instance.scenario, rng=args.seed, n_events=args.events
+        )
+
+    if args.save_events:
+        n = save_events(
+            _events(),
+            args.save_events,
+            n_users=instance.n_users,
+            n_data=instance.n_data,
+        )
+        print(f"wrote {n} events to {args.save_events}", file=sys.stderr)
+        args.input = args.save_events
+
+    def _run(policy: str) -> list:
+        sim = DynamicSimulation(
+            instance,
+            policy=policy,
+            game=game_cfg,
+            sharding=shard_cfg,
+            tracer=tracer,
+        )
+        return sim.run_events(
+            batch_by_count(_events(), args.epoch_events), rng=args.seed
+        )
+
+    header = (
+        f"{'policy':>7} | {'epochs':>6} | {'events':>6} | {'moves':>6} | "
+        f"{'R_avg':>7} | {'L_avg':>7} | {'solve s':>8} | {'cert':>4}"
+    )
+
+    if args.verify:
+        # One materialised batch list would hold every event; instead each
+        # policy re-reads/re-generates the identical deterministic stream.
+        print(header)
+        all_ok = True
+        results = {}
+        for policy in ("warm", "cold"):
+            records = _run(policy)
+            results[policy] = records
+            # Re-derive the final instance/mask and certify the end-state
+            # at the tolerance its own run claims.
+            state = WorkloadState.from_scenario(instance.scenario)
+            for batch in batch_by_count(_events(), args.epoch_events):
+                state.apply(batch)
+            final_instance = IDDEInstance(
+                state.scenario(instance.scenario), instance.topology, instance.radio
+            )
+            sol = records[-1].solution
+            from .core.game import IddeUGame
+
+            certified = IddeUGame(final_instance, game_cfg).is_nash(
+                sol.allocation,
+                tol=sol.game.effective_epsilon,
+                active=state.active,
+            )
+            all_ok &= certified
+            s = DynamicSimulation.summarize(records)
+            print(
+                f"{policy:>7} | {len(records):>6} | "
+                f"{sum(r.n_events for r in records):>6} | "
+                f"{sum(r.game_moves for r in records):>6} | "
+                f"{s['mean_r_avg']:7.2f} | {s['mean_l_avg_ms']:7.2f} | "
+                f"{sum(r.solve_time_s for r in records):8.3f} | "
+                f"{'ok' if certified else 'FAIL':>4}"
+            )
+        warm_t = sum(r.solve_time_s for r in results["warm"][1:])
+        cold_t = sum(r.solve_time_s for r in results["cold"][1:])
+        if warm_t > 0:
+            print(f"warm/cold re-solve speedup: {cold_t / warm_t:.1f}x", file=sys.stderr)
+        _save_trace(tracer, args, command="replay", seed=args.seed, verify=True)
+        if not all_ok:
+            print("ε-Nash certification FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    records = _run(args.policy)
+    print(header)
+    certs = [
+        r.solution.game.is_nash
+        for r in records
+        if r.solution is not None and r.solution.game is not None
+    ]
+    s = DynamicSimulation.summarize(records)
+    print(
+        f"{args.policy:>7} | {len(records):>6} | "
+        f"{sum(r.n_events for r in records):>6} | "
+        f"{sum(r.game_moves for r in records):>6} | "
+        f"{s['mean_r_avg']:7.2f} | {s['mean_l_avg_ms']:7.2f} | "
+        f"{sum(r.solve_time_s for r in records):8.3f} | "
+        f"{'ok' if all(certs) and certs else '—':>4}"
+    )
+    _save_trace(tracer, args, command="replay", seed=args.seed, policy=args.policy)
+    return 0
+
+
 def _cmd_gap(args: argparse.Namespace) -> int:
     from .core.delivery import greedy_delivery
     from .core.game import IddeUGame
@@ -756,6 +931,7 @@ _COMMANDS = {
     "fig1": _cmd_fig1,
     "theory": _cmd_theory,
     "dynamics": _cmd_dynamics,
+    "replay": _cmd_replay,
     "gap": _cmd_gap,
     "lint": _cmd_lint,
     "bench": _cmd_bench,

@@ -142,10 +142,15 @@ def greedy_delivery(
                     best_score = float(scores[i])
                     best_pick = (i, kk)
                     best_pick_gain = float(gains[i])
-                elif tracer.enabled and gains[i] > 0.0 and scores[i] <= stop_threshold:
-                    # Positive-gain candidate killed by the stopping
-                    # threshold (not merely outscored within the sweep).
-                    sweep_rejects += 1
+                if tracer.enabled:
+                    # Positive-gain candidates killed by the stopping
+                    # threshold (not merely outscored within the sweep) —
+                    # all of them, not just the item's argmax server.
+                    # Infeasible servers carry gain = -1, so positivity
+                    # implies feasibility.
+                    sweep_rejects += int(
+                        np.count_nonzero((gains > 0.0) & (scores <= stop_threshold))
+                    )
             if best_pick is None:
                 if tracer.enabled:
                     tracer.event(

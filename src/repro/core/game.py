@@ -619,17 +619,28 @@ class IddeUGame:
     # ------------------------------------------------------------------
     # certification
     # ------------------------------------------------------------------
-    def is_nash(self, profile: AllocationProfile, *, tol: float | None = None) -> bool:
+    def is_nash(
+        self,
+        profile: AllocationProfile,
+        *,
+        tol: float | None = None,
+        active: np.ndarray | None = None,
+    ) -> bool:
         """Definition 3 certificate: no user has a profitable deviation.
 
         ``tol`` defaults to the configured epsilon; a deviation must beat
         the current benefit by more than ``tol`` (relative) to disprove
-        equilibrium.
+        equilibrium.  ``active`` restricts the player set (the churn
+        extension): inactive users are not players, so their lack of an
+        allocation never disproves equilibrium.
         """
         tol = self.cfg.epsilon if tol is None else tol
         engine = self.instance.new_engine()
         engine.load_profile(profile.server, profile.channel)
-        players = self._players()
+        if active is not None:
+            players = np.flatnonzero(np.asarray(active, dtype=bool))
+        else:
+            players = self._players()
         if self.cfg.kernel == "batched":
             batch = engine.batch_best_responses(players)
             has_candidate = batch.server != UNALLOCATED

@@ -34,11 +34,18 @@ class IddeG(Solver):
         *,
         track_potential: bool = False,
         tracer: Tracer | None = None,
+        initial: AllocationProfile | None = None,
+        active: np.ndarray | None = None,
     ) -> None:
         self.game_cfg = game or GameConfig()
         self.delivery_cfg = delivery or DeliveryConfig()
         self.track_potential = track_potential
         self.tracer = ensure_tracer(tracer)
+        # Warm-start state for incremental re-solves: ``initial`` re-enters
+        # the IDDE-U game from a prior equilibrium (repair it first — see
+        # repro.core.repair), ``active`` masks out churned-away users.
+        self.initial = initial
+        self.active = active
 
     def _solve(
         self, instance: IDDEInstance, rng: np.random.Generator
@@ -49,7 +56,7 @@ class IddeG(Solver):
             track_potential=self.track_potential,
             tracer=self.tracer,
         )
-        result = game.run(rng)
+        result = game.run(rng, initial=self.initial, active=self.active)
         delivery = greedy_delivery(
             instance, result.profile, self.delivery_cfg, tracer=self.tracer
         )

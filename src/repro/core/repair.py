@@ -1,0 +1,61 @@
+"""Allocation repair: detach users an instance delta invalidated.
+
+When the scenario shifts under a standing allocation — users moved out of
+coverage, churned out of the system, or the profile simply came from a
+different (but same-shaped) instance — the profile must be *repaired*
+before it can warm-start the IDDE-U game: every allocation must satisfy
+Eq. (1) (a covering server, an existing channel) and inactive users must
+sit at the paper's ``α_j = (0,0)`` state.
+
+:func:`repair_allocation` is the per-epoch hot path of the streaming
+engine, so it is fully vectorised: one gather over the coverage matrix and
+one boolean mask, no per-user Python loop.  ``tests/core/test_repair.py``
+pins it against the straightforward loop formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import IDDEInstance
+from .profiles import UNALLOCATED, AllocationProfile
+
+__all__ = ["repair_allocation"]
+
+
+def repair_allocation(
+    instance: IDDEInstance,
+    alloc: AllocationProfile,
+    active: np.ndarray | None = None,
+) -> tuple[AllocationProfile, int]:
+    """Detach users whose assigned server no longer covers them, whose
+    channel no longer exists, or who churned out of the system.
+
+    Parameters
+    ----------
+    instance:
+        The (possibly rebuilt) instance the profile must be feasible for.
+    alloc:
+        The standing allocation; never mutated.
+    active:
+        Optional boolean ``(M,)`` participant mask — inactive users are
+        detached regardless of coverage.
+
+    Returns
+    -------
+    The repaired profile (a copy) and the number of detached users.
+    """
+    repaired = alloc.copy()
+    idx = np.flatnonzero(repaired.allocated)
+    if idx.size == 0:
+        return repaired, 0
+    scenario = instance.scenario
+    servers = repaired.server[idx]
+    bad = ~scenario.coverage[servers, idx]
+    bad |= repaired.channel[idx] >= scenario.channels[servers]
+    if active is not None:
+        bad |= ~np.asarray(active, dtype=bool)[idx]
+    drop = idx[bad]
+    repaired.server[drop] = UNALLOCATED
+    repaired.channel[drop] = UNALLOCATED
+    return repaired, int(drop.size)

@@ -1,18 +1,25 @@
-"""The dynamic IDDE epoch loop.
+"""The dynamic IDDE epoch loop, driven by streaming workload events.
 
-Per epoch: users move (a :class:`~repro.dynamics.mobility.MobilityModel`
-step), the scenario is rebuilt at the new positions, allocations
-invalidated by coverage loss are repaired, the strategy is re-solved under
-the configured policy, and the delivery profile migrates.  Collected
-per-epoch metrics quantify the cost of mobility: re-allocation churn,
-game re-convergence effort, migration bytes, and both objectives.
+Each epoch consumes one :class:`~repro.workload.EpochBatch` of events
+(user joins/leaves, moves, popularity shifts — see
+:mod:`repro.workload`), folds it into the scenario state, and re-solves
+through the :func:`repro.api.solve` façade — so every epoch composes with
+tracing (spans ``timeline.epoch`` / ``workload.batch``), sharding, the
+batched kernels, and yields a full schema-versioned
+:class:`~repro.api.Solution` on its :class:`EpochRecord`.
+
+The classic mobility-model entry point (:meth:`DynamicSimulation.run`)
+still exists: it *adapts* a :class:`~repro.dynamics.mobility.MobilityModel`
+plus optional :class:`~repro.dynamics.churn.PoissonChurn` into that same
+event stream, so both front-ends exercise one engine.
 
 Re-solve policies
 -----------------
 ``"warm"``
-    Re-run the IDDE-U game *warm-started* from the repaired previous
-    allocation, then re-run the greedy delivery.  The expected production
-    mode: churn-proportional effort.
+    Re-enter the IDDE-U game from the previous equilibrium
+    (``api.solve(..., warm_start=prev)``; the façade repairs the profile
+    first).  The expected production mode: churn-proportional effort,
+    certificate still proven on the full instance.
 ``"cold"``
     Re-solve from scratch every epoch (the static algorithm replayed —
     the paper's implicit baseline for dynamic scenarios).
@@ -25,22 +32,27 @@ Re-solve policies
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from ..config import DeliveryConfig, GameConfig
-from ..core.delivery import greedy_delivery
-from ..core.game import IddeUGame
 from ..core.instance import IDDEInstance
 from ..core.objectives import evaluate
-from ..core.profiles import UNALLOCATED, AllocationProfile, DeliveryProfile
+from ..core.profiles import DeliveryProfile
+from ..core.repair import repair_allocation
 from ..errors import ExperimentError
+from ..obs.tracer import Tracer, ensure_tracer
 from ..rng import ensure_rng
-from ..types import Scenario
-from .churn import PoissonChurn, apply_churn
+from ..workload.events import EpochBatch, Event, Move, UserJoin, UserLeave, WorkloadState
+from .churn import PoissonChurn
 from .migration import MigrationPlan, plan_migration
 from .mobility import MobilityModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..api import Solution
+    from ..sharding import ShardConfig
 
 __all__ = ["DynamicSimulation", "EpochRecord"]
 
@@ -55,6 +67,17 @@ class EpochRecord:
     while ``active_users`` lets callers renormalise when churn leaves part
     of the universe inactive (inactive users contribute zero rate, like
     the paper's ``α_j = (0,0)`` state).
+
+    ``reallocated_users`` changes meaning at the boundary: at epoch 0 it
+    is the *cold build-up* — ``n_allocated``, every user the initial solve
+    placed — while from epoch 1 on it counts users whose (server, channel)
+    pair *changed* relative to the previous epoch.  That is why
+    :meth:`DynamicSimulation.summarize` excludes epoch 0 from the churn
+    statistics.
+
+    ``solution`` carries the full façade :class:`~repro.api.Solution` for
+    ``warm``/``cold`` epochs (certificate, config, trace-ready document)
+    and is ``None`` for ``static`` epochs, which never re-solve.
     """
 
     epoch: int
@@ -66,65 +89,36 @@ class EpochRecord:
     migration: MigrationPlan
     solve_time_s: float
     active_users: int = 0
+    n_events: int = 0
+    solution: "Solution | None" = None
 
     @property
     def migration_mb(self) -> float:
         return self.migration.bytes_moved
 
 
-def _rebuild_scenario(scenario: Scenario, user_xy: np.ndarray) -> Scenario:
-    """A copy of ``scenario`` with user positions replaced."""
-    return Scenario(
-        server_xy=scenario.server_xy,
-        radius=scenario.radius,
-        storage=scenario.storage,
-        channels=scenario.channels,
-        user_xy=user_xy,
-        power=scenario.power,
-        rmax=scenario.rmax,
-        sizes=scenario.sizes,
-        requests=scenario.requests,
-    )
-
-
-def _repair_allocation(
-    instance: IDDEInstance,
-    alloc: AllocationProfile,
-    active: np.ndarray | None = None,
-) -> tuple[AllocationProfile, int]:
-    """Detach users whose assigned server no longer covers them, plus any
-    user that churned out of the system.
-
-    Returns the repaired profile and the number of detached users.
-    """
-    repaired = alloc.copy()
-    detached = 0
-    cover = instance.scenario.coverage
-    for j in np.flatnonzero(repaired.allocated):
-        gone = active is not None and not active[j]
-        if gone or not cover[repaired.server[j], j]:
-            repaired.server[j] = UNALLOCATED
-            repaired.channel[j] = UNALLOCATED
-            detached += 1
-    return repaired, detached
-
-
 class DynamicSimulation:
-    """Epoch-stepped IDDE over a mobility process."""
+    """Epoch-stepped IDDE over a streaming workload.
+
+    ``mobility`` is optional: event-driven runs (:meth:`run_events`) bring
+    their own movement; the legacy :meth:`run` entry point requires it.
+    """
 
     def __init__(
         self,
         instance: IDDEInstance,
-        mobility: MobilityModel,
+        mobility: MobilityModel | None = None,
         *,
         policy: str = "warm",
         churn: PoissonChurn | None = None,
         game: GameConfig | None = None,
         delivery: DeliveryConfig | None = None,
+        sharding: "ShardConfig | None" = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if policy not in _POLICIES:
             raise ExperimentError(f"policy must be one of {_POLICIES}, got {policy!r}")
-        if mobility.n_users != instance.n_users:
+        if mobility is not None and mobility.n_users != instance.n_users:
             raise ExperimentError(
                 f"mobility covers {mobility.n_users} users, instance has {instance.n_users}"
             )
@@ -138,6 +132,8 @@ class DynamicSimulation:
         self.churn = churn
         self.game_cfg = game or GameConfig()
         self.delivery_cfg = delivery or DeliveryConfig()
+        self.sharding = sharding
+        self.tracer = ensure_tracer(tracer)
 
     # ------------------------------------------------------------------
     def run(
@@ -146,81 +142,149 @@ class DynamicSimulation:
         dt: float,
         rng: np.random.Generator | int | None = None,
     ) -> list[EpochRecord]:
-        """Run ``epochs`` epochs of ``dt`` seconds each.
+        """Run ``epochs`` epochs of ``dt`` seconds each over the mobility
+        model (plus churn, if configured), adapted into the event engine.
 
         Epoch 0 is the initial solve at the starting positions (no
         movement, empty migration); subsequent epochs move users first.
         """
+        if self.mobility is None:
+            raise ExperimentError("run() needs a mobility model; use run_events()")
         if epochs < 1:
             raise ExperimentError(f"need at least one epoch, got {epochs}")
-        rng = ensure_rng(rng)
-        records: list[EpochRecord] = []
+        return self.run_events(self._mobility_batches(epochs, dt), rng)
 
-        instance = self.instance
-        active = self.churn.active.copy() if self.churn is not None else None
-        if active is not None:
-            scenario0 = apply_churn(instance.scenario, active)
-            instance = IDDEInstance(
-                scenario0, self.instance.topology, self.instance.radio
+    def _mobility_batches(self, epochs: int, dt: float) -> Iterable[EpochBatch]:
+        """Adapt mobility steps + churn-mask flips into event batches."""
+        assert self.mobility is not None
+        prev_active = self.churn.active.copy() if self.churn is not None else None
+        for epoch in range(1, epochs):
+            t = epoch * dt
+            events: list[Event] = []
+            positions = self.mobility.step(dt)
+            events.extend(
+                Move(t=t, user=j, x=float(x), y=float(y))
+                for j, (x, y) in enumerate(positions)
             )
-        t0 = time.perf_counter()
-        game_result = IddeUGame(instance, self.game_cfg).run(rng, active=active)
-        alloc = game_result.profile
-        delivery = greedy_delivery(instance, alloc, self.delivery_cfg).profile
-        solve_time = time.perf_counter() - t0
-        ev = evaluate(instance, alloc, delivery)
+            if self.churn is not None and prev_active is not None:
+                active = self.churn.step()
+                for j in np.flatnonzero(active != prev_active):
+                    cls = UserJoin if active[j] else UserLeave
+                    events.append(cls(t=t, user=int(j)))
+                prev_active = active.copy()
+            yield EpochBatch(epoch - 1, (epoch - 1) * dt, t, tuple(events))
+
+    # ------------------------------------------------------------------
+    def run_events(
+        self,
+        batches: Iterable[EpochBatch],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[EpochRecord]:
+        """Run the epoch loop over an event-batch stream.
+
+        Epoch 0 is the initial cold solve on the starting state; epoch
+        ``i >= 1`` applies batch ``i - 1`` and re-solves under the policy.
+        The batch iterable is consumed lazily — a generator of a million
+        events runs in bounded memory (records accumulate, events do not).
+        """
+        from ..api import solve  # local import: repro.api ↔ dynamics layering
+
+        rng = ensure_rng(rng)
+        tracer = self.tracer
+        records: list[EpochRecord] = []
+        base = self.instance.scenario
+        state = WorkloadState.from_scenario(
+            base, self.churn.active if self.churn is not None else None
+        )
+
+        def _instance_at() -> IDDEInstance:
+            return IDDEInstance(
+                state.scenario(base), self.instance.topology, self.instance.radio
+            )
+
+        def _active() -> np.ndarray:
+            # Always thread the mask: with a churn process it starts partial,
+            # and a pure event stream can flip it via UserJoin/UserLeave; an
+            # all-True mask is identical to "everyone plays".
+            return state.active.copy()
+
+        # Epoch 0: the cold build-up, through the façade like every other.
+        instance = _instance_at()
+        with tracer.span("timeline.epoch", epoch=0, policy=self.policy) as span:
+            sol = solve(
+                instance,
+                "idde-g",
+                game_config=self.game_cfg,
+                delivery_config=self.delivery_cfg,
+                sharding=self.sharding,
+                active=_active(),
+                tracer=tracer,
+                rng=rng,
+            )
+            span.set(moves=sol.game.moves if sol.game else 0, r_avg=sol.r_avg)
+        alloc, delivery = sol.allocation, sol.delivery
         empty = DeliveryProfile.empty(instance.n_servers, instance.n_data)
         records.append(
             EpochRecord(
                 epoch=0,
-                r_avg=ev.r_avg,
-                l_avg_ms=ev.l_avg_ms,
-                game_moves=game_result.moves,
+                r_avg=sol.r_avg,
+                l_avg_ms=sol.l_avg_ms,
+                game_moves=sol.game.moves if sol.game else 0,
                 reallocated_users=alloc.n_allocated,
                 uncovered_users=int((~instance.scenario.covered_users).sum()),
                 migration=plan_migration(instance, empty, delivery),
-                solve_time_s=solve_time,
-                active_users=(
-                    int(active.sum()) if active is not None else instance.n_users
-                ),
+                solve_time_s=sol.wall_time_s,
+                active_users=state.n_active,
+                n_events=0,
+                solution=sol,
             )
         )
 
-        base_scenario = self.instance.scenario
-        for epoch in range(1, epochs):
-            positions = self.mobility.step(dt).copy()
-            scenario = _rebuild_scenario(base_scenario, positions)
-            if self.churn is not None:
-                active = self.churn.step()
-                scenario = apply_churn(scenario, active)
-            instance = IDDEInstance(scenario, self.instance.topology, self.instance.radio)
-            repaired, _detached = _repair_allocation(instance, alloc, active)
+        for batch in batches:
+            epoch = batch.index + 1
+            with tracer.span(
+                "timeline.epoch", epoch=epoch, policy=self.policy
+            ) as span:
+                with tracer.span("workload.batch", events=batch.n_events) as bspan:
+                    state.apply(batch)
+                    bspan.set(active_users=state.n_active)
+                instance = _instance_at()
+                active = _active()
 
-            t0 = time.perf_counter()
-            if self.policy == "static":
-                new_alloc = repaired
-                moves = 0
-                new_delivery = delivery
-            else:
-                initial = repaired if self.policy == "warm" else None
-                result = IddeUGame(instance, self.game_cfg).run(
-                    rng, initial=initial, active=active
+                if self.policy == "static":
+                    t0 = time.perf_counter()
+                    new_alloc, _detached = repair_allocation(instance, alloc, active)
+                    solve_time = time.perf_counter() - t0
+                    moves = 0
+                    new_delivery = delivery
+                    new_sol = None
+                    ev = evaluate(instance, new_alloc, new_delivery)
+                else:
+                    new_sol = solve(
+                        instance,
+                        "idde-g",
+                        game_config=self.game_cfg,
+                        delivery_config=self.delivery_cfg,
+                        sharding=self.sharding,
+                        warm_start=alloc if self.policy == "warm" else None,
+                        active=active,
+                        tracer=tracer,
+                        rng=rng,
+                    )
+                    new_alloc = new_sol.allocation
+                    new_delivery = new_sol.delivery
+                    moves = new_sol.game.moves if new_sol.game else 0
+                    solve_time = new_sol.wall_time_s
+                    ev = new_sol.evaluation
+
+                migration = plan_migration(instance, delivery, new_delivery)
+                changed = int(
+                    (
+                        (new_alloc.server != alloc.server)
+                        | (new_alloc.channel != alloc.channel)
+                    ).sum()
                 )
-                new_alloc = result.profile
-                moves = result.moves
-                new_delivery = greedy_delivery(
-                    instance, new_alloc, self.delivery_cfg
-                ).profile
-            solve_time = time.perf_counter() - t0
-
-            migration = plan_migration(instance, delivery, new_delivery)
-            changed = int(
-                (
-                    (new_alloc.server != alloc.server)
-                    | (new_alloc.channel != alloc.channel)
-                ).sum()
-            )
-            ev = evaluate(instance, new_alloc, new_delivery)
+                span.set(moves=moves, reallocated=changed, r_avg=ev.r_avg)
             records.append(
                 EpochRecord(
                     epoch=epoch,
@@ -228,12 +292,12 @@ class DynamicSimulation:
                     l_avg_ms=ev.l_avg_ms,
                     game_moves=moves,
                     reallocated_users=changed,
-                    uncovered_users=int((~scenario.covered_users).sum()),
+                    uncovered_users=int((~instance.scenario.covered_users).sum()),
                     migration=migration,
                     solve_time_s=solve_time,
-                    active_users=(
-                        int(active.sum()) if active is not None else instance.n_users
-                    ),
+                    active_users=state.n_active,
+                    n_events=batch.n_events,
+                    solution=new_sol,
                 )
             )
             alloc, delivery = new_alloc, new_delivery
@@ -243,16 +307,39 @@ class DynamicSimulation:
     # ------------------------------------------------------------------
     @staticmethod
     def summarize(records: list[EpochRecord]) -> dict[str, float]:
-        """Aggregate a run into scalar metrics (epoch 0 excluded from the
-        churn statistics — it is the cold build-up)."""
+        """Aggregate a run into scalar metrics.
+
+        Epoch 0 is excluded from the churn statistics (``mean_realloc``,
+        ``mean_moves``, ``mean_migration_mb``, ``mean_solve_time_s``) — it
+        is the cold build-up, where ``reallocated_users`` counts every
+        placed user rather than epoch-over-epoch change.  A single-record
+        run therefore has *no* steady-state sample at all and those
+        metrics are NaN, not the cold solve in disguise.
+        """
         if not records:
             return {}
-        steady = records[1:] or records
+        steady = records[1:]
         return {
             "mean_r_avg": float(np.mean([r.r_avg for r in records])),
             "mean_l_avg_ms": float(np.mean([r.l_avg_ms for r in records])),
-            "mean_realloc": float(np.mean([r.reallocated_users for r in steady])),
-            "mean_moves": float(np.mean([r.game_moves for r in steady])),
-            "mean_migration_mb": float(np.mean([r.migration_mb for r in steady])),
-            "mean_solve_time_s": float(np.mean([r.solve_time_s for r in steady])),
+            "mean_realloc": (
+                float(np.mean([r.reallocated_users for r in steady]))
+                if steady
+                else float("nan")
+            ),
+            "mean_moves": (
+                float(np.mean([r.game_moves for r in steady]))
+                if steady
+                else float("nan")
+            ),
+            "mean_migration_mb": (
+                float(np.mean([r.migration_mb for r in steady]))
+                if steady
+                else float("nan")
+            ),
+            "mean_solve_time_s": (
+                float(np.mean([r.solve_time_s for r in steady]))
+                if steady
+                else float("nan")
+            ),
         }

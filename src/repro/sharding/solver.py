@@ -55,12 +55,21 @@ __all__ = ["ShardTask", "ShardOutcome", "ShardedIddeG", "solve_sharded_game"]
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One shard's unit of work — fully picklable, no shared state."""
+    """One shard's unit of work — fully picklable, no shared state.
+
+    ``initial_server``/``initial_channel`` carry a shard-local warm-start
+    profile (allocations to out-of-domain servers already dropped) and
+    ``active`` the shard-local participant mask; all three are ``None`` on
+    a cold solve.
+    """
 
     index: int
     root_seed: int
     instance: IDDEInstance
     cfg: GameConfig
+    initial_server: np.ndarray | None = None
+    initial_channel: np.ndarray | None = None
+    active: np.ndarray | None = None
 
 
 @dataclass(frozen=True)
@@ -81,7 +90,12 @@ class ShardOutcome:
 def _solve_shard(task: ShardTask) -> ShardOutcome:
     """Worker entry point: play the game on one shard's sub-instance."""
     rng = spawn_rng(task.root_seed, "shard", task.index)
-    result = IddeUGame(task.instance, task.cfg).run(rng=rng)
+    initial = None
+    if task.initial_server is not None and task.initial_channel is not None:
+        initial = AllocationProfile(task.initial_server, task.initial_channel)
+    result = IddeUGame(task.instance, task.cfg).run(
+        rng=rng, initial=initial, active=task.active
+    )
     return ShardOutcome(
         index=task.index,
         server=result.profile.server,
@@ -103,8 +117,17 @@ def solve_sharded_game(
     rng: np.random.Generator | int | None = None,
     tracer: Tracer | None = None,
     plan: ShardPlan | None = None,
+    initial: AllocationProfile | None = None,
+    active: np.ndarray | None = None,
 ) -> tuple[GameResult, dict[str, Any]]:
     """Solve the IDDE-U game via interference-domain decomposition.
+
+    ``initial`` warm-starts the decomposition: each shard re-enters its
+    sub-game from the prior equilibrium restricted to its domain, boundary
+    users keep their prior allocation going into reconciliation (guarded by
+    a coverage/channel check), and ``active`` masks churned-away users
+    throughout.  The certificate semantics are unchanged — the global
+    reconciliation sweep still proves the whole-instance ε-Nash.
 
     Returns the composed whole-instance :class:`GameResult` plus a stats
     dict (shard sizes, per-shard rounds/moves, reconcile effort) suitable
@@ -132,7 +155,9 @@ def solve_sharded_game(
         # Bit-identical fallback: full instance, caller's RNG untouched.
         if tracer.enabled:
             tracer.event("shard.fallback", reason="trivial-plan")
-        result = IddeUGame(instance, game_cfg, tracer=tracer).run(rng=rng)
+        result = IddeUGame(instance, game_cfg, tracer=tracer).run(
+            rng=rng, initial=initial, active=active
+        )
         stats = _stats(plan, [], result, fallback=True)
         return result, stats
 
@@ -145,15 +170,43 @@ def solve_sharded_game(
     else:
         root_seed = int(ensure_rng(rng).integers(0, 2**31 - 1))
 
-    tasks = [
-        ShardTask(
-            index=i,
-            root_seed=root_seed,
-            instance=extract_subinstance(instance, dom).instance,
-            cfg=game_cfg,
+    # Shard-local warm-start projection: inverse-map global server indices
+    # into each domain; allocations to out-of-domain servers are dropped
+    # (those users re-enter their shard's game unallocated).
+    server_pos = None
+    if initial is not None:
+        server_pos = np.full(instance.n_servers, -1, dtype=np.int64)
+
+    def _local_warmth(
+        dom: Any,
+    ) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+        loc_active = None if active is None else np.asarray(active, bool)[dom.users]
+        if initial is None:
+            return None, None, loc_active
+        assert server_pos is not None
+        server_pos.fill(-1)
+        server_pos[dom.servers] = np.arange(dom.servers.size, dtype=np.int64)
+        g_server = initial.server[dom.users]
+        g_channel = initial.channel[dom.users]
+        loc_server = np.where(g_server >= 0, server_pos[g_server], UNALLOCATED)
+        loc_channel = np.where(loc_server >= 0, g_channel, UNALLOCATED)
+        loc_server = np.where(loc_server >= 0, loc_server, UNALLOCATED)
+        return loc_server, loc_channel, loc_active
+
+    tasks = []
+    for i, dom in enumerate(plan.shards):
+        loc_server, loc_channel, loc_active = _local_warmth(dom)
+        tasks.append(
+            ShardTask(
+                index=i,
+                root_seed=root_seed,
+                instance=extract_subinstance(instance, dom).instance,
+                cfg=game_cfg,
+                initial_server=loc_server,
+                initial_channel=loc_channel,
+                active=loc_active,
+            )
         )
-        for i, dom in enumerate(plan.shards)
-    ]
 
     with tracer.span(
         "shard.solve", shards=len(tasks), workers=shard_cfg.n_workers or 0
@@ -193,6 +246,22 @@ def solve_sharded_game(
             (int(dom.users[u]), int(dom.servers[s]), int(c))
             for u, s, c in o.move_log
         )
+    if initial is not None and plan.boundary_users.size:
+        # Boundary users were withheld from every shard; let them keep their
+        # prior allocation into reconciliation instead of starting detached.
+        # Guard coverage/channel validity so a stale warm profile can't make
+        # the reconciliation game's initial-validate throw.
+        b = plan.boundary_users
+        b_server = initial.server[b]
+        ok = b_server >= 0
+        if active is not None:
+            ok &= np.asarray(active, bool)[b]
+        safe = b_server.clip(min=0)
+        ok &= instance.scenario.coverage[safe, b]
+        ok &= initial.channel[b] < instance.scenario.channels[safe]
+        seed_users = b[ok]
+        server[seed_users] = initial.server[seed_users]
+        channel[seed_users] = initial.channel[seed_users]
     stitched = AllocationProfile(server, channel)
 
     # The reconciliation threshold starts at the loosest per-shard
@@ -210,7 +279,7 @@ def solve_sharded_game(
         "shard.reconcile", boundary_users=int(plan.boundary_users.size)
     ) as span:
         rec = IddeUGame(instance, rec_cfg, tracer=tracer).run(
-            rng=spawn_rng(root_seed, "reconcile"), initial=stitched
+            rng=spawn_rng(root_seed, "reconcile"), initial=stitched, active=active
         )
         span.set(
             rounds=rec.rounds,
@@ -279,9 +348,16 @@ class ShardedIddeG(IddeG):
         sharding: ShardConfig | None = None,
         track_potential: bool = False,
         tracer: Tracer | None = None,
+        initial: AllocationProfile | None = None,
+        active: np.ndarray | None = None,
     ) -> None:
         super().__init__(
-            game, delivery, track_potential=track_potential, tracer=tracer
+            game,
+            delivery,
+            track_potential=track_potential,
+            tracer=tracer,
+            initial=initial,
+            active=active,
         )
         self.shard_cfg = sharding or ShardConfig()
 
@@ -294,6 +370,8 @@ class ShardedIddeG(IddeG):
             self.shard_cfg,
             rng=rng,
             tracer=self.tracer,
+            initial=self.initial,
+            active=self.active,
         )
         delivery = greedy_delivery(
             instance, result.profile, self.delivery_cfg, tracer=self.tracer

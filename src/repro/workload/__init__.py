@@ -1,0 +1,37 @@
+"""Streaming workloads: lazy event streams, epoch batching, trace replay.
+
+The live-traffic layer the ROADMAP asks for: Poisson-arrival /
+Zipf-popularity event generators (icarus-style lazy iterators),
+``idde-events/1`` JSONL replay, and the :class:`WorkloadState` fold that
+turns batches of events into per-epoch :class:`~repro.types.Scenario`
+snapshots for warm-started re-solves through :func:`repro.api.solve`.
+"""
+
+from .events import (
+    EpochBatch,
+    Event,
+    Move,
+    PopularityShift,
+    UserJoin,
+    UserLeave,
+    WorkloadState,
+)
+from .generators import StreamConfig, batch_by_count, batch_by_time, poisson_zipf_stream
+from .replay import EVENTS_SCHEMA, load_events, save_events
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "EpochBatch",
+    "Event",
+    "Move",
+    "PopularityShift",
+    "StreamConfig",
+    "UserJoin",
+    "UserLeave",
+    "WorkloadState",
+    "batch_by_count",
+    "batch_by_time",
+    "load_events",
+    "poisson_zipf_stream",
+    "save_events",
+]

@@ -1,0 +1,219 @@
+"""Lazy Poisson/Zipf event-stream generation and epoch batching.
+
+The generator shape follows the caching-simulator tradition (icarus-style
+iterator workloads): events are *yielded*, never materialised, so a
+million-event day-in-the-life run holds one event in memory at a time.
+
+:func:`poisson_zipf_stream` is a continuous-time Markov chain over the
+fixed user universe, simulated by competing exponentials:
+
+* each **inactive** user re-arrives at rate ``arrival_rate`` (→
+  :class:`~repro.workload.events.UserJoin`);
+* each **active** user departs at rate ``departure_rate`` (→
+  :class:`~repro.workload.events.UserLeave`) and takes a Gaussian step of
+  scale ``move_sigma`` at rate ``move_rate`` (→
+  :class:`~repro.workload.events.Move`, clipped to the region bounds);
+* the catalogue drifts at global rate ``shift_rate``: two item ranks drawn
+  from the Zipf(``zipf_exponent``) popularity law swap places (→
+  :class:`~repro.workload.events.PopularityShift`) — popular items churn
+  position more often than tail items, the classic popularity-drift model.
+
+The generator tracks its own copy of positions and the active mask so the
+``Move`` events it emits carry *absolute* coordinates — a saved stream
+replays exactly (see :mod:`repro.workload.replay`) without re-running the
+process.
+
+:func:`batch_by_count` / :func:`batch_by_time` group any event iterator
+into :class:`~repro.workload.events.EpochBatch` windows, again lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..config import WorkloadConfig
+from ..datasets.workload import zipf_weights
+from ..errors import ConfigurationError
+from ..rng import ensure_rng
+from ..types import Scenario
+from .events import EpochBatch, Event, Move, PopularityShift, UserJoin, UserLeave
+
+__all__ = [
+    "StreamConfig",
+    "poisson_zipf_stream",
+    "batch_by_count",
+    "batch_by_time",
+]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Rates (per second) and shape parameters of the synthetic stream.
+
+    Per-user rates multiply by the current pool size, so the aggregate
+    event intensity scales with the instance — the M fixture at the
+    defaults produces a mobility-dominated mix with a steady trickle of
+    churn, roughly 40 events per simulated minute for 200 users.
+    """
+
+    arrival_rate: float = 0.02  #: per inactive user
+    departure_rate: float = 0.005  #: per active user
+    move_rate: float = 0.05  #: per active user
+    shift_rate: float = 0.01  #: global catalogue-drift rate
+    move_sigma: float = 60.0  #: Gaussian step scale, metres
+    zipf_exponent: float = WorkloadConfig().zipf_exponent
+
+    def __post_init__(self) -> None:
+        for name in ("arrival_rate", "departure_rate", "move_rate", "shift_rate"):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.move_sigma <= 0.0:
+            raise ConfigurationError(f"move_sigma must be > 0, got {self.move_sigma}")
+        if self.zipf_exponent < 0.0:
+            raise ConfigurationError(
+                f"zipf_exponent must be >= 0, got {self.zipf_exponent}"
+            )
+
+
+def _bounds_of(scenario: Scenario) -> tuple[float, float, float, float]:
+    """The region users roam in: the server/user bounding box, padded by
+    the largest coverage radius so edge users can still wander near the rim."""
+    xs = np.concatenate([scenario.server_xy[:, 0], scenario.user_xy[:, 0]])
+    ys = np.concatenate([scenario.server_xy[:, 1], scenario.user_xy[:, 1]])
+    pad = float(scenario.radius.max())
+    return (
+        float(xs.min()) - pad,
+        float(ys.min()) - pad,
+        float(xs.max()) + pad,
+        float(ys.max()) + pad,
+    )
+
+
+def poisson_zipf_stream(
+    scenario: Scenario,
+    rng: object = None,
+    config: StreamConfig | None = None,
+    *,
+    n_events: int | None = None,
+    horizon_s: float | None = None,
+    initial_active: np.ndarray | None = None,
+    bounds: tuple[float, float, float, float] | None = None,
+) -> Iterator[Event]:
+    """Yield a lazily-generated event stream over ``scenario``'s users.
+
+    Stop after ``n_events`` events, at simulated time ``horizon_s``,
+    or never (an infinite stream) if neither is given — callers must then
+    bound consumption themselves (e.g. ``itertools.islice``).
+    """
+    cfg = config or StreamConfig()
+    if n_events is not None and n_events < 0:
+        raise ConfigurationError(f"n_events must be >= 0, got {n_events}")
+    gen = ensure_rng(rng)
+    m = scenario.n_users
+    active = (
+        np.ones(m, dtype=bool)
+        if initial_active is None
+        else np.asarray(initial_active, dtype=bool).copy()
+    )
+    if active.shape != (m,):
+        raise ConfigurationError(
+            f"initial_active shape {active.shape} mismatches {m} users"
+        )
+    positions = scenario.user_xy.astype(float).copy()
+    xmin, ymin, xmax, ymax = bounds if bounds is not None else _bounds_of(scenario)
+    zipf = zipf_weights(scenario.n_data, cfg.zipf_exponent)
+
+    t = 0.0
+    emitted = 0
+    while n_events is None or emitted < n_events:
+        n_active = int(active.sum())
+        n_inactive = m - n_active
+        rates = np.array(
+            [
+                cfg.arrival_rate * n_inactive,
+                cfg.departure_rate * n_active,
+                cfg.move_rate * n_active,
+                cfg.shift_rate,
+            ]
+        )
+        total = float(rates.sum())
+        if total <= 0.0:
+            raise ConfigurationError(
+                "event process is dead: all rates are zero for the current state"
+            )
+        t += float(gen.exponential(1.0 / total))
+        if horizon_s is not None and t >= horizon_s:
+            return
+        choice = int(gen.choice(4, p=rates / total))
+        if choice == 0:
+            user = int(gen.choice(np.flatnonzero(~active)))
+            active[user] = True
+            yield UserJoin(t=t, user=user)
+        elif choice == 1:
+            user = int(gen.choice(np.flatnonzero(active)))
+            active[user] = False
+            yield UserLeave(t=t, user=user)
+        elif choice == 2:
+            user = int(gen.choice(np.flatnonzero(active)))
+            step = gen.normal(0.0, cfg.move_sigma, size=2)
+            x = float(np.clip(positions[user, 0] + step[0], xmin, xmax))
+            y = float(np.clip(positions[user, 1] + step[1], ymin, ymax))
+            positions[user] = (x, y)
+            yield Move(t=t, user=user, x=x, y=y)
+        else:
+            k = scenario.n_data
+            order = np.arange(k, dtype=np.int64)
+            if k >= 2:
+                a, b = gen.choice(k, size=2, replace=False, p=zipf)
+                order[[a, b]] = order[[b, a]]
+            yield PopularityShift(t=t, order=tuple(int(i) for i in order))
+        emitted += 1
+
+
+def batch_by_count(events: Iterable[Event], per_epoch: int) -> Iterator[EpochBatch]:
+    """Group an event iterator into fixed-size epochs, lazily.
+
+    The final (possibly short) remainder batch is emitted too, so every
+    event reaches the consumer.
+    """
+    if per_epoch <= 0:
+        raise ConfigurationError(f"per_epoch must be > 0, got {per_epoch}")
+    index = 0
+    t_start = 0.0
+    buf: list[Event] = []
+    for ev in events:
+        buf.append(ev)
+        if len(buf) == per_epoch:
+            yield EpochBatch(index, t_start, buf[-1].t, tuple(buf))
+            index += 1
+            t_start = buf[-1].t
+            buf = []
+    if buf:
+        yield EpochBatch(index, t_start, buf[-1].t, tuple(buf))
+
+
+def batch_by_time(events: Iterable[Event], epoch_s: float) -> Iterator[EpochBatch]:
+    """Group an event iterator into fixed-duration epochs, lazily.
+
+    Epoch ``i`` covers ``[i*epoch_s, (i+1)*epoch_s)``; quiet windows with
+    no events are skipped rather than emitted empty (an empty batch would
+    re-solve an unchanged instance).
+    """
+    if epoch_s <= 0.0:
+        raise ConfigurationError(f"epoch_s must be > 0, got {epoch_s}")
+    index = 0
+    buf: list[Event] = []
+    for ev in events:
+        while ev.t >= (index + 1) * epoch_s:
+            if buf:
+                yield EpochBatch(
+                    index, index * epoch_s, (index + 1) * epoch_s, tuple(buf)
+                )
+                buf = []
+            index += 1
+        buf.append(ev)
+    if buf:
+        yield EpochBatch(index, index * epoch_s, (index + 1) * epoch_s, tuple(buf))

@@ -1,0 +1,114 @@
+"""Trace-driven replay: stream events to and from ``idde-events/1`` JSONL.
+
+One JSON object per line; the first line is a header carrying the schema
+tag and the user/item universe the trace was generated for, so a replay
+against a mismatched instance fails loudly instead of silently corrupting
+indices.  Both directions are *streaming*: :func:`save_events` consumes
+any event iterable line-by-line (a lazily generated million-event stream
+never materialises), and :func:`load_events` yields events straight off
+the file handle.
+
+Wire format::
+
+    {"schema": "idde-events/1", "n_users": 200, "n_data": 5}
+    {"kind": "move", "t": 1.93, "user": 17, "x": 812.4, "y": 409.1}
+    {"kind": "leave", "t": 4.02, "user": 3}
+    {"kind": "join", "t": 9.77, "user": 3}
+    {"kind": "shift", "t": 12.5, "order": [1, 0, 2, 3, 4]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..errors import DatasetError
+from .events import Event, Move, PopularityShift, UserJoin, UserLeave
+
+__all__ = ["EVENTS_SCHEMA", "save_events", "load_events"]
+
+EVENTS_SCHEMA = "idde-events/1"
+
+_KINDS: dict[str, type[Event]] = {
+    "join": UserJoin,
+    "leave": UserLeave,
+    "move": Move,
+    "shift": PopularityShift,
+}
+
+
+def save_events(
+    events: Iterable[Event],
+    path: str | Path,
+    *,
+    n_users: int,
+    n_data: int,
+) -> int:
+    """Write a header line plus one line per event; returns the event count.
+
+    The iterable is consumed incrementally — safe to hand a lazy generator
+    of arbitrary length.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        header = {"schema": EVENTS_SCHEMA, "n_users": n_users, "n_data": n_data}
+        fh.write(json.dumps(header) + "\n")
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def _parse_event(doc: dict[str, Any], lineno: int) -> Event:
+    kind = doc.pop("kind", None)
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise DatasetError(f"line {lineno}: unknown event kind {kind!r}")
+    if cls is PopularityShift and "order" in doc:
+        doc["order"] = tuple(int(i) for i in doc["order"])
+    try:
+        return cls(**doc)
+    except TypeError as exc:
+        raise DatasetError(f"line {lineno}: malformed {kind!r} event: {exc}") from exc
+
+
+def load_events(
+    path: str | Path,
+    *,
+    expect_users: int | None = None,
+    expect_data: int | None = None,
+) -> Iterator[Event]:
+    """Yield events from an ``idde-events/1`` file, lazily.
+
+    ``expect_users`` / ``expect_data`` (pass the target instance's sizes)
+    guard against replaying a trace onto the wrong universe.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise DatasetError(f"{path}: empty event file (missing header)")
+        header = json.loads(first)
+        if header.get("schema") != EVENTS_SCHEMA:
+            raise DatasetError(
+                f"{path}: expected schema {EVENTS_SCHEMA!r}, "
+                f"got {header.get('schema')!r}"
+            )
+        if expect_users is not None and header.get("n_users") != expect_users:
+            raise DatasetError(
+                f"{path}: trace covers {header.get('n_users')} users, "
+                f"instance has {expect_users}"
+            )
+        if expect_data is not None and header.get("n_data") != expect_data:
+            raise DatasetError(
+                f"{path}: trace covers {header.get('n_data')} items, "
+                f"instance has {expect_data}"
+            )
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            yield _parse_event(json.loads(line), lineno)

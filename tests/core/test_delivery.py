@@ -215,3 +215,49 @@ class TestRatioVsAbsolute:
                 medium_instance, alloc, DeliveryConfig(ratio_rule=rule)
             )
             result.profile.validate(medium_instance.scenario)
+
+
+class TestThresholdRejectCount:
+    """The terminal sweep's ``rejected`` count covers *every* positive-gain
+    candidate the stopping threshold killed — not just each item's argmax
+    server (the old undercount)."""
+
+    def test_counts_all_positive_gain_candidates(self, line_instance, line_alloc):
+        from repro.core.delivery import attached_request_counts
+        from repro.obs.tracer import RecordingTracer
+
+        cfg = DeliveryConfig(min_gain_s_per_mb=1e9)  # kills every placement
+        tracer = RecordingTracer()
+        result = greedy_delivery(line_instance, line_alloc, cfg, tracer=tracer)
+        assert result.placements == []
+
+        stops = [e for e in tracer.events if e.etype == "delivery.stop"]
+        assert len(stops) == 1
+        rejected = stops[0].fields["rejected"]
+        assert tracer.counters["delivery.threshold_rejects"] == rejected
+
+        # Independent recomputation of the first (= terminal) sweep.
+        pc = line_instance.latency_model.path_cost
+        cloud = line_instance.latency_model.cloud_cost
+        counts = attached_request_counts(line_instance, line_alloc).astype(float)
+        sizes = line_instance.scenario.sizes
+        residual = line_instance.scenario.storage.astype(float)
+        per_item = []
+        for kk in range(line_instance.n_data):
+            s_k = sizes[kk]
+            feasible = residual >= s_k
+            improvement = np.maximum(cloud * s_k - s_k * pc, 0.0)
+            gains = improvement @ counts[kk]
+            per_item.append(int(((gains > 0.0) & feasible).sum()))
+        assert rejected == sum(per_item)
+        # The scenario exercises the fixed path: at least one item has
+        # several positive-gain servers, so the old argmax-only counter
+        # (at most one per item) necessarily undercounted.
+        assert max(per_item) > 1
+        assert rejected > sum(1 for p in per_item if p > 0)
+
+    def test_untraced_run_unaffected(self, line_instance, line_alloc):
+        cfg = DeliveryConfig(min_gain_s_per_mb=1e9)
+        result = greedy_delivery(line_instance, line_alloc, cfg)
+        assert result.placements == []
+        assert result.iterations == 0

@@ -1,0 +1,132 @@
+"""repair_allocation tests: the vectorised hot path vs the loop formulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.game import IddeUGame
+from repro.core.profiles import UNALLOCATED, AllocationProfile
+from repro.core.repair import repair_allocation
+
+
+def _loop_repair(instance, alloc, active=None):
+    """The straightforward per-user formulation the vectorised path must match."""
+    scenario = instance.scenario
+    repaired = alloc.copy()
+    detached = 0
+    mask = (
+        np.ones(instance.n_users, dtype=bool)
+        if active is None
+        else np.asarray(active, dtype=bool)
+    )
+    for j in range(instance.n_users):
+        s = repaired.server[j]
+        if s == UNALLOCATED:
+            continue
+        ok = (
+            scenario.coverage[s, j]
+            and repaired.channel[j] < scenario.channels[s]
+            and mask[j]
+        )
+        if not ok:
+            repaired.server[j] = UNALLOCATED
+            repaired.channel[j] = UNALLOCATED
+            detached += 1
+    return repaired, detached
+
+
+@pytest.fixture(scope="module")
+def equilibrium(small_instance):
+    return IddeUGame(small_instance).run(rng=0).profile
+
+
+class TestParity:
+    def test_matches_loop_on_shifted_positions(self, small_instance, equilibrium):
+        # Perturb positions so some users genuinely fall out of coverage.
+        rng = np.random.default_rng(3)
+        scen = small_instance.scenario
+        moved = scen.user_xy + rng.normal(0.0, 400.0, size=scen.user_xy.shape)
+        from repro.core.instance import IDDEInstance
+        from repro.types import Scenario
+
+        shifted = IDDEInstance(
+            Scenario(
+                server_xy=scen.server_xy,
+                radius=scen.radius,
+                storage=scen.storage,
+                channels=scen.channels,
+                user_xy=moved,
+                power=scen.power,
+                rmax=scen.rmax,
+                sizes=scen.sizes,
+                requests=scen.requests,
+            ),
+            small_instance.topology,
+            small_instance.radio,
+        )
+        vec, n_vec = repair_allocation(shifted, equilibrium)
+        loop, n_loop = _loop_repair(shifted, equilibrium)
+        assert n_vec == n_loop > 0
+        np.testing.assert_array_equal(vec.server, loop.server)
+        np.testing.assert_array_equal(vec.channel, loop.channel)
+
+    def test_matches_loop_with_active_mask(self, small_instance, equilibrium):
+        rng = np.random.default_rng(4)
+        active = rng.random(small_instance.n_users) < 0.6
+        vec, n_vec = repair_allocation(small_instance, equilibrium, active)
+        loop, n_loop = _loop_repair(small_instance, equilibrium, active)
+        assert n_vec == n_loop
+        np.testing.assert_array_equal(vec.server, loop.server)
+        np.testing.assert_array_equal(vec.channel, loop.channel)
+
+    def test_matches_loop_with_shrunk_channels(self, small_instance, equilibrium):
+        from repro.core.instance import IDDEInstance
+        from repro.types import Scenario
+
+        scen = small_instance.scenario
+        shrunk = IDDEInstance(
+            Scenario(
+                server_xy=scen.server_xy,
+                radius=scen.radius,
+                storage=scen.storage,
+                channels=np.ones_like(scen.channels),
+                user_xy=scen.user_xy,
+                power=scen.power,
+                rmax=scen.rmax,
+                sizes=scen.sizes,
+                requests=scen.requests,
+            ),
+            small_instance.topology,
+            small_instance.radio,
+        )
+        vec, n_vec = repair_allocation(shrunk, equilibrium)
+        loop, n_loop = _loop_repair(shrunk, equilibrium)
+        assert n_vec == n_loop
+        np.testing.assert_array_equal(vec.server, loop.server)
+        np.testing.assert_array_equal(vec.channel, loop.channel)
+
+
+class TestBehaviour:
+    def test_noop_on_feasible_profile(self, small_instance, equilibrium):
+        repaired, detached = repair_allocation(small_instance, equilibrium)
+        assert detached == 0
+        np.testing.assert_array_equal(repaired.server, equilibrium.server)
+
+    def test_never_mutates_input(self, small_instance, equilibrium):
+        before = equilibrium.server.copy()
+        active = np.zeros(small_instance.n_users, dtype=bool)
+        repaired, detached = repair_allocation(small_instance, equilibrium, active)
+        np.testing.assert_array_equal(equilibrium.server, before)
+        assert detached == int(equilibrium.allocated.sum())
+        assert repaired.n_allocated == 0
+
+    def test_detached_users_fully_cleared(self, small_instance, equilibrium):
+        active = np.zeros(small_instance.n_users, dtype=bool)
+        repaired, _ = repair_allocation(small_instance, equilibrium, active)
+        assert (repaired.server == UNALLOCATED).all()
+        assert (repaired.channel == UNALLOCATED).all()
+
+    def test_empty_profile(self, small_instance):
+        empty = AllocationProfile.empty(small_instance.n_users)
+        repaired, detached = repair_allocation(small_instance, empty)
+        assert detached == 0
+        assert repaired.n_allocated == 0

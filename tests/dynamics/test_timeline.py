@@ -124,3 +124,99 @@ class TestSummary:
 
     def test_empty_summary(self):
         assert DynamicSimulation.summarize([]) == {}
+
+    def test_single_record_steady_metrics_are_nan(self, instance):
+        """Epoch 0 is cold build-up, not churn: a 1-epoch run has no
+        steady-state sample, so the churn statistics are NaN rather than
+        the cold solve in disguise."""
+        sim = DynamicSimulation(instance, waypoint(instance))
+        records = sim.run(epochs=1, dt=10.0, rng=0)
+        summary = DynamicSimulation.summarize(records)
+        for key in (
+            "mean_realloc",
+            "mean_moves",
+            "mean_migration_mb",
+            "mean_solve_time_s",
+        ):
+            assert np.isnan(summary[key]), key
+        assert summary["mean_r_avg"] == pytest.approx(records[0].r_avg)
+
+    def test_multi_record_steady_metrics_exclude_epoch_zero(self, instance):
+        sim = DynamicSimulation(instance, waypoint(instance))
+        records = sim.run(epochs=3, dt=10.0, rng=0)
+        summary = DynamicSimulation.summarize(records)
+        assert summary["mean_realloc"] == pytest.approx(
+            np.mean([r.reallocated_users for r in records[1:]])
+        )
+        # Epoch 0's reallocated_users is the cold fill (n_allocated), which
+        # would otherwise swamp the epoch-over-epoch change statistic.
+        assert records[0].reallocated_users > summary["mean_realloc"]
+
+
+class TestEventDriven:
+    """run_events: the streaming front-end of the same engine."""
+
+    def _stream(self, instance, n_events=120, per_epoch=40, seed=0, **kw):
+        from repro.workload import StreamConfig, batch_by_count, poisson_zipf_stream
+
+        cfg = StreamConfig(move_sigma=20.0, **kw)
+        return batch_by_count(
+            poisson_zipf_stream(
+                instance.scenario, rng=seed, config=cfg, n_events=n_events
+            ),
+            per_epoch,
+        )
+
+    def test_records_and_solutions(self, instance):
+        sim = DynamicSimulation(instance, policy="warm")
+        records = sim.run_events(self._stream(instance), rng=0)
+        assert [r.epoch for r in records] == [0, 1, 2, 3]
+        assert records[0].n_events == 0
+        assert sum(r.n_events for r in records) == 120
+        for r in records:
+            assert r.solution is not None
+            assert r.solution.game.is_nash
+            assert r.active_users == r.solution.config.get(
+                "active_users", instance.n_users
+            )
+
+    def test_warm_epochs_declare_warm_start(self, instance):
+        records = DynamicSimulation(instance, policy="warm").run_events(
+            self._stream(instance), rng=0
+        )
+        assert records[0].solution.config["warm_start"] is False
+        assert all(r.solution.config["warm_start"] for r in records[1:])
+        cold = DynamicSimulation(instance, policy="cold").run_events(
+            self._stream(instance), rng=0
+        )
+        assert all(not r.solution.config["warm_start"] for r in cold)
+
+    def test_static_policy_has_no_solutions_after_epoch_zero(self, instance):
+        records = DynamicSimulation(instance, policy="static").run_events(
+            self._stream(instance), rng=0
+        )
+        assert records[0].solution is not None
+        assert all(r.solution is None for r in records[1:])
+        assert all(r.game_moves == 0 for r in records[1:])
+
+    def test_leave_events_shrink_active_count(self, instance):
+        from repro.workload import EpochBatch, UserLeave
+
+        batch = EpochBatch(
+            0, 0.0, 1.0, tuple(UserLeave(t=1.0, user=j) for j in range(5))
+        )
+        records = DynamicSimulation(instance, policy="warm").run_events(
+            [batch], rng=0
+        )
+        assert records[0].active_users == instance.n_users
+        assert records[1].active_users == instance.n_users - 5
+        # Departed users end the epoch unallocated.
+        alloc = records[1].solution.allocation
+        assert not alloc.allocated[:5].any()
+
+    def test_mobility_and_event_frontends_share_engine(self, instance):
+        """run() is an adapter: its records carry façade solutions too."""
+        sim = DynamicSimulation(instance, waypoint(instance), policy="cold")
+        records = sim.run(epochs=2, dt=10.0, rng=0)
+        assert all(r.solution is not None for r in records)
+        assert records[1].n_events >= instance.n_users  # a Move per user

@@ -106,6 +106,52 @@ class TestChurnProperties:
         twice = apply_churn(once, active)
         assert np.array_equal(once.requests, twice.requests)
 
+    @FAST
+    @given(st.integers(0, 2**16), st.integers(1, 6))
+    def test_apply_churn_preserves_dtype_and_shape_repeatedly(self, seed, reps):
+        from repro.datasets.eua import sample_scenario, synthetic_eua
+
+        rng = np.random.default_rng(seed)
+        pool = synthetic_eua(0, n_servers=10, n_users=30)
+        sc = sample_scenario(pool, 5, 12, 3, rng)
+        cur = sc
+        for _ in range(reps):
+            active = rng.random(12) < 0.7
+            cur = apply_churn(cur, active)
+            assert cur.requests.dtype == sc.requests.dtype
+            assert cur.requests.shape == sc.requests.shape
+            assert not cur.requests[~active].any()
+
+    @FAST
+    @given(instances(full_coverage=True), st.integers(0, 2**16))
+    def test_departed_rearrived_user_reenters_unallocated(self, instance, seed):
+        """The churn round trip leaves no stale state: a departed user is
+        fully detached, and on re-arrival the game sees it unallocated —
+        any new allocation is freshly feasible, never a resurrected pair."""
+        from repro.core.game import IddeUGame
+        from repro.core.profiles import UNALLOCATED
+        from repro.core.repair import repair_allocation
+
+        rng = np.random.default_rng(seed)
+        alloc = IddeUGame(instance).run(rng=rng).profile
+        m = instance.n_users
+        user = int(rng.integers(m))
+        active = np.ones(m, dtype=bool)
+        active[user] = False
+        departed, _ = repair_allocation(instance, alloc, active)
+        assert departed.server[user] == UNALLOCATED
+        assert departed.channel[user] == UNALLOCATED
+        # Re-arrival: repairing again must not resurrect the old pair.
+        active[user] = True
+        back, _ = repair_allocation(instance, departed, active)
+        assert back.server[user] == UNALLOCATED
+        assert back.channel[user] == UNALLOCATED
+        result = IddeUGame(instance).run(rng=rng, initial=back, active=active)
+        if result.profile.server[user] != UNALLOCATED:
+            s = int(result.profile.server[user])
+            assert instance.scenario.coverage[s, user]
+            assert 0 <= result.profile.channel[user] < instance.scenario.channels[s]
+
 
 class TestMobilityProperties:
     @FAST

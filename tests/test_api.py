@@ -124,3 +124,72 @@ class TestSolutionConstruction:
         with pytest.raises(AttributeError):
             sol.solver = "other"
         assert isinstance(sol, Solution)
+
+
+class TestWarmStart:
+    def test_warm_from_equilibrium_is_zero_moves(self, instance):
+        cold = solve(instance, "idde-g", rng=0)
+        warm = solve(instance, "idde-g", warm_start=cold, rng=1)
+        assert warm.game.moves == 0
+        assert warm.game.is_nash
+        assert warm.config["warm_start"] is True
+        assert warm.extras["warm_detached"] == 0
+
+    def test_accepts_bare_allocation_profile(self, instance):
+        cold = solve(instance, "idde-g", rng=0)
+        warm = solve(instance, "idde-g", warm_start=cold.allocation, rng=1)
+        assert warm.game.moves == 0
+
+    def test_active_mask_detaches_and_excludes(self, instance):
+        import numpy as np
+
+        cold = solve(instance, "idde-g", rng=0)
+        active = np.ones(instance.n_users, dtype=bool)
+        inactive = [0, 1, 2]
+        active[inactive] = False
+        warm = solve(instance, "idde-g", warm_start=cold, active=active, rng=1)
+        assert not warm.allocation.allocated[inactive].any()
+        assert warm.config["active_users"] == instance.n_users - 3
+        assert warm.extras["warm_detached"] == int(
+            cold.allocation.allocated[inactive].sum()
+        )
+        assert warm.game.is_nash
+
+    def test_warm_composes_with_sharding(self, instance):
+        from repro.sharding import ShardConfig
+
+        cold = solve(instance, "idde-g", rng=0)
+        warm = solve(
+            instance,
+            "idde-g",
+            warm_start=cold,
+            sharding=ShardConfig(n_workers=0),
+            rng=1,
+        )
+        assert warm.game.is_nash
+        assert warm.config["warm_start"] is True
+
+    def test_warm_start_traced(self, instance):
+        cold = solve(instance, "idde-g", rng=0)
+        tracer = RecordingTracer()
+        solve(instance, "idde-g", warm_start=cold, tracer=tracer, rng=1)
+        spans = [s for s in tracer.spans if s.name == "api.warm_start"]
+        assert len(spans) == 1
+        assert spans[0].attrs["detached"] == 0
+        assert spans[0].attrs["carried"] == cold.allocation.n_allocated
+
+    def test_rejected_for_baselines(self, instance):
+        cold = solve(instance, "idde-g", rng=0)
+        with pytest.raises(ConfigurationError, match="warm_start"):
+            solve(instance, "nearest", warm_start=cold)
+
+    def test_active_rejected_for_baselines(self, instance):
+        import numpy as np
+
+        with pytest.raises(ConfigurationError, match="active"):
+            solve(
+                instance,
+                "random",
+                active=np.ones(instance.n_users, dtype=bool),
+                rng=0,
+            )

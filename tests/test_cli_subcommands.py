@@ -110,3 +110,68 @@ class TestTrace:
         )
         assert code == 2
         assert "error" in err
+
+
+class TestReplay:
+    ARGS = ["replay", *TINY, "--events", "60", "--epoch-events", "20"]
+
+    def test_table_row_and_exit_code(self, capsys):
+        code, out, _ = _run(capsys, [*self.ARGS, "--policy", "warm"])
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert "policy" in lines[0] and "cert" in lines[0]
+        assert lines[1].lstrip().startswith("warm")
+        assert "ok" in lines[1]
+
+    def test_static_policy_has_no_certificates(self, capsys):
+        code, out, _ = _run(capsys, [*self.ARGS, "--policy", "static"])
+        assert code == 0
+        # Static never re-solves after epoch 0, so only epoch 0 certifies.
+        assert out.strip().splitlines()[1].lstrip().startswith("static")
+
+    def test_verify_certifies_both_policies(self, capsys):
+        code, out, err = _run(capsys, [*self.ARGS, "--verify"])
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[1].lstrip().startswith("warm")
+        assert lines[2].lstrip().startswith("cold")
+        assert all("ok" in line for line in lines[1:3])
+        assert "speedup" in err
+
+    def test_save_and_replay_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "events.jsonl"
+        code, out1, err = _run(
+            capsys, [*self.ARGS, "--save-events", str(trace)]
+        )
+        assert code == 0
+        assert "wrote 60 events" in err
+        assert trace.exists()
+        # Replaying the saved trace reproduces the generated run exactly
+        # (all columns except wall-time, which is never deterministic).
+        code, out2, _ = _run(capsys, [*self.ARGS, "--input", str(trace)])
+        assert code == 0
+        row1 = out1.strip().splitlines()[1].split("|")
+        row2 = out2.strip().splitlines()[1].split("|")
+        del row1[6], row2[6]
+        assert row1 == row2
+
+    def test_input_universe_mismatch_fails(self, capsys, tmp_path):
+        trace = tmp_path / "events.jsonl"
+        code, _, _ = _run(capsys, [*self.ARGS, "--save-events", str(trace)])
+        assert code == 0
+        code, _, err = _run(
+            capsys,
+            ["replay", "--n", "5", "--m", "13", "--k", "2", "--seed", "0",
+             "--events", "60", "--epoch-events", "20", "--input", str(trace)],
+        )
+        assert code == 2
+        assert "error" in err
+
+    def test_trace_document(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, _, err = _run(capsys, [*self.ARGS, "--trace", str(trace)])
+        assert code == 0
+        doc = load_trace(trace)
+        assert doc.meta["command"] == "replay"
+        names = {s.name for s in doc.spans}
+        assert {"timeline.epoch", "workload.batch", "api.solve"} <= names

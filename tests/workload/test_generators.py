@@ -1,0 +1,130 @@
+"""Poisson/Zipf stream generator and epoch-batching tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import (
+    Move,
+    PopularityShift,
+    StreamConfig,
+    UserJoin,
+    UserLeave,
+    WorkloadState,
+    batch_by_count,
+    batch_by_time,
+    poisson_zipf_stream,
+)
+
+
+class TestStreamConfig:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamConfig(arrival_rate=-0.1)
+
+    def test_zero_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamConfig(move_sigma=0.0)
+
+
+class TestStream:
+    def test_exact_event_count(self, tiny_scenario):
+        evs = list(poisson_zipf_stream(tiny_scenario, rng=0, n_events=50))
+        assert len(evs) == 50
+
+    def test_deterministic_in_seed(self, tiny_scenario):
+        a = list(poisson_zipf_stream(tiny_scenario, rng=7, n_events=40))
+        b = list(poisson_zipf_stream(tiny_scenario, rng=7, n_events=40))
+        assert a == b
+
+    def test_timestamps_strictly_increase(self, tiny_scenario):
+        evs = list(poisson_zipf_stream(tiny_scenario, rng=1, n_events=100))
+        ts = [ev.t for ev in evs]
+        assert all(t1 > t0 for t0, t1 in zip(ts, ts[1:]))
+
+    def test_horizon_bounds_time(self, tiny_scenario):
+        evs = list(poisson_zipf_stream(tiny_scenario, rng=2, horizon_s=5.0))
+        assert all(ev.t < 5.0 for ev in evs)
+
+    def test_infinite_stream_is_lazy(self, tiny_scenario):
+        stream = poisson_zipf_stream(tiny_scenario, rng=3)
+        evs = list(itertools.islice(stream, 25))
+        assert len(evs) == 25
+
+    def test_events_always_applicable(self, tiny_scenario):
+        """Every emitted event folds into a state evolved from the same
+        start: joins hit inactive users, leaves hit active ones, moves stay
+        within the padded bounding box."""
+        state = WorkloadState.from_scenario(tiny_scenario)
+        for ev in poisson_zipf_stream(tiny_scenario, rng=4, n_events=300):
+            if isinstance(ev, UserJoin):
+                assert not state.active[ev.user]
+            elif isinstance(ev, UserLeave):
+                assert state.active[ev.user]
+            elif isinstance(ev, PopularityShift):
+                assert sorted(ev.order) == list(range(tiny_scenario.n_data))
+            state.apply((ev,))
+        assert isinstance(state.n_active, int)
+
+    def test_moves_respect_bounds(self, tiny_scenario):
+        xs = np.concatenate(
+            [tiny_scenario.server_xy[:, 0], tiny_scenario.user_xy[:, 0]]
+        )
+        ys = np.concatenate(
+            [tiny_scenario.server_xy[:, 1], tiny_scenario.user_xy[:, 1]]
+        )
+        pad = float(tiny_scenario.radius.max())
+        cfg = StreamConfig(move_sigma=500.0)  # huge steps force clipping
+        for ev in poisson_zipf_stream(tiny_scenario, rng=5, config=cfg, n_events=200):
+            if isinstance(ev, Move):
+                assert xs.min() - pad <= ev.x <= xs.max() + pad
+                assert ys.min() - pad <= ev.y <= ys.max() + pad
+
+    def test_dead_process_raises(self, tiny_scenario):
+        cfg = StreamConfig(
+            arrival_rate=0.0, departure_rate=0.0, move_rate=0.0, shift_rate=0.0
+        )
+        with pytest.raises(ConfigurationError, match="dead"):
+            next(poisson_zipf_stream(tiny_scenario, rng=0, config=cfg, n_events=1))
+
+    def test_initial_active_shape_guard(self, tiny_scenario):
+        with pytest.raises(ConfigurationError):
+            next(
+                poisson_zipf_stream(
+                    tiny_scenario,
+                    rng=0,
+                    n_events=1,
+                    initial_active=np.ones(3, dtype=bool),
+                )
+            )
+
+
+class TestBatching:
+    def test_batch_by_count_emits_remainder(self, tiny_scenario):
+        evs = list(poisson_zipf_stream(tiny_scenario, rng=0, n_events=23))
+        batches = list(batch_by_count(evs, 10))
+        assert [b.n_events for b in batches] == [10, 10, 3]
+        assert [b.index for b in batches] == [0, 1, 2]
+        assert [ev for b in batches for ev in b] == evs
+
+    def test_batch_by_count_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            list(batch_by_count([], 0))
+
+    def test_batch_by_time_windows(self, tiny_scenario):
+        evs = list(poisson_zipf_stream(tiny_scenario, rng=1, n_events=60))
+        epoch_s = 2.0
+        batches = list(batch_by_time(evs, epoch_s))
+        for b in batches:
+            assert b.t_end - b.t_start == pytest.approx(epoch_s)
+            for ev in b:
+                assert b.t_start <= ev.t < b.t_end
+        # Quiet windows are skipped, never emitted empty.
+        assert all(b.n_events > 0 for b in batches)
+        assert [ev for b in batches for ev in b] == evs
+
+    def test_batch_by_time_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            list(batch_by_time([], 0.0))

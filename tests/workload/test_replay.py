@@ -1,0 +1,100 @@
+"""idde-events/1 JSONL round-trip and guard tests."""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.workload import (
+    EVENTS_SCHEMA,
+    Move,
+    PopularityShift,
+    UserJoin,
+    UserLeave,
+    load_events,
+    poisson_zipf_stream,
+    save_events,
+)
+
+
+@pytest.fixture
+def sample_events():
+    return [
+        Move(t=1.5, user=2, x=10.0, y=20.0),
+        UserLeave(t=2.0, user=0),
+        UserJoin(t=3.25, user=0),
+        PopularityShift(t=4.0, order=(1, 0)),
+    ]
+
+
+class TestRoundTrip:
+    def test_exact(self, tmp_path, sample_events):
+        path = tmp_path / "trace.jsonl"
+        n = save_events(sample_events, path, n_users=6, n_data=2)
+        assert n == 4
+        assert list(load_events(path)) == sample_events
+
+    def test_generated_stream_round_trips(self, tmp_path, tiny_scenario):
+        path = tmp_path / "gen.jsonl"
+        evs = list(poisson_zipf_stream(tiny_scenario, rng=0, n_events=200))
+        save_events(
+            evs, path, n_users=tiny_scenario.n_users, n_data=tiny_scenario.n_data
+        )
+        assert list(load_events(path)) == evs
+
+    def test_save_is_streaming(self, tmp_path, tiny_scenario):
+        # A lazy generator is consumed without materialisation.
+        path = tmp_path / "lazy.jsonl"
+        stream = poisson_zipf_stream(tiny_scenario, rng=1, n_events=50)
+        assert save_events(stream, path, n_users=6, n_data=2) == 50
+
+    def test_header_first_line(self, tmp_path, sample_events):
+        path = tmp_path / "trace.jsonl"
+        save_events(sample_events, path, n_users=6, n_data=2)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"schema": EVENTS_SCHEMA, "n_users": 6, "n_data": 2}
+
+
+class TestGuards:
+    def test_universe_mismatch(self, tmp_path, sample_events):
+        path = tmp_path / "trace.jsonl"
+        save_events(sample_events, path, n_users=6, n_data=2)
+        with pytest.raises(DatasetError, match="users"):
+            list(load_events(path, expect_users=7))
+        with pytest.raises(DatasetError, match="items"):
+            list(load_events(path, expect_data=3))
+        assert len(list(load_events(path, expect_users=6, expect_data=2))) == 4
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "something-else/9"}\n')
+        with pytest.raises(DatasetError, match="schema"):
+            list(load_events(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="header"):
+            list(load_events(path))
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": EVENTS_SCHEMA, "n_users": 1, "n_data": 1})
+            + "\n"
+            + json.dumps({"kind": "teleport", "t": 1.0})
+            + "\n"
+        )
+        with pytest.raises(DatasetError, match="teleport"):
+            list(load_events(path))
+
+    def test_malformed_event(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": EVENTS_SCHEMA, "n_users": 1, "n_data": 1})
+            + "\n"
+            + json.dumps({"kind": "move", "t": 1.0})
+            + "\n"
+        )
+        with pytest.raises(DatasetError, match="malformed"):
+            list(load_events(path))
