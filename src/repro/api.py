@@ -292,6 +292,7 @@ def solve(
             epsilon=gc.epsilon,
             max_rounds=gc.max_rounds,
             ratio_rule=dc.ratio_rule,
+            delivery_kernel=dc.kernel,
         )
         if sharding is not None:
             config["shards"] = sharding.n_shards if sharding.n_shards else "auto"

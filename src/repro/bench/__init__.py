@@ -21,6 +21,10 @@ Pieces:
 * :mod:`~repro.bench.parity` — the kernel-pair parity harness proving the
   batched best-response kernel replays the reference move-for-move
   (``idde bench --verify-parity``);
+* :mod:`~repro.bench.delivery_parity` — the same discipline for Phase 2:
+  the batched incremental delivery kernel replays the reference greedy
+  placement-for-placement, reject-count included
+  (``idde bench --verify-delivery-parity``);
 * :mod:`~repro.bench.shard_parity` — the sharded-vs-global harness
   proving the decomposition solver certifies on the whole instance and
   stitches bit-identically where the theory demands it
@@ -44,6 +48,13 @@ from .document import (
     render_text,
     save_document,
     validate_document,
+)
+from .delivery_parity import (
+    DELIVERY_PARITY_CONFIGS,
+    DeliveryPairCase,
+    DeliveryParityReport,
+    render_delivery_parity_text,
+    verify_delivery_pair,
 )
 from .fixtures import SCALES, ScaleSpec, instance_for, scale_spec
 from .parity import (
@@ -72,6 +83,9 @@ __all__ = [
     "BenchRunConfig",
     "BenchStats",
     "CompareResult",
+    "DELIVERY_PARITY_CONFIGS",
+    "DeliveryPairCase",
+    "DeliveryParityReport",
     "KernelPairCase",
     "PARITY_SCHEDULES",
     "PARITY_SEEDS",
@@ -89,6 +103,7 @@ __all__ = [
     "instance_for",
     "load_document",
     "render_compare_text",
+    "render_delivery_parity_text",
     "render_parity_text",
     "render_shard_parity_text",
     "render_text",
@@ -100,6 +115,7 @@ __all__ = [
     "summarize",
     "time_callable",
     "validate_document",
+    "verify_delivery_pair",
     "verify_kernel_pair",
     "verify_sharded_pair",
 ]

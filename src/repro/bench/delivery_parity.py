@@ -1,0 +1,203 @@
+"""Delivery kernel-pair parity harness: ``reference`` vs ``batched`` greedy.
+
+The batched Phase 2 kernel (:mod:`repro.core.delivery`) claims bit-for-bit
+equivalence with the literal Algorithm 1 sweep — not "numerically close":
+both evaluate every candidate's gain with the identical BLAS matvec, so
+every score is the identical float, every argmax breaks ties identically,
+and the greedy loop therefore places the identical replica sequence.
+
+:func:`verify_delivery_pair` replays a grid of ``(seed, config)`` cases
+over the shared bench fixtures — both selection rules, plain and with
+stopping thresholds that actually reject candidates, with and without a
+recording tracer — and compares, per case:
+
+* the full ordered placement sequence ``(server, item)`` and the bitwise
+  total gain;
+* the final :class:`~repro.core.profiles.DeliveryProfile`;
+* the traced placement events (server/item/gain/score per step) and the
+  terminal sweep's threshold-reject count — the tracer observables are
+  part of the contract, not a debugging nicety.
+
+The CI smoke gate runs it via ``idde bench --verify-delivery-parity``;
+``tests/core/test_delivery_kernels.py`` pins the same contract in the
+test suite.  A parity break is a correctness bug in whichever kernel
+changed last — never relax the comparison to tolerances to make it pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..config import DeliveryConfig
+from ..core.delivery import DeliveryResult, greedy_delivery
+from ..obs.tracer import RecordingTracer
+from .fixtures import equilibrium_profile, instance_for
+from .parity import PARITY_SEEDS
+
+__all__ = [
+    "DELIVERY_PARITY_CONFIGS",
+    "DeliveryPairCase",
+    "DeliveryParityReport",
+    "verify_delivery_pair",
+    "render_delivery_parity_text",
+]
+
+#: Default config grid: both selection rules, each plain and with a
+#: stopping threshold high enough to reject real candidates — the
+#: thresholded cases are what make the reject-count comparison meaningful.
+DELIVERY_PARITY_CONFIGS: tuple[DeliveryConfig, ...] = (
+    DeliveryConfig(ratio_rule=True),
+    DeliveryConfig(ratio_rule=True, min_gain_s_per_mb=0.005),
+    DeliveryConfig(ratio_rule=False),
+    DeliveryConfig(ratio_rule=False, min_gain_s=1.0),
+)
+
+
+@dataclass(frozen=True)
+class DeliveryPairCase:
+    """Parity verdict for one ``(scale, seed, config, traced)`` replay."""
+
+    scale: str
+    seed: int
+    ratio_rule: bool
+    stop_threshold: float
+    traced: bool
+    placements: int
+    same_placements: bool
+    same_gains: bool
+    same_profile: bool
+    same_trace: bool
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.same_placements
+            and self.same_gains
+            and self.same_profile
+            and self.same_trace
+        )
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "MISMATCH"
+        rule = "ratio" if self.ratio_rule else "abs"
+        mode = "traced" if self.traced else "plain"
+        detail = f"placements={self.placements}"
+        if not self.ok:
+            broken = [
+                name
+                for name, good in (
+                    ("placements", self.same_placements),
+                    ("gains", self.same_gains),
+                    ("profile", self.same_profile),
+                    ("trace", self.same_trace),
+                )
+                if not good
+            ]
+            detail += " broken=" + ",".join(broken)
+        return (
+            f"{self.scale} seed={self.seed} {rule:<5s} "
+            f"thresh={self.stop_threshold:g} {mode:<6s} {status:<8s} {detail}"
+        )
+
+
+@dataclass(frozen=True)
+class DeliveryParityReport:
+    """Aggregate verdict over the verification grid."""
+
+    cases: tuple[DeliveryPairCase, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    @property
+    def failures(self) -> tuple[DeliveryPairCase, ...]:
+        return tuple(case for case in self.cases if not case.ok)
+
+
+def _trace_observables(tracer: RecordingTracer) -> tuple[list, list, int]:
+    """The delivery events and counters a parity case must reproduce."""
+    places = [
+        (e.fields["server"], e.fields["item"], e.fields["gain_s"], e.fields["score"])
+        for e in tracer.events
+        if e.etype == "delivery.place"
+    ]
+    stops = [
+        (e.fields["rejected"], e.fields["iterations"])
+        for e in tracer.events
+        if e.etype == "delivery.stop"
+    ]
+    rejects = int(tracer.counters.get("delivery.threshold_rejects", 0))
+    return places, stops, rejects
+
+
+def _compare(
+    scale: str,
+    seed: int,
+    cfg: DeliveryConfig,
+    traced: bool,
+    ref: DeliveryResult,
+    bat: DeliveryResult,
+    tr_ref: RecordingTracer | None,
+    tr_bat: RecordingTracer | None,
+) -> DeliveryPairCase:
+    same_trace = True
+    if tr_ref is not None and tr_bat is not None:
+        same_trace = _trace_observables(tr_ref) == _trace_observables(tr_bat)
+    return DeliveryPairCase(
+        scale=scale,
+        seed=seed,
+        ratio_rule=cfg.ratio_rule,
+        stop_threshold=cfg.min_gain_s_per_mb if cfg.ratio_rule else cfg.min_gain_s,
+        traced=traced,
+        placements=len(ref.placements),
+        same_placements=(
+            ref.placements == bat.placements and ref.iterations == bat.iterations
+        ),
+        same_gains=ref.total_gain_s == bat.total_gain_s,
+        same_profile=bool(np.array_equal(ref.profile.placed, bat.profile.placed)),
+        same_trace=same_trace,
+    )
+
+
+def verify_delivery_pair(
+    scale: str = "S",
+    seeds: tuple[int, ...] = PARITY_SEEDS,
+    configs: tuple[DeliveryConfig, ...] = DELIVERY_PARITY_CONFIGS,
+) -> DeliveryParityReport:
+    """Replay every ``(seed, config, traced)`` case under both kernels.
+
+    Each case conditions both kernels on the identical shared fixture
+    instance and its converged IDDE-U equilibrium, then compares placement
+    sequences, bitwise gains, final profiles and — in the traced replays —
+    the per-placement events and threshold-reject counts.
+    """
+    cases = []
+    for seed in seeds:
+        instance = instance_for(scale, seed)
+        alloc = equilibrium_profile(scale, seed)
+        for cfg in configs:
+            for traced in (False, True):
+                tr_ref = RecordingTracer() if traced else None
+                tr_bat = RecordingTracer() if traced else None
+                ref = greedy_delivery(
+                    instance, alloc, replace(cfg, kernel="reference"), tracer=tr_ref
+                )
+                bat = greedy_delivery(
+                    instance, alloc, replace(cfg, kernel="batched"), tracer=tr_bat
+                )
+                cases.append(
+                    _compare(scale, seed, cfg, traced, ref, bat, tr_ref, tr_bat)
+                )
+    return DeliveryParityReport(cases=tuple(cases))
+
+
+def render_delivery_parity_text(report: DeliveryParityReport) -> str:
+    """Human-readable verdict table for the CLI."""
+    lines = ["delivery kernel-pair parity: reference vs batched"]
+    lines.extend("  " + case.describe() for case in report.cases)
+    verdict = "PARITY OK" if report.ok else f"PARITY BROKEN ({len(report.failures)} cases)"
+    lines.append(f"{verdict}: {len(report.cases)} cases")
+    return "\n".join(lines)

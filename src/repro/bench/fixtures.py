@@ -1,4 +1,4 @@
-"""Seeded scenario fixtures for the benchmark suite, at three scales.
+"""Seeded scenario fixtures for the benchmark suite, at several scales.
 
 Every benchmark draws its workload from here so that (a) two benches
 measuring different kernels see the *same* instance, (b) a run is fully
@@ -13,6 +13,11 @@ Scales
     enough that each timed region comfortably exceeds clock resolution.
 ``M``
     The paper's default operating point (Section 4.2: N=30, M=200, K=5).
+``M_k64``
+    The M topology with a K=64 catalogue and tighter per-server storage:
+    the game phase is unchanged while Phase 2 runs tens of placement
+    iterations over a 64-row gain table, so the delivery kernels dominate
+    the solve — the fixture the ``delivery.greedy*`` pair is judged on.
 ``L``
     A stress point beyond the paper's largest setting, for optimisation
     PRs whose wins only show at scale.
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..config import ScenarioConfig, WorkloadConfig
 from ..core.instance import IDDEInstance
 from ..core.profiles import AllocationProfile
 from ..datasets.eua import EuaPool, synthetic_eua, synthetic_metro
@@ -50,7 +56,10 @@ class ScaleSpec:
 
     ``districts > 1`` samples from a :func:`~repro.datasets.synthetic_metro`
     pool instead of the single-CBD EUA pool, producing a naturally
-    decomposable interference graph.
+    decomposable interference graph.  ``storage_range`` overrides the
+    workload's per-server storage draw (MB) — the K-heavy delivery fixture
+    tightens it so placement competition, not capacity slack, ends the
+    greedy loop.
     """
 
     name: str
@@ -59,11 +68,15 @@ class ScaleSpec:
     k: int
     density: float
     districts: int = 1
+    storage_range: tuple[float, float] | None = None
 
 
 SCALES: dict[str, ScaleSpec] = {
     "S": ScaleSpec("S", n=10, m=60, k=3, density=1.5),
     "M": ScaleSpec("M", n=30, m=200, k=5, density=1.0),
+    "M_k64": ScaleSpec(
+        "M_k64", n=30, m=200, k=64, density=1.0, storage_range=(60.0, 180.0)
+    ),
     "L": ScaleSpec("L", n=60, m=450, k=8, density=1.0),
     "XL": ScaleSpec("XL", n=96, m=2400, k=8, density=1.0, districts=6),
 }
@@ -88,8 +101,14 @@ def instance_for(scale: str, seed: int) -> IDDEInstance:
     key = ("instance", spec.name, seed)
     if key not in _CACHE:
         pool = synthetic_metro(seed, districts=spec.districts) if spec.districts > 1 else None
+        config = None
+        if spec.storage_range is not None:
+            config = ScenarioConfig(
+                workload=WorkloadConfig(storage_range=spec.storage_range)
+            )
         _CACHE[key] = IDDEInstance.generate(
-            n=spec.n, m=spec.m, k=spec.k, density=spec.density, seed=seed, pool=pool
+            n=spec.n, m=spec.m, k=spec.k, density=spec.density, seed=seed,
+            pool=pool, config=config,
         )
     inst = _CACHE[key]
     assert isinstance(inst, IDDEInstance)

@@ -26,8 +26,13 @@ The hot paths, mapped to the paper:
   literal Algorithm 1 ``best-gain-winner`` schedule on the batched
   kernel, where decomposition shortens the per-move candidate sweep;
   run them at ``XL`` for the trajectory point;
-* ``delivery.greedy`` — Phase 2 marginal-latency-per-byte placement
-  (Eq. 17, Theorems 6–7);
+* ``delivery.greedy`` / ``delivery.greedy.batched`` — Phase 2
+  marginal-latency-per-byte placement (Eq. 17, Theorems 6–7) as a kernel
+  pair: the reference per-item sweep and the incremental gain-table
+  kernel replay the identical placement sequence (parity proven by
+  :mod:`repro.bench.delivery_parity`), so their ratio IS the kernel
+  speed-up; run them at ``M_k64``, where delivery dominates the solve,
+  for the trajectory point;
 * ``workload.replay.warm`` / ``workload.replay.cold`` — the day-in-the-
   life streaming pair: a Poisson/Zipf event stream batched into epochs,
   re-solved through the :func:`repro.api.solve` façade either warm
@@ -53,7 +58,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..config import GameConfig
+from ..config import DeliveryConfig, GameConfig
 from ..core.delivery import greedy_delivery
 from ..core.game import IddeUGame
 from ..datasets.eua import sample_scenario
@@ -326,6 +331,27 @@ def _bench_delivery_greedy(scale: str, seed: int) -> Callable[[], object]:
     return run
 
 
+@benchmark(
+    "delivery.greedy.batched",
+    f"the same placement on the incremental gain-table kernel (pair), "
+    f"{_GREEDY_CALLS} calls",
+)
+def _bench_delivery_greedy_batched(scale: str, seed: int) -> Callable[[], object]:
+    instance = instance_for(scale, seed)
+    profile = equilibrium_profile(scale, seed)
+    # Materialise the cached path-cost model outside the timed region.
+    assert instance.latency_model is not None
+    cfg = DeliveryConfig(kernel="batched")
+
+    def run() -> object:
+        replicas = 0
+        for _ in range(_GREEDY_CALLS):
+            replicas = greedy_delivery(instance, profile, cfg).profile.n_replicas
+        return replicas
+
+    return run
+
+
 # --- the streaming day-in-the-life pair -------------------------------
 #
 # Both twins replay the identical epoch sequence: the event stream,
@@ -346,6 +372,7 @@ def _bench_delivery_greedy(scale: str, seed: int) -> Callable[[], object]:
 _REPLAY_SPEC: dict[str, tuple[int, int]] = {
     "S": (600, 50),
     "M": (10_000, 25),
+    "M_k64": (2_000, 50),
     "L": (2_000, 50),
     "XL": (2_000, 50),
 }
@@ -358,9 +385,11 @@ _REPLAY_CACHE: dict[tuple[str, int], tuple[list, object]] = {}
 
 
 def _replay_delivery_cfg():
-    from ..config import DeliveryConfig
-
-    return DeliveryConfig(min_gain_s_per_mb=0.05)
+    # The batched delivery kernel rides along in the replay path: every
+    # epoch re-places the catalogue, so the incremental kernel's win
+    # lands directly on the day-in-the-life numbers (parity-verified, so
+    # the certificates are unchanged).
+    return DeliveryConfig(min_gain_s_per_mb=0.05, kernel="batched")
 
 
 def _replay_day(scale: str, seed: int) -> tuple[list, object]:

@@ -32,10 +32,11 @@ Subcommands
 
 ``solve``, ``sweep`` and ``reproduce`` accept ``--trace out.jsonl`` to
 record a full execution trace; ``solve``/``sweep`` accept ``--kernel
-batched`` to run the IDDE-G game on the batched evaluation kernel and
-``--shards auto|N`` to route IDDE-G through the interference-domain
-decomposition solver (see docs/SHARDING.md).  All solving routes through
-:func:`repro.api.solve`.
+batched`` to run the IDDE-G game on the batched evaluation kernel,
+``--delivery-kernel batched`` to run Phase 2 on the incremental
+greedy-delivery kernel, and ``--shards auto|N`` to route IDDE-G through
+the interference-domain decomposition solver (see docs/SHARDING.md).
+All solving routes through :func:`repro.api.solve`.
 """
 
 from __future__ import annotations
@@ -234,7 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--filter", default=None, help="run only benchmarks whose name contains this"
     )
     p_bench.add_argument(
-        "--scale", choices=["S", "M", "L", "XL"], default="S", help="fixture scale"
+        "--scale", choices=["S", "M", "M_k64", "L", "XL"], default="S", help="fixture scale"
     )
     p_bench.add_argument("--repeats", type=int, default=5, help="timed runs per bench")
     p_bench.add_argument("--warmup", type=int, default=1, help="discarded warmup runs")
@@ -265,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-shard-parity", action="store_true",
         help="verify sharded-vs-global solver parity; exit 1 on mismatch",
     )
+    p_bench.add_argument(
+        "--verify-delivery-parity", action="store_true",
+        help="verify reference/batched delivery kernel-pair parity; exit 1 on mismatch",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="inspect IDDE-Trace (idde-trace/1) JSONL documents"
@@ -286,6 +291,12 @@ def _add_kernel_arg(p: argparse.ArgumentParser) -> None:
         choices=["reference", "batched"],
         default="reference",
         help="IDDE-G game evaluation kernel (the verified pair; identical results)",
+    )
+    p.add_argument(
+        "--delivery-kernel",
+        choices=["reference", "batched"],
+        default="reference",
+        help="Phase 2 greedy-delivery kernel (the verified pair; identical placements)",
     )
 
 
@@ -371,7 +382,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     from .api import solve
     from .baselines import CANONICAL_SOLVERS, resolve_solver_name
-    from .config import GameConfig
+    from .config import DeliveryConfig, GameConfig
     from .errors import SolverLookupError
 
     names = list(CANONICAL_SOLVERS) if args.solver == "all" else [args.solver]
@@ -394,6 +405,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 instance,
                 name,
                 game_config=GameConfig(kernel=args.kernel) if is_g else None,
+                delivery_config=(
+                    DeliveryConfig(kernel=args.delivery_kernel) if is_g else None
+                ),
                 sharding=sharding if is_g else None,
                 ip_time_budget_s=args.ip_budget,
                 tracer=tracer,
@@ -402,7 +416,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
     _save_trace(
         tracer, args, command="solve", solver=args.solver, kernel=args.kernel,
-        seed=args.seed, shards=args.shards,
+        delivery_kernel=args.delivery_kernel, seed=args.seed, shards=args.shards,
     )
 
     if args.format == "json":
@@ -415,6 +429,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 "density": args.density,
                 "seed": args.seed,
                 "kernel": args.kernel,
+                "delivery_kernel": args.delivery_kernel,
             },
             "solutions": [sol.to_dict() for sol in solutions],
         }
@@ -451,12 +466,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ip_time_budget_s=args.ip_budget,
         parallel=ParallelConfig(n_workers=args.workers),
         kernel=args.kernel,
+        delivery_kernel=args.delivery_kernel,
         shards=args.shards,
         tracer=tracer,
     )
     _save_trace(
-        tracer, args, command="sweep", set=args.set, kernel=args.kernel, seed=args.seed,
-        shards=args.shards,
+        tracer, args, command="sweep", set=args.set, kernel=args.kernel,
+        delivery_kernel=args.delivery_kernel, seed=args.seed, shards=args.shards,
     )
     for metric in ("r_avg", "l_avg_ms", "time_s"):
         print(render_sweep_markdown(result, metric))
@@ -528,7 +544,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _replay_impl(args: argparse.Namespace) -> int:
-    from .config import GameConfig
+    from .config import DeliveryConfig, GameConfig
     from .dynamics import DynamicSimulation
     from .workload import (
         WorkloadState,
@@ -542,6 +558,7 @@ def _replay_impl(args: argparse.Namespace) -> int:
         n=args.n, m=args.m, k=args.k, density=args.density, seed=args.seed
     )
     game_cfg = GameConfig(kernel=args.kernel)
+    delivery_cfg = DeliveryConfig(kernel=args.delivery_kernel)
     shard_cfg = _shard_config(args.shards)
     tracer = _make_tracer(args)
 
@@ -571,6 +588,7 @@ def _replay_impl(args: argparse.Namespace) -> int:
             instance,
             policy=policy,
             game=game_cfg,
+            delivery=delivery_cfg,
             sharding=shard_cfg,
             tracer=tracer,
         )
@@ -853,6 +871,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             shard_report = verify_sharded_pair(scale=args.scale)
             print(render_shard_parity_text(shard_report))
             return 0 if shard_report.ok else 1
+
+        if args.verify_delivery_parity:
+            from .bench import render_delivery_parity_text, verify_delivery_pair
+
+            delivery_report = verify_delivery_pair(scale=args.scale)
+            print(render_delivery_parity_text(delivery_report))
+            return 0 if delivery_report.ok else 1
 
         if args.compare is not None:
             old_path, new_path = args.compare

@@ -260,17 +260,33 @@ class DeliveryConfig:
     Both default to 0 — any strictly positive improvement is accepted, as
     in Algorithm 1 line 24.  (The old single ``min_gain`` field conflated
     the two units and was removed.)
+
+    ``kernel``
+        Placement-loop implementation.  ``"reference"`` sweeps all K items
+        in Python each iteration (the literal Algorithm 1 transcription);
+        ``"batched"`` maintains the full ``(K, N)`` gain table and updates
+        it incrementally — only the placed item's row changes between
+        iterations.  The two are a verified pair: identical placement
+        sequence, gains, and threshold-reject counts, bit for bit (see
+        ``repro.bench.delivery_parity`` and docs/BENCHMARKING.md).
     """
 
     ratio_rule: bool = True
     min_gain_s: float = 0.0
     min_gain_s_per_mb: float = 0.0
+    kernel: str = "reference"
+
+    _KERNELS = ("reference", "batched")
 
     def __post_init__(self) -> None:
         _require(self.min_gain_s >= 0, f"min_gain_s must be >= 0, got {self.min_gain_s}")
         _require(
             self.min_gain_s_per_mb >= 0,
             f"min_gain_s_per_mb must be >= 0, got {self.min_gain_s_per_mb}",
+        )
+        _require(
+            self.kernel in self._KERNELS,
+            f"kernel must be one of {self._KERNELS}, got {self.kernel!r}",
         )
 
 

@@ -69,6 +69,7 @@ class IddeG(Solver):
             "capped_users": list(result.capped_users),
             "schedule": self.game_cfg.schedule,
             "kernel": self.game_cfg.kernel,
+            "delivery_kernel": self.delivery_cfg.kernel,
             "delivery_iterations": delivery.iterations,
             "replicas": delivery.profile.n_replicas,
             "delivery_gain_s": delivery.total_gain_s,

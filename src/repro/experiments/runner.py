@@ -12,7 +12,7 @@ from functools import lru_cache
 
 from ..api import solve
 from ..baselines import CDP, SAA, DupG, IddeIP
-from ..config import GameConfig
+from ..config import DeliveryConfig, GameConfig
 from ..core.idde_g import IddeG
 from ..core.instance import IDDEInstance
 from ..core.strategy import Solver
@@ -46,6 +46,9 @@ class TrialSpec:
     #: Game evaluation kernel for the IDDE-G runs ("reference"/"batched");
     #: the kernel pair is move-for-move identical, so results match either way.
     kernel: str = "reference"
+    #: Phase 2 delivery kernel for the IDDE-G runs ("reference"/"batched");
+    #: the pair is placement-for-placement identical, only the speed differs.
+    delivery_kernel: str = "reference"
     #: Interference-domain decomposition for the IDDE-G runs: ``None`` (off),
     #: ``"auto"`` (natural coverage domains), or a target shard count.
     shards: int | str | None = None
@@ -61,6 +64,11 @@ class TrialSpec:
         if self.kernel not in GameConfig._KERNELS:
             raise ExperimentError(
                 f"unknown kernel {self.kernel!r}; choose from {GameConfig._KERNELS}"
+            )
+        if self.delivery_kernel not in DeliveryConfig._KERNELS:
+            raise ExperimentError(
+                f"unknown delivery_kernel {self.delivery_kernel!r}; "
+                f"choose from {DeliveryConfig._KERNELS}"
             )
         if not (
             self.shards is None
@@ -112,9 +120,12 @@ def build_solver(name: str, spec: TrialSpec) -> Solver:
         return IddeIP(time_budget_s=spec.ip_time_budget_s)
     if name == "IDDE-G":
         shard_cfg = spec.shard_config()
+        delivery_cfg = DeliveryConfig(kernel=spec.delivery_kernel)
         if shard_cfg is not None:
-            return ShardedIddeG(GameConfig(kernel=spec.kernel), sharding=shard_cfg)
-        return IddeG(GameConfig(kernel=spec.kernel))
+            return ShardedIddeG(
+                GameConfig(kernel=spec.kernel), delivery_cfg, sharding=shard_cfg
+            )
+        return IddeG(GameConfig(kernel=spec.kernel), delivery_cfg)
     if name == "SAA":
         return SAA()
     if name == "CDP":
@@ -158,6 +169,9 @@ def run_trial(spec: TrialSpec, tracer: Tracer | None = None) -> TrialResult:
                 instance,
                 name.lower(),
                 game_config=GameConfig(kernel=spec.kernel) if is_g else None,
+                delivery_config=(
+                    DeliveryConfig(kernel=spec.delivery_kernel) if is_g else None
+                ),
                 sharding=spec.shard_config() if is_g else None,
                 ip_time_budget_s=spec.ip_time_budget_s,
                 tracer=tracer,

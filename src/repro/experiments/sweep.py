@@ -119,6 +119,7 @@ def run_sweep(
     parallel: ParallelConfig | None = None,
     keep_raw: bool = False,
     kernel: str = "reference",
+    delivery_kernel: str = "reference",
     shards: int | str | None = None,
     tracer: Tracer | None = None,
 ) -> SweepResult:
@@ -128,7 +129,8 @@ def run_sweep(
     seed is spawned from ``(seed, set name, value, rep)`` so adding points
     or repetitions never perturbs existing trials.  ``kernel`` selects the
     IDDE-G evaluation kernel per trial (results are identical either way —
-    the pair is move-for-move verified — only the speed differs), and
+    the pair is move-for-move verified — only the speed differs),
+    ``delivery_kernel`` does the same for the Phase 2 placement loop, and
     ``shards`` routes the IDDE-G trials through the interference-domain
     decomposition solver (``"auto"`` or a target count; ``None`` = off).
 
@@ -156,6 +158,7 @@ def run_sweep(
                     ip_time_budget_s=ip_time_budget_s,
                     solver_names=solver_names,
                     kernel=kernel,
+                    delivery_kernel=delivery_kernel,
                     shards=shards,
                 )
             )

@@ -385,6 +385,7 @@ class ShardedIddeG(IddeG):
             "capped_users": list(result.capped_users),
             "schedule": self.game_cfg.schedule,
             "kernel": self.game_cfg.kernel,
+            "delivery_kernel": self.delivery_cfg.kernel,
             "sharding": stats,
             "delivery_iterations": delivery.iterations,
             "replicas": delivery.profile.n_replicas,

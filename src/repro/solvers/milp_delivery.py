@@ -90,7 +90,7 @@ def optimal_delivery_milp(
     storage = instance.scenario.storage
     pc = instance.latency_model.path_cost  # (N, N), cloud-capped
     cloud = instance.latency_model.cloud_cost
-    w = attached_request_counts(instance, alloc).astype(float)  # (K, N)
+    w = attached_request_counts(instance, alloc)  # (K, N) float64
 
     # Variable layout: first the N*K sigma binaries (o-major: sigma[o, kk]
     # at index o*k + kk), then one y block per demanded (i, kk) pair with

@@ -23,6 +23,7 @@ EXPECTED = {
     "game.converge",
     "game.converge.batched",
     "delivery.greedy",
+    "delivery.greedy.batched",
     "topology.all-pairs-dijkstra",
     "datasets.eua-sample",
     "analysis.selflint.cold",
@@ -82,11 +83,21 @@ class TestRegistry:
 
 class TestFixtures:
     def test_scales_defined(self):
-        assert set(SCALES) == {"S", "M", "L", "XL"}
+        assert set(SCALES) == {"S", "M", "M_k64", "L", "XL"}
         small, medium = scale_spec("S"), scale_spec("M")
         assert small.m < medium.m and small.n < medium.n
         # M is the paper's Section 4.2 operating point.
         assert (medium.n, medium.m, medium.k) == (30, 200, 5)
+
+    def test_k_heavy_scale_stresses_delivery(self):
+        """M_k64 keeps the M topology but grows the catalogue and tightens
+        storage, so the delivery phase dominates the solve."""
+        heavy = scale_spec("M_k64")
+        medium = scale_spec("M")
+        assert (heavy.n, heavy.m) == (medium.n, medium.m)
+        assert heavy.k == 64
+        assert heavy.storage_range is not None
+        assert heavy.storage_range[1] < 300.0  # tighter than the default draw
 
     def test_unknown_scale_raises(self):
         with pytest.raises(BenchError, match="unknown benchmark scale"):

@@ -61,6 +61,20 @@ class TestSolve:
         (sol,) = json.loads(out)["solutions"]
         assert sol["config"]["kernel"] == "batched"
 
+    def test_batched_delivery_kernel_recorded(self, capsys):
+        code, out, _ = _run(
+            capsys,
+            [
+                "solve", *TINY, "--solver", "idde-g",
+                "--delivery-kernel", "batched", "--format", "json",
+            ],
+        )
+        assert code == 0
+        (sol,) = json.loads(out)["solutions"]
+        assert sol["config"]["delivery_kernel"] == "batched"
+        assert sol["config"]["kernel"] == "reference"  # game kernel untouched
+        assert sol["extras"]["delivery_kernel"] == "batched"
+
     def test_unknown_solver_exits_2_with_suggestion(self, capsys):
         code, _, err = _run(capsys, ["solve", *TINY, "--solver", "ide-g"])
         assert code == 2
