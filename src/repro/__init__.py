@@ -44,6 +44,7 @@ from .core import (
 )
 from .core.strategy import Solver
 from .api import Solution, solve
+from .request import SolveRequest
 from .baselines import CDP, SAA, DupG, IddeIP, default_solvers, solver_by_name
 from .datasets import EuaPool, sample_scenario, synthetic_eua
 from .dynamics import DynamicSimulation, RandomWaypoint
@@ -72,6 +73,7 @@ __all__ = [
     # the public façade
     "solve",
     "Solution",
+    "SolveRequest",
     # problem & solvers
     "IDDEInstance",
     "AllocationProfile",

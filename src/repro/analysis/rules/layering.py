@@ -14,6 +14,9 @@ solution methods:
 * ``sharding/`` must not import ``experiments``, ``viz``, ``cli``,
   ``bench`` (the decomposition solver is model code: the harness and the
   benchmarks drive it, never the other way around);
+* ``serve/`` must not import ``experiments``, ``viz``, ``cli``, ``bench``,
+  ``analysis`` (the daemon wraps the façade and the workload fold; the
+  CLI boots it and the benchmarks time it, never the reverse);
 * ``obs/`` must not import any domain layer — ``core``, ``radio``,
   ``solvers``, ``baselines``, ``datasets``, ``topology``, ``bench``,
   ``experiments``, ``viz``, ``cli`` (the tracing substrate sits below
@@ -45,6 +48,7 @@ FORBIDDEN: dict[str, frozenset[str]] = {
     "bench": frozenset({"experiments", "viz", "cli"}),
     "workload": frozenset({"experiments", "viz", "cli", "bench"}),
     "sharding": frozenset({"experiments", "viz", "cli", "bench"}),
+    "serve": frozenset({"experiments", "viz", "cli", "bench", "analysis"}),
     "obs": frozenset(
         {
             "core",

@@ -207,6 +207,12 @@ def _check_unthreaded(project: Project) -> Iterator[Finding]:
             bound = callee.bind_args(site.node)
             if any(t in bound for t in targets):
                 continue
+            if _rng_flows_through_args(fn, site.node):
+                # The stream rides inside an argument expression — e.g.
+                # solve(instance, request.with_runtime(rng=rng)): the
+                # SolveRequest carries the generator, so the callee never
+                # falls back to fresh entropy.
+                continue
             # only flag when omission means fresh entropy: the rng-ish
             # parameter is required or explicitly defaults to None
             required = False
@@ -226,6 +232,21 @@ def _check_unthreaded(project: Project) -> Iterator[Finding]:
                     f"passing a stream ({'/'.join(targets)}); the callee will "
                     "fall back to a fresh, untracked generator",
                 )
+
+
+def _rng_flows_through_args(fn: FunctionInfo, call: ast.Call) -> bool:
+    """True when an rng-holding local appears inside any argument expression.
+
+    Covers streams threaded through carrier objects rather than a direct
+    keyword — the ``idde-request/1`` pattern, where the generator enters
+    the callee as ``SolveRequest.rng`` built inline at the call site.
+    """
+    rng_names = _rng_locals(fn)
+    for arg in (*call.args, *(kw.value for kw in call.keywords)):
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Name) and node.id in rng_names:
+                return True
+    return False
 
 
 def _has_any_default(

@@ -1,30 +1,47 @@
 """The public solving façade: :func:`solve` and the unified :class:`Solution`.
 
-Every front-end — the ``idde`` CLI, the experiment harness, notebook users —
-reaches the solvers through one call::
+Every front-end — the ``idde`` CLI, the experiment harness, the streaming
+replay loop, the IDDE-Serve daemon, notebook users — reaches the solvers
+through one call, and one *object* describes the run everywhere: the
+schema-versioned :class:`~repro.request.SolveRequest` (``idde-request/1``,
+also the daemon's wire format)::
 
     from repro.api import solve
+    from repro.request import SolveRequest
+
+    sol = solve(instance, SolveRequest(solver="idde-g",
+                game_config=GameConfig(kernel="batched"), rng=0))
+    sol.to_dict()   # the schema-versioned ``idde-solution/2`` document
+
+The classic keyword form still works and is bit-identical — it is a thin
+shim that builds the same :class:`SolveRequest`::
+
     sol = solve(instance, "idde-g", game_config=GameConfig(kernel="batched"),
                 tracer=RecordingTracer(), rng=0)
-    sol.to_dict()   # the schema-versioned ``idde-solution/1`` document
 
 :class:`Solution` unifies what used to live in three places — the
 :class:`~repro.core.game.GameResult` (rounds, moves, the ε-Nash
 certificate), the :class:`~repro.core.delivery.DeliveryResult` (placements,
 latency gain), and the joint :class:`~repro.core.objectives.Evaluation` —
 without re-running any phase: the solver stashes the full result objects in
-``extras`` and this module lifts them out.
+``extras`` and this module lifts them out.  Version 2 of the solution
+document additionally embeds the request that produced it and the typed
+``extras`` accessors (:attr:`Solution.sharding_stats`,
+:attr:`Solution.delivery_kernel`, :attr:`Solution.warm_detached`) replace
+dict-key spelunking; :func:`load_solution_document` reads both versions
+(see docs/SERVING.md for the migration note).
 
 Solver names resolve through the :mod:`repro.baselines` registry, so
 unknown names fail with a did-you-mean
 :class:`~repro.errors.SolverLookupError`, and tracing threads through every
-layer via the shared :class:`~repro.obs.tracer.Tracer` (no-op by default).
+layer via the shared :class:`~repro.obs.tracer.Tracer` (no-op by default —
+observability is execution context, not part of the request).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -38,25 +55,24 @@ from .core.profiles import AllocationProfile, DeliveryProfile
 from .core.repair import repair_allocation
 from .errors import ConfigurationError
 from .obs.tracer import Tracer, ensure_tracer
+from .request import SolveRequest, json_scalarish
 from .rng import ensure_rng
 from .sharding import ShardConfig, ShardedIddeG
 
-__all__ = ["SOLUTION_SCHEMA", "Solution", "solve"]
+__all__ = [
+    "SOLUTION_SCHEMA",
+    "SOLUTION_SCHEMA_V1",
+    "Solution",
+    "execute",
+    "load_solution_document",
+    "solve",
+]
 
-SOLUTION_SCHEMA = "idde-solution/1"
+SOLUTION_SCHEMA = "idde-solution/2"
+SOLUTION_SCHEMA_V1 = "idde-solution/1"
 
-
-def _json_scalarish(value: Any) -> bool:
-    """True for values that serialise to JSON without coercion."""
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return True
-    if isinstance(value, (list, tuple)):
-        return all(_json_scalarish(v) for v in value)
-    if isinstance(value, dict):
-        return all(
-            isinstance(k, str) and _json_scalarish(v) for k, v in value.items()
-        )
-    return False
+#: Schema tags :func:`load_solution_document` accepts, oldest first.
+SOLUTION_SCHEMAS = (SOLUTION_SCHEMA_V1, SOLUTION_SCHEMA)
 
 
 @dataclass(frozen=True)
@@ -66,6 +82,8 @@ class Solution:
     ``game`` and ``delivery_result`` are populated for the two-phase
     IDDE-G solver and ``None`` for baselines that have no such phases;
     ``evaluation`` and the headline metrics are always present.
+    ``request`` is the :class:`~repro.request.SolveRequest` the façade
+    executed (``None`` only for solutions built by hand).
     """
 
     solver: str
@@ -77,6 +95,7 @@ class Solution:
     game: GameResult | None = None
     delivery_result: DeliveryResult | None = None
     extras: dict[str, Any] = field(default_factory=dict)
+    request: SolveRequest | None = None
 
     @property
     def r_avg(self) -> float:
@@ -88,13 +107,41 @@ class Solution:
         """Objective #2: request-weighted average retrieval latency (ms)."""
         return self.evaluation.l_avg_ms
 
+    # ------------------------------------------------------------------
+    # typed extras accessors (the idde-solution/2 surface)
+    # ------------------------------------------------------------------
+    @property
+    def sharding_stats(self) -> dict[str, Any] | None:
+        """Decomposition statistics from a sharded solve, or ``None``.
+
+        The dict the :class:`~repro.sharding.ShardedIddeG` solver stashes
+        (shard count/sizes, boundary users, reconciliation rounds).
+        """
+        stats = self.extras.get("sharding")
+        return dict(stats) if isinstance(stats, dict) else None
+
+    @property
+    def delivery_kernel(self) -> str | None:
+        """Which Phase 2 placement kernel produced the delivery profile."""
+        kernel = self.extras.get("delivery_kernel", self.config.get("delivery_kernel"))
+        return str(kernel) if kernel is not None else None
+
+    @property
+    def warm_detached(self) -> int | None:
+        """Users the warm-start repair detached, or ``None`` on cold solves."""
+        detached = self.extras.get("warm_detached")
+        return int(detached) if detached is not None else None
+
     def to_dict(self) -> dict[str, Any]:
-        """The JSON-ready ``idde-solution/1`` document.
+        """The JSON-ready ``idde-solution/2`` document.
 
         Surfaces every field reachable from the underlying results —
         including the ε-Nash certificate (``effective_epsilon``), the
         move-capped player list, and the kernel/schedule that produced the
-        run — not just the headline metrics.
+        run — plus the ``idde-request/1`` document of the request that
+        produced it (serialised leniently: a live warm-start object
+        degrades to its boolean presence, a live generator to a null
+        seed).
         """
         doc: dict[str, Any] = {
             "schema": SOLUTION_SCHEMA,
@@ -105,6 +152,11 @@ class Solution:
             "allocated_users": int(self.evaluation.allocated_users),
             "replicas": int(self.evaluation.replicas),
             "config": dict(self.config),
+            "request": (
+                self.request.to_dict(lenient=True)
+                if self.request is not None
+                else None
+            ),
         }
         if self.game is not None:
             doc["game"] = {
@@ -131,7 +183,7 @@ class Solution:
         doc["extras"] = {
             k: list(v) if isinstance(v, tuple) else v
             for k, v in self.extras.items()
-            if _json_scalarish(v)
+            if json_scalarish(v)
         }
         return doc
 
@@ -156,9 +208,168 @@ class Solution:
         return f"Solution({self.summary()})"
 
 
+def load_solution_document(doc: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate a solution document and normalise it to ``idde-solution/2``.
+
+    Accepts both schema versions: a v1 document (pre-IDDE-Serve) is
+    upgraded in place — the tag is rewritten and the v2-only ``request``
+    field is filled with ``None`` (v1 never recorded the producing
+    request).  Anything else fails with
+    :class:`~repro.errors.ConfigurationError`.  See docs/SERVING.md for
+    the v1 → v2 migration note.
+    """
+    if not isinstance(doc, Mapping):
+        raise ConfigurationError(
+            f"solution document must be a JSON object, got {type(doc).__name__}"
+        )
+    schema = doc.get("schema")
+    if schema not in SOLUTION_SCHEMAS:
+        raise ConfigurationError(
+            f"unsupported solution schema {schema!r}; this build reads "
+            f"{list(SOLUTION_SCHEMAS)}"
+        )
+    missing = [
+        key
+        for key in ("solver", "r_avg", "l_avg_ms", "wall_time_s", "config")
+        if key not in doc
+    ]
+    if missing:
+        raise ConfigurationError(
+            f"solution document is missing required key(s) {missing}"
+        )
+    out = dict(doc)
+    if schema == SOLUTION_SCHEMA_V1:
+        out["schema"] = SOLUTION_SCHEMA
+        out.setdefault("request", None)
+    return out
+
+
+def execute(
+    instance: IDDEInstance,
+    request: SolveRequest,
+    *,
+    tracer: Tracer | None = None,
+) -> Solution:
+    """Execute one :class:`~repro.request.SolveRequest` on one instance.
+
+    The core of the façade: :func:`solve` (both spellings) and the
+    IDDE-Serve :class:`~repro.serve.SolverSession` all funnel through
+    here.  ``tracer`` is execution context, not part of the request.
+    """
+    tracer = ensure_tracer(tracer)
+    name = resolve_solver_name(request.solver)
+    opts = dict(request.solver_options)
+    warm_start = request.warm_start
+    if warm_start is True:
+        raise ConfigurationError(
+            "warm_start=True is the wire sentinel for 'use the serving "
+            "session's resident solution'; a direct solve needs the actual "
+            "prior Solution or AllocationProfile"
+        )
+    active = request.active
+    warm_detached: int | None = None
+    if name == "idde-g":
+        initial: AllocationProfile | None = None
+        if warm_start is not None:
+            prior = (
+                warm_start.allocation
+                if isinstance(warm_start, Solution)
+                else warm_start
+            )
+            with tracer.span("api.warm_start") as span:
+                initial, warm_detached = repair_allocation(instance, prior, active)
+                span.set(
+                    detached=warm_detached,
+                    carried=int(initial.allocated.sum()),
+                )
+        if request.sharding is not None:
+            s = ShardedIddeG(
+                request.game_config,
+                request.delivery_config,
+                sharding=request.sharding,
+                tracer=tracer,
+                initial=initial,
+                active=active,
+                **opts,
+            )
+        else:
+            s = IddeG(
+                request.game_config,
+                request.delivery_config,
+                tracer=tracer,
+                initial=initial,
+                active=active,
+                **opts,
+            )
+    else:
+        if request.game_config is not None or request.delivery_config is not None:
+            raise ConfigurationError(
+                f"game_config/delivery_config apply only to 'idde-g'; "
+                f"solver {name!r} has no game or greedy-delivery phase"
+            )
+        if request.sharding is not None:
+            raise ConfigurationError(
+                f"sharding applies only to 'idde-g'; solver {name!r} "
+                f"has no game phase to decompose"
+            )
+        if warm_start is not None or active is not None:
+            raise ConfigurationError(
+                f"warm_start/active apply only to 'idde-g'; solver {name!r} "
+                f"has no game to re-enter"
+            )
+        if name == "idde-ip" and request.ip_time_budget_s is not None:
+            opts.setdefault("time_budget_s", request.ip_time_budget_s)
+        s = solver_by_name(name, **opts)
+
+    config: dict[str, Any] = {"solver": name}
+    if name == "idde-g":
+        gc, dc = s.game_cfg, s.delivery_cfg
+        config.update(
+            schedule=gc.schedule,
+            kernel=gc.kernel,
+            epsilon=gc.epsilon,
+            max_rounds=gc.max_rounds,
+            ratio_rule=dc.ratio_rule,
+            delivery_kernel=dc.kernel,
+        )
+        if request.sharding is not None:
+            config["shards"] = (
+                request.sharding.n_shards if request.sharding.n_shards else "auto"
+            )
+        config["warm_start"] = warm_start is not None
+        if active is not None:
+            config["active_users"] = int(np.asarray(active, dtype=bool).sum())
+    elif name == "idde-ip":
+        config["time_budget_s"] = float(opts.get("time_budget_s", 10.0))
+
+    rng = ensure_rng(request.rng)
+    with tracer.span("api.solve", solver=s.name) as span:
+        strategy = s.solve(instance, rng, validate=request.validate, tracer=tracer)
+        span.set(r_avg=strategy.r_avg, l_avg_ms=strategy.l_avg_ms)
+
+    extras = dict(strategy.extras)
+    if warm_detached is not None:
+        extras["warm_detached"] = warm_detached
+    evaluation: Evaluation = strategy.evaluation
+    game: GameResult | None = extras.pop("game_result", None)
+    delivery_result: DeliveryResult | None = extras.pop("delivery_result", None)
+    return Solution(
+        solver=strategy.solver,
+        allocation=strategy.allocation,
+        delivery=strategy.delivery,
+        evaluation=evaluation,
+        wall_time_s=strategy.wall_time_s,
+        config=config,
+        game=game,
+        delivery_result=delivery_result,
+        extras=extras,
+        request=request,
+    )
+
+
 def solve(
     instance: IDDEInstance,
-    solver: str = "idde-g",
+    solver: "str | SolveRequest" = "idde-g",
     *,
     game_config: GameConfig | None = None,
     delivery_config: DeliveryConfig | None = None,
@@ -173,15 +384,28 @@ def solve(
 ) -> Solution:
     """Solve one instance with a registry-named solver.
 
+    Two spellings, bit-identical results:
+
+    * ``solve(instance, SolveRequest(...), tracer=...)`` — the request
+      object carries the whole run description (the recommended form; the
+      same object is the daemon's ``idde-request/1`` wire format).
+    * ``solve(instance, "idde-g", game_config=..., ...)`` — the classic
+      keyword form, kept as a thin back-compat shim that constructs the
+      identical :class:`~repro.request.SolveRequest` and executes it.
+
     Parameters
     ----------
     instance:
         The problem to solve.
     solver:
         Registry name (``"idde-g"``, ``"idde-ip"``, ``"saa"``, ``"cdp"``,
-        ``"dup-g"``, ``"random"``, ``"nearest"``; case-insensitive).
-        Unknown names raise :class:`~repro.errors.SolverLookupError` with a
-        did-you-mean suggestion.
+        ``"dup-g"``, ``"random"``, ``"nearest"``; case-insensitive) or a
+        full :class:`~repro.request.SolveRequest`.  Unknown names raise
+        :class:`~repro.errors.SolverLookupError` with a did-you-mean
+        suggestion.  When a request object is passed, every other
+        run-description keyword must stay at its default — the request is
+        the single source of truth (``tracer`` is execution context and
+        composes with both spellings).
     game_config, delivery_config:
         Phase configs for the two-phase IDDE-G solver (e.g.
         ``GameConfig(kernel="batched")``).  Passing either for any other
@@ -226,101 +450,39 @@ def solve(
     solver_options:
         Extra keyword arguments for the solver's constructor.
     """
-    tracer = ensure_tracer(tracer)
-    name = resolve_solver_name(solver)
-    opts = dict(solver_options or {})
-    warm_detached: int | None = None
-    if name == "idde-g":
-        initial: AllocationProfile | None = None
-        if warm_start is not None:
-            prior = (
-                warm_start.allocation
-                if isinstance(warm_start, Solution)
-                else warm_start
+    if isinstance(solver, SolveRequest):
+        overrides = [
+            name
+            for name, value, default in (
+                ("game_config", game_config, None),
+                ("delivery_config", delivery_config, None),
+                ("sharding", sharding, None),
+                ("warm_start", warm_start, None),
+                ("active", active, None),
+                ("rng", rng, None),
+                ("ip_time_budget_s", ip_time_budget_s, None),
+                ("validate", validate, True),
+                ("solver_options", solver_options, None),
             )
-            with tracer.span("api.warm_start") as span:
-                initial, warm_detached = repair_allocation(instance, prior, active)
-                span.set(
-                    detached=warm_detached,
-                    carried=int(initial.allocated.sum()),
-                )
-        if sharding is not None:
-            s = ShardedIddeG(
-                game_config,
-                delivery_config,
-                sharding=sharding,
-                tracer=tracer,
-                initial=initial,
-                active=active,
-                **opts,
-            )
-        else:
-            s = IddeG(
-                game_config,
-                delivery_config,
-                tracer=tracer,
-                initial=initial,
-                active=active,
-                **opts,
-            )
-    else:
-        if game_config is not None or delivery_config is not None:
+            if value is not default
+        ]
+        if overrides:
             raise ConfigurationError(
-                f"game_config/delivery_config apply only to 'idde-g'; "
-                f"solver {name!r} has no game or greedy-delivery phase"
+                f"solve() got both a SolveRequest and keyword override(s) "
+                f"{overrides}; the request object is the single source of "
+                "truth — use dataclasses.replace / SolveRequest.with_runtime"
             )
-        if sharding is not None:
-            raise ConfigurationError(
-                f"sharding applies only to 'idde-g'; solver {name!r} "
-                f"has no game phase to decompose"
-            )
-        if warm_start is not None or active is not None:
-            raise ConfigurationError(
-                f"warm_start/active apply only to 'idde-g'; solver {name!r} "
-                f"has no game to re-enter"
-            )
-        if name == "idde-ip" and ip_time_budget_s is not None:
-            opts.setdefault("time_budget_s", ip_time_budget_s)
-        s = solver_by_name(name, **opts)
-
-    config: dict[str, Any] = {"solver": name}
-    if name == "idde-g":
-        gc, dc = s.game_cfg, s.delivery_cfg
-        config.update(
-            schedule=gc.schedule,
-            kernel=gc.kernel,
-            epsilon=gc.epsilon,
-            max_rounds=gc.max_rounds,
-            ratio_rule=dc.ratio_rule,
-            delivery_kernel=dc.kernel,
-        )
-        if sharding is not None:
-            config["shards"] = sharding.n_shards if sharding.n_shards else "auto"
-        config["warm_start"] = warm_start is not None
-        if active is not None:
-            config["active_users"] = int(np.asarray(active, dtype=bool).sum())
-    elif name == "idde-ip":
-        config["time_budget_s"] = float(opts.get("time_budget_s", 10.0))
-
-    rng = ensure_rng(rng)
-    with tracer.span("api.solve", solver=s.name) as span:
-        strategy = s.solve(instance, rng, validate=validate, tracer=tracer)
-        span.set(r_avg=strategy.r_avg, l_avg_ms=strategy.l_avg_ms)
-
-    extras = dict(strategy.extras)
-    if warm_detached is not None:
-        extras["warm_detached"] = warm_detached
-    evaluation: Evaluation = strategy.evaluation
-    game: GameResult | None = extras.pop("game_result", None)
-    delivery_result: DeliveryResult | None = extras.pop("delivery_result", None)
-    return Solution(
-        solver=strategy.solver,
-        allocation=strategy.allocation,
-        delivery=strategy.delivery,
-        evaluation=evaluation,
-        wall_time_s=strategy.wall_time_s,
-        config=config,
-        game=game,
-        delivery_result=delivery_result,
-        extras=extras,
+        return execute(instance, solver, tracer=tracer)
+    request = SolveRequest(
+        solver=solver,
+        game_config=game_config,
+        delivery_config=delivery_config,
+        sharding=sharding,
+        warm_start=warm_start,
+        active=active,
+        rng=rng,
+        ip_time_budget_s=ip_time_budget_s,
+        validate=validate,
+        solver_options=dict(solver_options or {}),
     )
+    return execute(instance, request, tracer=tracer)

@@ -29,6 +29,11 @@ Subcommands
 ``trace``      Inspect IDDE-Trace documents: ``idde trace summarize``
                renders the span tree, top counters and event mix of an
                ``idde-trace/1`` JSONL file (see docs/OBSERVABILITY.md).
+``serve``      Boot IDDE-Serve, the long-lived async solver daemon: a
+               stateful session behind a schema-versioned HTTP/JSON API
+               (``idde-request/1`` in, ``idde-solution/2`` out,
+               ``idde-events/1`` deltas re-solved warm; see
+               docs/SERVING.md).
 
 ``solve``, ``sweep`` and ``reproduce`` accept ``--trace out.jsonl`` to
 record a full execution trace; ``solve``/``sweep`` accept ``--kernel
@@ -87,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_arg(p_solve)
     p_solve.add_argument(
         "--format", choices=["text", "json"], default="text",
-        help="text table or the idde-solution/1 JSON document",
+        help="text table or the idde-solution/2 JSON document",
     )
 
     p_sweep = sub.add_parser("sweep", help="run one Table 2 experiment set")
@@ -271,6 +276,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify reference/batched delivery kernel-pair parity; exit 1 on mismatch",
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="boot the IDDE-Serve async solver daemon"
+    )
+    _add_instance_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8787, help="bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--solver",
+        default="idde-g",
+        help="base solver for the session (idde-g, idde-ip, saa, cdp, dup-g, ...)",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=300.0,
+        help="per-request wall-clock budget in seconds (504 past it)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="max mutating requests admitted at once (429 past it)",
+    )
+    _add_kernel_arg(p_serve)
+    _add_shards_arg(p_serve)
+
     p_trace = sub.add_parser(
         "trace", help="inspect IDDE-Trace (idde-trace/1) JSONL documents"
     )
@@ -377,12 +406,33 @@ def _save_trace(tracer, args: argparse.Namespace, **meta) -> None:
     print(f"wrote trace {path}", file=sys.stderr)
 
 
+def _request_for(args: argparse.Namespace, name: str):
+    """One canonical :class:`~repro.request.SolveRequest` from CLI flags.
+
+    The single flag→request mapping ``idde solve`` and ``idde serve``
+    share, so both front-ends describe identical runs identically.
+    """
+    from .config import DeliveryConfig, GameConfig
+    from .request import SolveRequest
+
+    is_g = name == "idde-g"
+    return SolveRequest(
+        solver=name,
+        game_config=GameConfig(kernel=args.kernel) if is_g else None,
+        delivery_config=(
+            DeliveryConfig(kernel=args.delivery_kernel) if is_g else None
+        ),
+        sharding=_shard_config(args.shards) if is_g else None,
+        ip_time_budget_s=getattr(args, "ip_budget", None),
+        rng=args.seed,
+    )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     import json
 
-    from .api import solve
+    from .api import SOLUTION_SCHEMA, solve
     from .baselines import CANONICAL_SOLVERS, resolve_solver_name
-    from .config import DeliveryConfig, GameConfig
     from .errors import SolverLookupError
 
     names = list(CANONICAL_SOLVERS) if args.solver == "all" else [args.solver]
@@ -395,25 +445,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance = IDDEInstance.generate(
         n=args.n, m=args.m, k=args.k, density=args.density, seed=args.seed
     )
-    sharding = _shard_config(args.shards)
     tracer = _make_tracer(args)
-    solutions = []
-    for name in names:
-        is_g = name == "idde-g"
-        solutions.append(
-            solve(
-                instance,
-                name,
-                game_config=GameConfig(kernel=args.kernel) if is_g else None,
-                delivery_config=(
-                    DeliveryConfig(kernel=args.delivery_kernel) if is_g else None
-                ),
-                sharding=sharding if is_g else None,
-                ip_time_budget_s=args.ip_budget,
-                tracer=tracer,
-                rng=args.seed,
-            )
-        )
+    solutions = [
+        solve(instance, _request_for(args, name), tracer=tracer) for name in names
+    ]
     _save_trace(
         tracer, args, command="solve", solver=args.solver, kernel=args.kernel,
         delivery_kernel=args.delivery_kernel, seed=args.seed, shards=args.shards,
@@ -421,7 +456,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         doc = {
-            "schema": "idde-solution/1",
+            "schema": SOLUTION_SCHEMA,
             "instance": {
                 "n": args.n,
                 "m": args.m,
@@ -931,6 +966,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .errors import ReproError, SolverLookupError
+    from .baselines import resolve_solver_name
+
+    try:
+        name = resolve_solver_name(args.solver)
+    except SolverLookupError as exc:
+        print(f"idde serve: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    from .request import SolveRequest
+    from .serve import ServeConfig, ServeDaemon, SolverSession
+
+    instance = IDDEInstance.generate(
+        n=args.n, m=args.m, k=args.k, density=args.density, seed=args.seed
+    )
+    # warm_start=True: once a resident solution exists, bare POST
+    # /v1/solve re-solves warm from it (events always re-solve warm).
+    base = _request_for(args, name)
+    request = SolveRequest(
+        solver=base.solver,
+        game_config=base.game_config,
+        delivery_config=base.delivery_config,
+        sharding=base.sharding,
+        warm_start=True,
+        rng=args.seed,
+    )
+    try:
+        daemon = ServeDaemon(
+            SolverSession(instance, request),
+            ServeConfig(
+                host=args.host,
+                port=args.port,
+                request_timeout_s=args.request_timeout,
+                queue_limit=args.queue_limit,
+            ),
+        )
+    except ReproError as exc:
+        print(f"idde serve: error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _run() -> int:
+        await daemon.start()
+        print(
+            f"idde serve: listening on http://{args.host}:{daemon.port} "
+            f"({instance}; solver {name}); SIGTERM drains gracefully",
+            file=sys.stderr,
+            flush=True,
+        )
+        return await daemon.run()
+
+    return asyncio.run(_run())
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -961,6 +1052,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
 }
 
 

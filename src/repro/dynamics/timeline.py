@@ -188,9 +188,19 @@ class DynamicSimulation:
         events runs in bounded memory (records accumulate, events do not).
         """
         from ..api import solve  # local import: repro.api ↔ dynamics layering
+        from ..request import SolveRequest
 
         rng = ensure_rng(rng)
         tracer = self.tracer
+        # One base request describes the run; each epoch stamps its own
+        # runtime state (warm profile, churn mask, RNG) through
+        # with_runtime — the same shape the IDDE-Serve session uses.
+        base_request = SolveRequest(
+            solver="idde-g",
+            game_config=self.game_cfg,
+            delivery_config=self.delivery_cfg,
+            sharding=self.sharding,
+        )
         records: list[EpochRecord] = []
         base = self.instance.scenario
         state = WorkloadState.from_scenario(
@@ -213,13 +223,8 @@ class DynamicSimulation:
         with tracer.span("timeline.epoch", epoch=0, policy=self.policy) as span:
             sol = solve(
                 instance,
-                "idde-g",
-                game_config=self.game_cfg,
-                delivery_config=self.delivery_cfg,
-                sharding=self.sharding,
-                active=_active(),
+                base_request.with_runtime(active=_active(), rng=rng),
                 tracer=tracer,
-                rng=rng,
             )
             span.set(moves=sol.game.moves if sol.game else 0, r_avg=sol.r_avg)
         alloc, delivery = sol.allocation, sol.delivery
@@ -262,14 +267,12 @@ class DynamicSimulation:
                 else:
                     new_sol = solve(
                         instance,
-                        "idde-g",
-                        game_config=self.game_cfg,
-                        delivery_config=self.delivery_cfg,
-                        sharding=self.sharding,
-                        warm_start=alloc if self.policy == "warm" else None,
-                        active=active,
+                        base_request.with_runtime(
+                            warm_start=alloc if self.policy == "warm" else None,
+                            active=active,
+                            rng=rng,
+                        ),
                         tracer=tracer,
-                        rng=rng,
                     )
                     new_alloc = new_sol.allocation
                     new_delivery = new_sol.delivery

@@ -24,6 +24,10 @@ __all__ = [
     "ShardingError",
     "TraceError",
     "SolverLookupError",
+    "ServeError",
+    "ProtocolError",
+    "QueueFullError",
+    "RequestTimeoutError",
 ]
 
 
@@ -96,3 +100,26 @@ class SolverLookupError(ReproError, KeyError):
 
     Subclasses :class:`KeyError` so pre-façade callers that caught the old
     lookup failure keep working unchanged."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The IDDE-Serve daemon could not service a request.
+
+    Subclasses carry the overload/timeout flavours; the daemon maps each
+    :class:`ReproError` class to an HTTP status and a structured error
+    body (see :data:`repro.serve.http.STATUS_BY_ERROR`)."""
+
+
+class ProtocolError(ServeError):
+    """A request violated the HTTP/JSON wire protocol (unparseable request
+    line, oversized or non-JSON body, bad method) — mapped to 400."""
+
+
+class QueueFullError(ServeError):
+    """The daemon's bounded request queue is at capacity; the request was
+    shed rather than enqueued — mapped to 429 (back off and retry)."""
+
+
+class RequestTimeoutError(ServeError):
+    """A request exceeded the daemon's per-request time budget and was
+    abandoned — mapped to 504."""

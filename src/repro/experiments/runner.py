@@ -19,6 +19,7 @@ from ..core.strategy import Solver
 from ..datasets.eua import EuaPool, synthetic_eua
 from ..errors import ExperimentError
 from ..obs.tracer import Tracer, ensure_tracer
+from ..request import SolveRequest
 from ..rng import spawn_rng
 from ..sharding import ShardConfig, ShardedIddeG
 
@@ -92,6 +93,21 @@ class TrialSpec:
             return ShardConfig(n_workers=0)
         return ShardConfig(n_shards=int(self.shards), n_workers=0)
 
+    def request_for(self, name: str) -> SolveRequest:
+        """The :class:`~repro.request.SolveRequest` for one of this trial's
+        solvers — the single spec→request mapping :func:`run_trial` uses
+        (the per-solver RNG stream is stamped in at run time)."""
+        is_g = name == "IDDE-G"
+        return SolveRequest(
+            solver=name.lower(),
+            game_config=GameConfig(kernel=self.kernel) if is_g else None,
+            delivery_config=(
+                DeliveryConfig(kernel=self.delivery_kernel) if is_g else None
+            ),
+            sharding=self.shard_config() if is_g else None,
+            ip_time_budget_s=self.ip_time_budget_s,
+        )
+
 
 @dataclass
 class TrialResult:
@@ -164,19 +180,10 @@ def run_trial(spec: TrialSpec, tracer: Tracer | None = None) -> TrialResult:
         "trial", n=spec.n, m=spec.m, k=spec.k, seed=spec.seed, kernel=spec.kernel
     ):
         for name in spec.solver_names:
-            is_g = name == "IDDE-G"
-            solution = solve(
-                instance,
-                name.lower(),
-                game_config=GameConfig(kernel=spec.kernel) if is_g else None,
-                delivery_config=(
-                    DeliveryConfig(kernel=spec.delivery_kernel) if is_g else None
-                ),
-                sharding=spec.shard_config() if is_g else None,
-                ip_time_budget_s=spec.ip_time_budget_s,
-                tracer=tracer,
-                rng=spawn_rng(spec.seed, "solver", name),
+            request = spec.request_for(name).with_runtime(
+                rng=spawn_rng(spec.seed, "solver", name)
             )
+            solution = solve(instance, request, tracer=tracer)
             result.metrics[name] = {
                 "r_avg": solution.r_avg,
                 "l_avg_ms": solution.l_avg_ms,

@@ -73,18 +73,25 @@ def _jsonify(value: Any) -> Any:
 
 
 def trace_records(tracer: RecordingTracer, *, meta: dict | None = None) -> list[dict]:
-    """The full ``idde-trace/1`` record list for one tracer."""
+    """The full ``idde-trace/1`` record list for one tracer.
+
+    Serialises from a locked snapshot
+    (:meth:`~repro.obs.tracer.RecordingTracer.records_snapshot`), so it is
+    safe to call while another thread is still recording — the IDDE-Serve
+    ``/v1/trace`` endpoint streams mid-solve.
+    """
+    spans, events, dropped = tracer.records_snapshot()
     records: list[dict] = [
         {
             "kind": "header",
             "schema": SCHEMA,
             "meta": _jsonify(dict(meta or {})),
-            "n_spans": len(tracer.spans),
-            "n_events": len(tracer.events),
-            "dropped_events": tracer.dropped_events,
+            "n_spans": len(spans),
+            "n_events": len(events),
+            "dropped_events": dropped,
         }
     ]
-    for s in tracer.spans:
+    for s in spans:
         records.append(
             {
                 "kind": "span",
@@ -96,7 +103,7 @@ def trace_records(tracer: RecordingTracer, *, meta: dict | None = None) -> list[
                 "attrs": _jsonify(s.attrs),
             }
         )
-    for e in tracer.events:
+    for e in events:
         records.append(
             {
                 "kind": "event",
@@ -107,12 +114,13 @@ def trace_records(tracer: RecordingTracer, *, meta: dict | None = None) -> list[
                 "fields": _jsonify(e.fields),
             }
         )
+    metrics = tracer.metrics_snapshot()
     records.append(
         {
             "kind": "metrics",
-            "counters": dict(tracer.counters),
-            "gauges": dict(tracer.gauges),
-            "histograms": {name: h.to_dict() for name, h in tracer.histograms.items()},
+            "counters": metrics["counters"],
+            "gauges": metrics["gauges"],
+            "histograms": metrics["histograms"],
         }
     )
     return records

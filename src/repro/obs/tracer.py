@@ -26,6 +26,7 @@ Serialisation to the ``idde-trace/1`` JSONL document lives in
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -174,28 +175,40 @@ class ActiveSpan:
 
     def set(self, **attrs: Any) -> None:
         """Merge attributes into the span (e.g. results known at exit)."""
-        self.record.attrs.update(attrs)
+        with self._tracer._lock:
+            self.record.attrs.update(attrs)
 
     def __enter__(self) -> "ActiveSpan":
-        self._tracer._stack.append(self.record.span_id)
+        with self._tracer._lock:
+            self._tracer._stack.append(self.record.span_id)
         return self
 
     def __exit__(self, exc_type: type | None, exc: object, tb: object) -> bool:
-        stack = self._tracer._stack
-        if not stack or stack[-1] != self.record.span_id:
-            raise TraceError(
-                f"span {self.record.name!r} (id {self.record.span_id}) closed "
-                "out of nesting order"
-            )
-        stack.pop()
-        self.record.end_s = self._tracer._now()
-        if exc_type is not None:
-            self.record.attrs.setdefault("error", exc_type.__name__)
+        tracer = self._tracer
+        with tracer._lock:
+            stack = tracer._stack
+            if not stack or stack[-1] != self.record.span_id:
+                raise TraceError(
+                    f"span {self.record.name!r} (id {self.record.span_id}) closed "
+                    "out of nesting order"
+                )
+            stack.pop()
+            self.record.end_s = tracer._now()
+            if exc_type is not None:
+                self.record.attrs.setdefault("error", exc_type.__name__)
         return False
 
 
 class RecordingTracer(Tracer):
     """A tracer that records spans, metrics and a bounded event log.
+
+    Thread/task-safe: every mutation happens under an internal lock, and
+    :meth:`metrics_snapshot` / :meth:`records_snapshot` hand concurrent
+    readers self-consistent copies — the IDDE-Serve daemon serves
+    ``/v1/metrics`` and ``/v1/trace`` from the event loop while the
+    solver thread records (see docs/SERVING.md).  Span *nesting* remains
+    single-threaded by design: spans from two threads would interleave one
+    stack, so only the serialized solver loop opens spans.
 
     Parameters
     ----------
@@ -232,6 +245,11 @@ class RecordingTracer(Tracer):
         self.histograms: dict[str, HistogramSummary] = {}
         self._stack: list[int] = []
         self._seq = 0
+        # Every mutation (span open/close, event append, metric update)
+        # happens under this lock so a concurrent reader — the IDDE-Serve
+        # /v1/metrics and /v1/trace endpoints polling mid-solve — can
+        # never observe a torn event log or a half-applied counter.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # clock
@@ -258,43 +276,95 @@ class RecordingTracer(Tracer):
     # recording hooks
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs: Any) -> ActiveSpan:
-        record = SpanRecord(
-            span_id=len(self.spans),
-            parent_id=self.current_span_id,
-            name=str(name),
-            start_s=self._now(),
-            attrs=dict(attrs),
-        )
-        self.spans.append(record)
+        with self._lock:
+            record = SpanRecord(
+                span_id=len(self.spans),
+                parent_id=self.current_span_id,
+                name=str(name),
+                start_s=self._now(),
+                attrs=dict(attrs),
+            )
+            self.spans.append(record)
         return ActiveSpan(self, record)
 
     def event(self, etype: str, **fields: Any) -> None:
-        seq = self._seq
-        self._seq += 1
-        if len(self.events) >= self.max_events:
-            self.dropped_events += 1
-            return
-        self.events.append(
-            EventRecord(
-                seq=seq,
-                span_id=self.current_span_id,
-                t_s=self._now(),
-                etype=str(etype),
-                fields=fields,
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self.events.append(
+                EventRecord(
+                    seq=seq,
+                    span_id=self.current_span_id,
+                    t_s=self._now(),
+                    etype=str(etype),
+                    fields=fields,
+                )
             )
-        )
 
     def count(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + int(n)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(n)
 
     def gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = HistogramSummary()
-        hist.observe(value)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = HistogramSummary()
+            hist.observe(value)
+
+    # ------------------------------------------------------------------
+    # consistent snapshots for concurrent readers
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """A self-consistent copy of every metric, safe to read mid-solve.
+
+        The IDDE-Serve ``/v1/metrics`` endpoint calls this from the event
+        loop while the solver thread mutates the tracer; the lock
+        guarantees the returned counters/gauges/histograms all belong to
+        one instant.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: h.to_dict() for name, h in self.histograms.items()
+                },
+                "spans": len(self.spans),
+                "open_spans": len(self._stack),
+                "events": len(self.events),
+                "dropped_events": self.dropped_events,
+            }
+
+    def records_snapshot(self) -> tuple[list[SpanRecord], list[EventRecord], int]:
+        """Consistent shallow copies of the span/event logs.
+
+        Serialisation (:func:`repro.obs.document.trace_records`) iterates
+        these instead of the live lists so a concurrent solve can never
+        resize them mid-iteration.  Span records are re-materialised with
+        copied ``attrs`` dicts — a later :meth:`ActiveSpan.set` on a
+        still-open span mutates only the live record, never the snapshot.
+        """
+        with self._lock:
+            spans = [
+                SpanRecord(
+                    span_id=s.span_id,
+                    parent_id=s.parent_id,
+                    name=s.name,
+                    start_s=s.start_s,
+                    attrs=dict(s.attrs),
+                    end_s=s.end_s,
+                )
+                for s in self.spans
+            ]
+            return spans, list(self.events), self.dropped_events
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,250 @@
+"""A minimal HTTP/1.1 layer over ``asyncio`` streams — stdlib only.
+
+IDDE-Serve deliberately avoids a web framework: the daemon needs six
+endpoints, JSON bodies, and deterministic error mapping, so this module
+implements exactly that — a strict request parser with hard size limits,
+a response renderer, and the :class:`~repro.errors.ReproError` → HTTP
+status table every handler funnels failures through.
+
+Scope (and non-goals) are explicit:
+
+* One request per connection (``Connection: close``).  The daemon's
+  clients are replay tools and health probes, not browsers; keep-alive
+  buys nothing and connection reuse bugs cost plenty.
+* No chunked transfer encoding, no multipart, no compression.  Bodies are
+  ``Content-Length``-framed JSON, capped at :data:`MAX_BODY_BYTES` —
+  an oversized or unframed body is a :class:`~repro.errors.ProtocolError`
+  (400), never an OOM.
+* Responses always carry ``Content-Length`` and close the socket, so a
+  client can never hang on a response boundary.
+
+Error wire format (every non-2xx body)::
+
+    {"error": {"type": "SolverLookupError", "status": 400,
+               "message": "unknown solver 'ide-g'; did you mean 'idde-g'?"}}
+
+``type`` is the :class:`~repro.errors.ReproError` subclass name, so a
+client can discriminate failures exactly like an in-process caller's
+``except`` clause would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import (
+    ConfigurationError,
+    DatasetError,
+    ProtocolError,
+    QueueFullError,
+    ReproError,
+    RequestTimeoutError,
+    ScenarioError,
+    SolverError,
+    SolverLookupError,
+    TopologyError,
+)
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "STATUS_BY_ERROR",
+    "HttpRequest",
+    "HttpResponse",
+    "error_response",
+    "json_response",
+    "read_request",
+    "status_for_error",
+]
+
+#: Hard cap on a request body — a 1k-event delta batch is ~100 KiB, so
+#: 8 MiB leaves two orders of magnitude of headroom without risking memory.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Hard cap on the request line + headers block.
+MAX_HEADER_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Ordered (class, status) mapping — first match wins, so subclasses must
+#: precede their bases.  Client-side faults (malformed requests, unknown
+#: solvers, bad event universes) are 4xx; solver-side faults are 5xx.
+STATUS_BY_ERROR: tuple[tuple[type[ReproError], int], ...] = (
+    (QueueFullError, 429),
+    (RequestTimeoutError, 504),
+    (ProtocolError, 400),
+    (SolverLookupError, 400),
+    (ConfigurationError, 400),
+    (DatasetError, 400),
+    (ScenarioError, 400),
+    (TopologyError, 400),
+    (SolverError, 500),
+    (ReproError, 500),
+)
+
+
+def status_for_error(exc: ReproError) -> int:
+    """The HTTP status a :class:`~repro.errors.ReproError` maps to."""
+    for cls, status in STATUS_BY_ERROR:
+        if isinstance(exc, cls):
+            return status
+    return 500  # pragma: no cover - ReproError catch-all above is total
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: method, split path, query and decoded body."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body decoded as JSON; empty bodies decode to ``None``.
+
+        Raises :class:`~repro.errors.ProtocolError` (→ 400) on anything
+        that is not UTF-8 JSON.
+        """
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One response: status + JSON-ready payload (rendered lazily)."""
+
+    status: int
+    payload: Any
+
+    def render(self) -> bytes:
+        body = json.dumps(self.payload, sort_keys=True).encode("utf-8") + b"\n"
+        reason = _REASONS.get(self.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        )
+        return head.encode("ascii") + body
+
+
+def json_response(payload: Any, *, status: int = 200) -> HttpResponse:
+    """A 200 (or chosen status) JSON response."""
+    return HttpResponse(status=status, payload=payload)
+
+
+def error_response(exc: ReproError) -> HttpResponse:
+    """The structured error body for a library exception.
+
+    ``KeyError``-derived exceptions (:class:`SolverLookupError`) repr-quote
+    their message; unwrap ``args`` so the wire message reads clean.
+    """
+    status = status_for_error(exc)
+    message = str(exc.args[0]) if exc.args else str(exc)
+    return HttpResponse(
+        status=status,
+        payload={
+            "error": {
+                "type": type(exc).__name__,
+                "status": status,
+                "message": message,
+            }
+        },
+    )
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one HTTP/1.1 request off a stream.
+
+    Returns ``None`` when the peer closed the connection before sending a
+    request line (a clean no-op).  Every malformed or oversized input
+    raises :class:`~repro.errors.ProtocolError`, which the daemon renders
+    as a structured 400 — the parser never lets a bad peer take the
+    process down.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(
+            f"request head exceeds {MAX_HEADER_BYTES} bytes"
+        ) from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"request head exceeds {MAX_HEADER_BYTES} bytes")
+
+    try:
+        text = head.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("request head is not ASCII") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise ProtocolError(
+                f"bad Content-Length {length_header!r}"
+            ) from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"Content-Length {length} outside [0, {MAX_BODY_BYTES}]"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("connection closed mid-body") from exc
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(
+            "chunked transfer encoding is not supported; frame the body "
+            "with Content-Length"
+        )
+
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )

@@ -17,7 +17,7 @@ from .events import (
     WorkloadState,
 )
 from .generators import StreamConfig, batch_by_count, batch_by_time, poisson_zipf_stream
-from .replay import EVENTS_SCHEMA, load_events, save_events
+from .replay import EVENTS_SCHEMA, load_events, parse_event, save_events
 
 __all__ = [
     "EVENTS_SCHEMA",
@@ -32,6 +32,7 @@ __all__ = [
     "batch_by_count",
     "batch_by_time",
     "load_events",
+    "parse_event",
     "poisson_zipf_stream",
     "save_events",
 ]

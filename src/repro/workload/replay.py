@@ -26,7 +26,7 @@ from typing import Any, Iterable, Iterator
 from ..errors import DatasetError
 from .events import Event, Move, PopularityShift, UserJoin, UserLeave
 
-__all__ = ["EVENTS_SCHEMA", "save_events", "load_events"]
+__all__ = ["EVENTS_SCHEMA", "parse_event", "save_events", "load_events"]
 
 EVENTS_SCHEMA = "idde-events/1"
 
@@ -62,17 +62,27 @@ def save_events(
     return count
 
 
-def _parse_event(doc: dict[str, Any], lineno: int) -> Event:
+def parse_event(doc: dict[str, Any], *, where: str = "event") -> Event:
+    """One ``idde-events/1`` JSON object → its :class:`Event` dataclass.
+
+    The single decoder both the file replay loop and the IDDE-Serve
+    ``POST /v1/events`` endpoint route through; ``where`` labels the error
+    (``"line 7"`` for files, ``"events[3]"`` for request bodies).  The
+    input mapping is not mutated.
+    """
+    if not isinstance(doc, dict):
+        raise DatasetError(f"{where}: event must be a JSON object, got {type(doc).__name__}")
+    doc = dict(doc)
     kind = doc.pop("kind", None)
     cls = _KINDS.get(kind)
     if cls is None:
-        raise DatasetError(f"line {lineno}: unknown event kind {kind!r}")
+        raise DatasetError(f"{where}: unknown event kind {kind!r}")
     if cls is PopularityShift and "order" in doc:
         doc["order"] = tuple(int(i) for i in doc["order"])
     try:
         return cls(**doc)
     except TypeError as exc:
-        raise DatasetError(f"line {lineno}: malformed {kind!r} event: {exc}") from exc
+        raise DatasetError(f"{where}: malformed {kind!r} event: {exc}") from exc
 
 
 def load_events(
@@ -111,4 +121,4 @@ def load_events(
             line = line.strip()
             if not line:
                 continue
-            yield _parse_event(json.loads(line), lineno)
+            yield parse_event(json.loads(line), where=f"line {lineno}")

@@ -144,3 +144,69 @@ class TestMetrics:
         assert (h.count, h.total, h.min, h.max) == (3, 6.0, 1.0, 3.0)
         assert h.mean == pytest.approx(2.0)
         assert h.to_dict() == {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0}
+
+
+class TestThreadSafety:
+    """The IDDE-Serve contract: solver thread records, event loop reads."""
+
+    def test_concurrent_metrics_and_snapshots_are_consistent(self):
+        import threading
+
+        tracer = RecordingTracer()
+        n_threads, n_iter = 8, 400
+        start = threading.Barrier(n_threads + 1)  # writers + snapshotter
+        torn: list[dict] = []
+
+        def writer(idx: int) -> None:
+            start.wait()
+            for i in range(n_iter):
+                tracer.count("serve.solves")
+                tracer.observe("serve.solve_s", float(i))
+                tracer.gauge(f"g{idx}", float(i))
+                tracer.event("tick", worker=idx, i=i)
+
+        def reader() -> None:
+            start.wait()
+            while any(t.is_alive() for t in threads):
+                snap = tracer.metrics_snapshot()
+                hist = snap["histograms"].get("serve.solve_s")
+                # a torn histogram would show count/total drift apart
+                if hist is not None and hist["count"] and not (
+                    0.0 <= hist["total"] / hist["count"] <= n_iter
+                ):
+                    torn.append(snap)
+                spans, events, dropped = tracer.records_snapshot()
+                seqs = [e.seq for e in events]
+                if seqs != sorted(seqs):
+                    torn.append({"events": "out of order"})
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(n_threads)
+        ]
+        snapshotter = threading.Thread(target=reader)
+        for t in threads:
+            t.start()
+        snapshotter.start()
+        for t in threads:
+            t.join()
+        snapshotter.join()
+
+        assert not torn
+        assert tracer.counters["serve.solves"] == n_threads * n_iter
+        hist = tracer.histograms["serve.solve_s"]
+        assert hist.count == n_threads * n_iter
+        assert hist.total == pytest.approx(
+            n_threads * n_iter * (n_iter - 1) / 2
+        )
+        # every event got a unique sequence number (recorded or dropped)
+        spans, events, dropped = tracer.records_snapshot()
+        assert len(events) + dropped == n_threads * n_iter
+        assert len({e.seq for e in events}) == len(events)
+
+    def test_snapshot_isolated_from_later_span_mutation(self):
+        tracer = RecordingTracer(clock=FakeClock())
+        with tracer.span("outer", phase="start") as span:
+            spans, _, _ = tracer.records_snapshot()
+            span.set(phase="mutated")
+        assert spans[0].attrs == {"phase": "start"}
+        assert tracer.spans[0].attrs == {"phase": "mutated"}

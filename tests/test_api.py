@@ -193,3 +193,64 @@ class TestWarmStart:
                 active=np.ones(instance.n_users, dtype=bool),
                 rng=0,
             )
+
+
+class TestSolutionSchemaVersions:
+    """idde-solution/1 -> /2: the dual-version loader and typed extras."""
+
+    def _v2_doc(self, instance):
+        from repro.request import SolveRequest
+
+        return solve(instance, SolveRequest(solver="idde-g", rng=3)).to_dict()
+
+    def test_loader_passes_v2_through(self, instance):
+        from repro.api import load_solution_document
+
+        doc = self._v2_doc(instance)
+        loaded = load_solution_document(json.loads(json.dumps(doc)))
+        assert loaded["schema"] == SOLUTION_SCHEMA
+        assert loaded["request"]["schema"] == "idde-request/1"
+
+    def test_loader_upgrades_v1_in_place(self, instance):
+        from repro.api import SOLUTION_SCHEMA_V1, load_solution_document
+
+        doc = self._v2_doc(instance)
+        doc["schema"] = SOLUTION_SCHEMA_V1
+        del doc["request"]  # v1 never recorded the producing request
+        loaded = load_solution_document(doc)
+        assert loaded["schema"] == SOLUTION_SCHEMA
+        assert loaded["request"] is None
+        assert loaded["solver"] == "IDDE-G"
+
+    def test_loader_rejects_unknown_schema(self, instance):
+        from repro.api import load_solution_document
+
+        doc = self._v2_doc(instance)
+        doc["schema"] = "idde-solution/3"
+        with pytest.raises(ConfigurationError, match="idde-solution"):
+            load_solution_document(doc)
+
+    def test_loader_rejects_missing_keys(self):
+        from repro.api import load_solution_document
+
+        with pytest.raises(ConfigurationError, match="r_avg"):
+            load_solution_document({"schema": SOLUTION_SCHEMA, "solver": "x"})
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            load_solution_document([1])
+
+    def test_typed_extras_accessors(self, instance):
+        from repro.sharding import ShardConfig
+
+        cold = solve(instance, "idde-g", rng=0)
+        assert cold.warm_detached is None
+        assert cold.sharding_stats is None
+        assert cold.delivery_kernel == "reference"
+
+        warm = solve(instance, "idde-g", warm_start=cold, rng=1)
+        assert warm.warm_detached == 0
+
+        sharded = solve(
+            instance, "idde-g", sharding=ShardConfig(n_workers=0), rng=0
+        )
+        stats = sharded.sharding_stats
+        assert stats is not None and stats["n_shards"] >= 1
