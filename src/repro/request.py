@@ -138,9 +138,18 @@ class SolveRequest:
             # in-process truthiness checks stay simple.
             object.__setattr__(self, "warm_start", None)
         if self.active is not None:
-            object.__setattr__(
-                self, "active", np.asarray(self.active, dtype=bool)
-            )
+            try:
+                active = np.asarray(self.active, dtype=bool)
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"active must be a flat 0/1 mask: {exc}"
+                ) from exc
+            if active.ndim != 1:
+                raise ConfigurationError(
+                    f"active must be a flat 0/1 mask, got an array of "
+                    f"shape {tuple(active.shape)}"
+                )
+            object.__setattr__(self, "active", active)
         if not isinstance(self.solver_options, dict):
             raise ConfigurationError(
                 f"solver_options must be a dict, got {type(self.solver_options).__name__}"
@@ -263,7 +272,9 @@ class SolveRequest:
             ),
             sharding=_config_from_doc(ShardConfig, doc.get("sharding"), "sharding"),
             warm_start=warm or None,
-            active=None if active is None else np.asarray(active, dtype=bool),
+            # __post_init__ coerces and validates the mask (a ragged or
+            # nested list is a ConfigurationError, not a numpy traceback).
+            active=active,
             rng=rng,
             ip_time_budget_s=doc.get("ip_time_budget_s"),
             validate=validate,

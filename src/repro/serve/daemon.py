@@ -77,6 +77,17 @@ __all__ = ["ServeConfig", "ServeDaemon"]
 #: API version prefix every endpoint lives under.
 API_PREFIX = "/v1"
 
+#: Allowed methods per endpoint path — the routing table's dual, used to
+#: answer known-path/wrong-method requests with 405 + ``Allow``.
+_ALLOWED_METHODS: dict[str, tuple[str, ...]] = {
+    f"{API_PREFIX}/solve": ("POST",),
+    f"{API_PREFIX}/events": ("POST",),
+    f"{API_PREFIX}/solution": ("GET",),
+    f"{API_PREFIX}/health": ("GET",),
+    f"{API_PREFIX}/metrics": ("GET",),
+    f"{API_PREFIX}/trace": ("GET",),
+}
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -208,7 +219,10 @@ class ServeDaemon:
             return
         try:
             response = await self._dispatch(request)
-        except ReproError as exc:
+        except Exception as exc:
+            # ReproError subclasses follow the status table; anything
+            # else is an internal fault rendered as a structured 500 —
+            # a handler bug must never close the connection answerless.
             self.tracer.count("serve.errors")
             response = error_response(exc)
         await self._write(writer, response.render())
@@ -236,13 +250,23 @@ class ServeDaemon:
             return self._get_health()
         if route == ("GET", f"{API_PREFIX}/metrics"):
             return self._get_metrics()
-        known_paths = {
-            f"{API_PREFIX}/{name}"
-            for name in ("solve", "events", "solution", "health", "metrics", "trace")
-        }
-        if request.path in known_paths:
-            raise ProtocolError(
-                f"method {request.method} not allowed on {request.path}"
+        allowed = _ALLOWED_METHODS.get(request.path)
+        if allowed is not None:
+            self.tracer.count("serve.errors")
+            allow = ", ".join(allowed)
+            return HttpResponse(
+                status=405,
+                payload={
+                    "error": {
+                        "type": "ProtocolError",
+                        "status": 405,
+                        "message": (
+                            f"method {request.method} not allowed on "
+                            f"{request.path}; allowed: {allow}"
+                        ),
+                    }
+                },
+                headers=(("Allow", allow),),
             )
         raise ProtocolError(f"unknown endpoint {request.path!r}")
 

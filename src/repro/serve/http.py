@@ -97,12 +97,16 @@ STATUS_BY_ERROR: tuple[tuple[type[ReproError], int], ...] = (
 )
 
 
-def status_for_error(exc: ReproError) -> int:
-    """The HTTP status a :class:`~repro.errors.ReproError` maps to."""
+def status_for_error(exc: Exception) -> int:
+    """The HTTP status an exception maps to.
+
+    :class:`~repro.errors.ReproError` subclasses follow the table above;
+    anything else is an internal fault and maps to 500.
+    """
     for cls, status in STATUS_BY_ERROR:
         if isinstance(exc, cls):
             return status
-    return 500  # pragma: no cover - ReproError catch-all above is total
+    return 500
 
 
 @dataclass(frozen=True)
@@ -131,18 +135,25 @@ class HttpRequest:
 
 @dataclass(frozen=True)
 class HttpResponse:
-    """One response: status + JSON-ready payload (rendered lazily)."""
+    """One response: status + JSON-ready payload (rendered lazily).
+
+    ``headers`` carries extra response headers as (name, value) pairs —
+    e.g. the mandatory ``Allow`` on a 405.
+    """
 
     status: int
     payload: Any
+    headers: tuple[tuple[str, str], ...] = ()
 
     def render(self) -> bytes:
         body = json.dumps(self.payload, sort_keys=True).encode("utf-8") + b"\n"
         reason = _REASONS.get(self.status, "Unknown")
+        extra = "".join(f"{name}: {value}\r\n" for name, value in self.headers)
         head = (
             f"HTTP/1.1 {self.status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n"
             f"\r\n"
         )
@@ -154,11 +165,13 @@ def json_response(payload: Any, *, status: int = 200) -> HttpResponse:
     return HttpResponse(status=status, payload=payload)
 
 
-def error_response(exc: ReproError) -> HttpResponse:
-    """The structured error body for a library exception.
+def error_response(exc: Exception) -> HttpResponse:
+    """The structured error body for an exception.
 
     ``KeyError``-derived exceptions (:class:`SolverLookupError`) repr-quote
     their message; unwrap ``args`` so the wire message reads clean.
+    Non-:class:`~repro.errors.ReproError` exceptions render as 500s with
+    their class name as ``type`` — the daemon's last-resort mapping.
     """
     status = status_for_error(exc)
     message = str(exc.args[0]) if exc.args else str(exc)

@@ -27,10 +27,14 @@ whose certificate it did not verify.  A failed certificate raises
 :class:`~repro.errors.SolverError` and the resident solution is *not*
 replaced.
 
-Thread-safety: all state transitions happen under one re-entrant lock.
-The daemon serializes mutating calls anyway (one solver loop), but
-read-side helpers (:meth:`health`, :meth:`solution_document`) are safe to
-call from any thread mid-solve.
+Thread-safety: two locks with distinct jobs.  Mutators (:meth:`solve`,
+:meth:`apply_events`) serialize end-to-end on a private mutate lock, so
+the warm-start chain is a strict sequence even without the daemon's own
+serialization.  A second, *short-held* state lock guards only input
+snapshots, commits, and the read-side helpers (:meth:`stats`,
+:meth:`solution_document`) — the solver kernel itself runs outside both
+read-visible critical sections, so a health probe from any thread
+answers in microseconds while a solve is minutes deep.
 """
 
 from __future__ import annotations
@@ -87,6 +91,10 @@ class SolverSession:
         tracer: RecordingTracer | None = None,
         resident: Solution | None = None,
     ) -> None:
+        #: Serializes mutators (solve/apply_events) end-to-end.
+        self._mutate_lock = threading.Lock()
+        #: Short-held state lock: snapshots, commits, and read helpers
+        #: only — never held across a solver kernel.
         self._lock = threading.RLock()
         self.instance = instance
         self.tracer: Tracer = tracer if tracer is not None else RecordingTracer()
@@ -153,28 +161,33 @@ class SolverSession:
         unknown solver, config rejected by the solver, certificate
         failure — the previous base request and churn mask are restored,
         so one bad ``POST /v1/solve`` can never poison the session for
-        every later request.
+        every later request.  (Mid-solve, :meth:`stats` may observe the
+        tentative mask; a failed adoption rolls it back before raising.)
         """
-        with self._lock:
+        with self._mutate_lock:
             if request is None:
-                warm = self.solution if self.request.warm_start is True else None
+                with self._lock:
+                    warm = self.solution if self.request.warm_start is True else None
                 return self._run(warm)
-            prev_request, prev_active = self.request, self.state.active.copy()
+            with self._lock:
+                prev_request, prev_active = self.request, self.state.active.copy()
             try:
-                if request.active is not None:
-                    if request.active.shape != (self.state.n_users,):
-                        raise ConfigurationError(
-                            f"request active mask covers "
-                            f"{request.active.shape[0]} users, session has "
-                            f"{self.state.n_users}"
-                        )
-                    self.state.active = request.active.copy()
-                self.request = self._adopt(request)
-                warm = self.solution if self.request.warm_start is True else None
+                with self._lock:
+                    if request.active is not None:
+                        if request.active.shape != (self.state.n_users,):
+                            raise ConfigurationError(
+                                f"request active mask covers "
+                                f"{request.active.shape[0]} users, session has "
+                                f"{self.state.n_users}"
+                            )
+                        self.state.active = request.active.copy()
+                    self.request = self._adopt(request)
+                    warm = self.solution if self.request.warm_start is True else None
                 return self._run(warm)
             except Exception:
-                self.request = prev_request
-                self.state.active = prev_active
+                with self._lock:
+                    self.request = prev_request
+                    self.state.active = prev_active
                 raise
 
     def apply_events(self, events: Iterable[Event]) -> Solution:
@@ -184,30 +197,39 @@ class SolverSession:
         state is untouched (events are materialised and validated against
         the universe before folding) and the resident solution survives.
         """
-        with self._lock:
+        with self._mutate_lock:
             batch = tuple(events)
-            applied = self.state.apply(batch)
-            self.events_applied += applied
-            return self._run(self.solution)
+            with self._lock:
+                applied = self.state.apply(batch)
+                self.events_applied += applied
+                warm = self.solution
+            return self._run(warm)
 
     def _run(self, warm: Solution | None) -> Solution:
-        projected = IDDEInstance(
-            self.state.scenario(self.instance.scenario),
-            self.instance.topology,
-            self.instance.radio,
-        )
-        epoch = self.epoch + 1
-        # Baselines have no game to re-enter or mask: they see churn only
-        # through the projected scenario (inactive users request nothing),
-        # exactly how the façade itself scopes warm_start/active.
-        is_g = resolve_solver_name(self.request.solver) == "idde-g"
-        request = self.request.with_runtime(
-            warm_start=warm if is_g else None,
-            active=self.state.active.copy() if is_g else None,
-            rng=spawn_rng(self.seed, "serve", epoch),
-        )
+        """One epoch: snapshot under the state lock, solve outside it,
+        commit under it.  Callers hold ``_mutate_lock``, so the solver
+        chain stays strictly sequential; reads never wait on the kernel.
+        """
+        with self._lock:
+            projected = IDDEInstance(
+                self.state.scenario(self.instance.scenario),
+                self.instance.topology,
+                self.instance.radio,
+            )
+            epoch = self.epoch + 1
+            # Baselines have no game to re-enter or mask: they see churn
+            # only through the projected scenario (inactive users request
+            # nothing), exactly how the façade scopes warm_start/active.
+            is_g = resolve_solver_name(self.request.solver) == "idde-g"
+            active = self.state.active.copy()
+            request = self.request.with_runtime(
+                warm_start=warm if is_g else None,
+                active=active if is_g else None,
+                rng=spawn_rng(self.seed, "serve", epoch),
+            )
+            game_cfg = self.request.game_config or GameConfig()
         solution = execute(projected, request, tracer=self.tracer)
-        certified = self._certify(solution, projected)
+        certified = self._certify(solution, projected, game_cfg, active)
         if certified is False:
             self.tracer.count("serve.certificate.failed")
             raise SolverError(
@@ -215,34 +237,41 @@ class SolverSession:
                 f"{solution.solver} allocation admits a profitable deviation "
                 f"at tol={solution.game.effective_epsilon:.3e}"
             )
-        self.epoch = epoch
-        self.solution = solution
-        self.certified = certified
-        self.solves += 1
-        if warm is not None:
-            self.warm_solves += 1
+        with self._lock:
+            self.epoch = epoch
+            self.solution = solution
+            self.certified = certified
+            self.solves += 1
+            if warm is not None:
+                self.warm_solves += 1
         self.tracer.count("serve.solves")
         if warm is not None:
             self.tracer.count("serve.solves.warm")
         self.tracer.observe("serve.solve_s", solution.wall_time_s)
         return solution
 
-    def _certify(self, solution: Solution, instance: IDDEInstance) -> bool | None:
+    def _certify(
+        self,
+        solution: Solution,
+        instance: IDDEInstance,
+        game_cfg: GameConfig,
+        active: np.ndarray,
+    ) -> bool | None:
         """Independent ε-Nash re-check on the instance actually served.
 
         ``None`` for solvers with no game phase (baselines carry no
         certificate to verify); otherwise the verdict of a fresh
         :class:`~repro.core.game.IddeUGame` at the solve's own claimed
         tolerance — the same re-derivation ``idde replay --verify`` does.
+        Runs lock-free on snapshotted inputs (the mask the solve saw).
         """
         if solution.game is None:
             return None
-        game_cfg = self.request.game_config or GameConfig()
         with self.tracer.span("serve.certify"):
             return IddeUGame(instance, game_cfg).is_nash(
                 solution.allocation,
                 tol=solution.game.effective_epsilon,
-                active=self.state.active,
+                active=active,
             )
 
     # ------------------------------------------------------------------

@@ -204,8 +204,43 @@ class TestErrorPaths:
 
         (unknown, wrong_get, wrong_post), _ = _drive(daemon, scenario)
         assert unknown[0] == 400
-        assert wrong_get[0] == 400
-        assert b"method" in wrong_post[1]
+        assert wrong_get[0] == 405
+        assert "allowed: POST" in json.loads(wrong_get[1])["error"]["message"]
+        assert wrong_post[0] == 405
+        assert "allowed: GET" in json.loads(wrong_post[1])["error"]["message"]
+
+    def test_ragged_active_is_structured_400(self, instance):
+        daemon = ServeDaemon(_session(instance))
+        doc = SolveRequest(solver="idde-g").to_dict()
+        doc["active"] = [[1], [0, 1]]  # ragged: numpy cannot coerce this
+
+        async def scenario(d):
+            return await _http(d.port, "POST", "/v1/solve", doc)
+
+        (status, body), _ = _drive(daemon, scenario)
+        assert status == 400
+        error = json.loads(body)["error"]
+        assert error["type"] == "ConfigurationError"
+        assert "active" in error["message"]
+
+    def test_unexpected_exception_is_structured_500(self, instance):
+        session = _session(instance)
+
+        def boom(request=None):
+            raise RuntimeError("kaboom")
+
+        session.solve = boom  # type: ignore[method-assign]
+        daemon = ServeDaemon(session)
+
+        async def scenario(d):
+            return await _http(d.port, "POST", "/v1/solve")
+
+        (status, body), exit_code = _drive(daemon, scenario)
+        assert exit_code == 0
+        assert status == 500
+        error = json.loads(body)["error"]
+        assert error["type"] == "RuntimeError"
+        assert error["message"] == "kaboom"
 
     def test_empty_events_body_is_400(self, instance):
         daemon = ServeDaemon(_session(instance))
@@ -242,6 +277,56 @@ class TestErrorPaths:
         (status, body), _ = _drive(daemon, scenario)
         assert status == 400
         assert "events[0]" in json.loads(body)["error"]["message"]
+
+
+class TestReadsDuringSolve:
+    def test_health_answers_during_real_session_solve(self, instance, monkeypatch):
+        """Regression: reads must not block on the session lock mid-solve.
+
+        Unlike the admission tests this keeps the real
+        :class:`SolverSession` (its locking included) and slows only the
+        ``execute`` kernel, so a held-across-the-kernel lock would stall
+        the event loop and fail the latency assertion below.
+        """
+        import repro.serve.session as session_module
+
+        session = _session(instance)
+        entered = threading.Event()
+        release = threading.Event()
+        real_execute = session_module.execute
+
+        def slow_execute(inst, request, *, tracer=None):
+            entered.set()
+            assert release.wait(timeout=10), "reads deadlocked behind the solve"
+            return real_execute(inst, request, tracer=tracer)
+
+        monkeypatch.setattr(session_module, "execute", slow_execute)
+        daemon = ServeDaemon(session)
+
+        async def scenario(d):
+            solve_task = asyncio.create_task(_http(d.port, "POST", "/v1/solve"))
+            await asyncio.to_thread(entered.wait, 10)
+            t0 = time.monotonic()
+            health = await _http(d.port, "GET", "/v1/health")
+            cold = await _http(d.port, "GET", "/v1/solution")
+            metrics = await _http(d.port, "GET", "/v1/metrics")
+            elapsed = time.monotonic() - t0
+            release.set()
+            return health, cold, metrics, elapsed, await solve_task
+
+        (health, cold, metrics, elapsed, solved), exit_code = _drive(daemon, scenario)
+        assert exit_code == 0
+        # All three reads answered while the solve was mid-kernel —
+        # far under the 10s the kernel was held open.
+        assert elapsed < 5.0
+        assert health[0] == 200
+        body = json.loads(health[1])
+        assert body["admitted"] == 1
+        assert body["session"]["has_solution"] is False
+        assert cold[0] == 409  # resident solution not committed yet
+        assert metrics[0] == 200
+        assert solved[0] == 200
+        assert json.loads(solved[1])["session"]["certified"] is True
 
 
 class TestAdmissionControl:

@@ -117,6 +117,12 @@ class TestResponseFraming:
         assert b"429 Too Many Requests" in HttpResponse(429, {}).render()
         assert b"504 Gateway Timeout" in HttpResponse(504, {}).render()
 
+    def test_extra_headers_rendered(self):
+        raw = HttpResponse(405, {}, headers=(("Allow", "POST"),)).render()
+        head, _, _ = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 405 Method Not Allowed" in head
+        assert b"Allow: POST\r\n" in head
+
 
 class TestErrorMapping:
     @pytest.mark.parametrize(

@@ -107,6 +107,8 @@ class TestWireRoundTrip:
             ("rng", 3.5, "integer seed"),
             ("validate", "yes", "boolean"),
             ("active", "101", "0/1 list"),
+            ("active", [[1], [0, 1]], "flat 0/1 mask"),  # ragged
+            ("active", [[1, 0], [0, 1]], "flat 0/1 mask"),  # nested/2-D
             ("solver_options", [1], "JSON object"),
             ("game", "batched", "JSON object"),
         ],
@@ -120,6 +122,13 @@ class TestWireRoundTrip:
     def test_non_mapping_document_rejected(self):
         with pytest.raises(ConfigurationError, match="JSON object"):
             SolveRequest.from_dict([1, 2, 3])
+
+    def test_constructor_rejects_non_flat_active(self):
+        # The same validation guards direct construction, not just the wire.
+        with pytest.raises(ConfigurationError, match="flat 0/1 mask"):
+            SolveRequest(active=[[1], [0, 1]])
+        with pytest.raises(ConfigurationError, match="flat 0/1 mask"):
+            SolveRequest(active=np.zeros((2, 2)))
 
 
 class TestRuntimeFields:
